@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the rows/series it regenerates (run pytest with ``-s``
+to see them) and asserts the *shape* of the paper's claim, so the suite
+doubles as a regression test on the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Iterable[Sequence[object]]) -> str:
+    """Render and print a fixed-width table; returns the rendered text."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"\n=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.3f}"
+        return f"{cell:.5f}"
+    return str(cell)

@@ -1,0 +1,99 @@
+"""E11 — C12: in-network ordering vs software replication protocols (§3.4).
+
+Replicated writes under three ordering schemes (primary-backup, leader
+consensus, NOPaxos-style switch sequencer) across replica counts.
+
+Expected shape: the switch sequencer has the lowest latency and zero
+replica-to-replica coordination messages at every replica count; the gap
+widens as replicas grow (software schemes serialize more hops and
+processing).
+"""
+
+import pytest
+
+from repro.distsem.network_order import OrderingScheme, run_ordered_writes
+
+from _util import print_table
+
+WRITES = 100
+
+
+def sweep():
+    rows = []
+    for replicas in (3, 5, 7):
+        for scheme in OrderingScheme:
+            result = run_ordered_writes(scheme, WRITES, replicas)
+            rows.append((
+                replicas, scheme.value,
+                result.mean_latency_s * 1e6,
+                result.total_messages / WRITES,
+                result.replica_to_replica_messages / WRITES,
+            ))
+    return rows
+
+
+def test_e11_network_ordering(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        f"E11 — replicated-write ordering schemes ({WRITES} writes)",
+        ["replicas", "scheme", "mean latency (us)", "msgs/write",
+         "replica-to-replica msgs/write"],
+        rows,
+    )
+
+    by_key = {(r, s): (lat, msgs, r2r) for r, s, lat, msgs, r2r in rows}
+    for replicas in (3, 5, 7):
+        sequencer = by_key[(replicas, "switch-sequencer")]
+        primary = by_key[(replicas, "primary-backup")]
+        consensus = by_key[(replicas, "consensus")]
+        # Sequencer wins latency and removes replica coordination.
+        assert sequencer[0] < primary[0]
+        assert sequencer[0] < consensus[0]
+        assert sequencer[2] == 0.0
+        assert primary[2] > 0 and consensus[2] > 0
+
+    # The software schemes' latency grows faster with replica count.
+    seq_growth = by_key[(7, "switch-sequencer")][0] \
+        / by_key[(3, "switch-sequencer")][0]
+    pb_growth = by_key[(7, "primary-backup")][0] \
+        / by_key[(3, "primary-backup")][0]
+    assert seq_growth <= pb_growth + 0.05
+
+
+def test_e11_sequencer_orders_under_contention(benchmark):
+    """Correctness side: concurrent sequenced writes from different
+    clients apply in an identical order on every replica."""
+    from repro.distsem.consistency import ConsistencyLevel
+    from repro.distsem.network_order import SwitchSequencer
+    from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+    from repro.distsem.store import ReplicatedStore
+    from repro.hardware.devices import DeviceType
+    from repro.hardware.fabric import Location
+    from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+    def run():
+        dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+        placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+            10, "t", ReplicationPolicy(factor=3))
+        store = ReplicatedStore(
+            dc.sim, dc.fabric, "S", placement,
+            ConsistencyLevel.SEQUENTIAL,
+            sequencer=SwitchSequencer(dc.fabric, dc.switch_locations[0]),
+        )
+        clients = [Location(0, rack, 50) for rack in range(4)]
+
+        def client_writes(client, tag):
+            for index in range(5):
+                yield dc.sim.process(
+                    store.write(client, "hot-key", f"{tag}-{index}", 256)
+                )
+
+        drivers = [dc.sim.process(client_writes(c, f"c{i}"))
+                   for i, c in enumerate(clients)]
+        dc.sim.run(until_event=dc.sim.all_of(drivers))
+        return store
+
+    store = benchmark(run)
+    final_values = {replica.data["hot-key"] for replica in store.replicas}
+    assert len(final_values) == 1, "replicas diverged under contention"
+    assert all(r.next_sequence == 20 for r in store.replicas)

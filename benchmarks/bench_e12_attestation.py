@@ -1,0 +1,125 @@
+"""E12 — C13: what remote attestation can and cannot verify (§4).
+
+Runs a secure module under an honest provider and under providers that lie
+about different properties, and reports the detection outcome per
+property class.
+
+Expected shape: lies about *measured* properties (environment mechanism,
+single tenancy) are always caught; lies about *unmeasured* properties
+(resource amount, replication factor) are never caught — the paper's open
+problem, reproduced as a concrete blind spot.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.core.verify import verify_run
+from repro.execenv.attestation import Verifier
+from repro.execenv.environments import EnvKind
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=2)
+
+DEFINITION = {
+    "worker": {
+        "resource": {"device": "cpu", "amount": 4},
+        "execenv": {"env": "sgx-enclave", "single_tenant": True},
+    },
+    "vault": {"distributed": {"replication": 3}},
+}
+
+
+def build_app():
+    app = AppBuilder("attest")
+
+    @app.task(name="worker", work=1.0)
+    def worker(ctx):
+        return 1
+
+    vault = app.data("vault", size_gb=1)
+    app.writes("worker", vault)
+    return app.build()
+
+
+def run_scenario(dishonest_env=None, lie_amount=False, lie_replication=False):
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(build_app(), DEFINITION, dishonest_env=dishonest_env)
+    records = dict(result.records)
+    if lie_amount:
+        # Provider delivered less compute but *claims* the promised amount.
+        records["worker"] = dataclasses.replace(records["worker"], amount=4.0)
+        result.objects["worker"].allocations[0].amount = 1.0
+    if lie_replication:
+        # One replica quietly dropped; the claim stays at 3.
+        records["vault"] = dataclasses.replace(
+            records["vault"], replication_factor=3)
+    report = verify_run(result.objects, records,
+                        Verifier(runtime.root_of_trust))
+    return report
+
+
+def test_e12_attestation_coverage(benchmark):
+    honest = benchmark(run_scenario)
+
+    env_lie = run_scenario(dishonest_env={"worker": EnvKind.CONTAINER})
+    amount_lie = run_scenario(lie_amount=True)
+    replication_lie = run_scenario(lie_replication=True)
+
+    def verdict(report, prop):
+        checks = [c for c in report.checks if c.prop == prop]
+        return checks[0].status if checks else "-"
+
+    rows = [
+        ["env_kind (measured)", verdict(honest, "env_kind"),
+         verdict(env_lie, "env_kind"), "caught"],
+        ["single_tenant (measured)", verdict(honest, "single_tenant"),
+         verdict(env_lie, "single_tenant"), "caught"],
+        ["amount (NOT measured)", verdict(honest, "amount"),
+         verdict(amount_lie, "amount"), "NOT caught"],
+        ["replication (NOT measured)", verdict(honest, "replication"),
+         verdict(replication_lie, "replication"), "NOT caught"],
+    ]
+    print_table(
+        "E12 — attestation coverage: honest vs lying provider",
+        ["property", "honest verdict", "lying verdict", "expected"],
+        rows,
+    )
+
+    # Shapes: the measured/unmeasured split from §4.
+    assert verdict(honest, "env_kind") == "attested"
+    assert verdict(env_lie, "env_kind") == "violated"
+    assert verdict(env_lie, "single_tenant") == "violated"
+    # The blind spot: unmeasured lies verify as "trusted".
+    assert verdict(amount_lie, "amount") == "trusted"
+    assert verdict(replication_lie, "replication") == "trusted"
+    assert honest.ok
+    assert not env_lie.ok
+
+
+def test_e12_detection_rate_over_many_trials(benchmark):
+    """Detection is deterministic: 100% for measured lies, 0% for
+    unmeasured lies, across environment-mechanism choices."""
+
+    def trial_matrix():
+        caught_env = 0
+        caught_amount = 0
+        trials = 0
+        for fake in (EnvKind.CONTAINER, EnvKind.VM, EnvKind.MICRO_VM,
+                     EnvKind.UNIKERNEL):
+            env_report = run_scenario(dishonest_env={"worker": fake})
+            amount_report = run_scenario(lie_amount=True)
+            caught_env += int(not env_report.ok)
+            caught_amount += int(not amount_report.ok)
+            trials += 1
+        return trials, caught_env, caught_amount
+
+    trials, caught_env, caught_amount = benchmark(trial_matrix)
+    print(f"\nenv-swap lies caught: {caught_env}/{trials};  "
+          f"amount lies caught: {caught_amount}/{trials}")
+    assert caught_env == trials
+    assert caught_amount == 0

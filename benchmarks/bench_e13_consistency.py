@@ -1,0 +1,120 @@
+"""E13 — §3.4: consistency-level and operation-preference trade-offs.
+
+A replicated data module serves a mixed read/write workload from clients
+spread across racks, under each consistency level and under reader
+preference.
+
+Expected shape: write latency ordered sequential > release > eventual;
+reader preference cuts far-client read latency at the price of stale
+reads; sequential reads are never stale.
+"""
+
+import pytest
+
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+OPS = 60
+
+
+def run_workload(consistency, preference=OpPreference.NONE):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+        20, "t", ReplicationPolicy(factor=3))
+    store = ReplicatedStore(dc.sim, dc.fabric, "S", placement,
+                            consistency, preference)
+    clients = [Location(0, rack, 77) for rack in range(4)]
+
+    def driver():
+        for index in range(OPS):
+            client = clients[index % len(clients)]
+            if index % 3 == 0:
+                yield dc.sim.process(
+                    store.write(client, f"k{index % 5}", b"x" * 512, 512)
+                )
+                if consistency == ConsistencyLevel.RELEASE and index % 9 == 0:
+                    yield dc.sim.process(store.release(client))
+            else:
+                yield dc.sim.process(store.read(client, f"k{index % 5}"))
+
+    done = dc.sim.process(driver())
+    dc.sim.run(until_event=done)
+    return store.totals()
+
+
+def sweep():
+    rows = []
+    for consistency in ConsistencyLevel:
+        for preference in (OpPreference.NONE, OpPreference.READER):
+            totals = run_workload(consistency, preference)
+            rows.append((
+                consistency.value, preference.value,
+                totals["mean_write_latency_s"] * 1e6,
+                totals["mean_read_latency_s"] * 1e6,
+                int(totals["stale_reads"]),
+                int(totals["messages"]),
+            ))
+    return rows
+
+
+def test_e13_consistency_tradeoffs(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        f"E13 — consistency x preference under a mixed workload ({OPS} ops)",
+        ["consistency", "preference", "write lat (us)", "read lat (us)",
+         "stale reads", "messages"],
+        rows,
+    )
+    data = {(c, p): (w, r, stale, msgs) for c, p, w, r, stale, msgs in rows}
+
+    # Write latency strictly ordered by consistency strength.
+    seq_w = data[("sequential", "none")][0]
+    rel_w = data[("release", "none")][0]
+    evt_w = data[("eventual", "none")][0]
+    assert seq_w > rel_w > evt_w
+
+    # Sequential primary reads are never stale.
+    assert data[("sequential", "none")][2] == 0
+    # Reader preference trades latency for staleness under sequential.
+    assert data[("sequential", "reader")][1] \
+        < data[("sequential", "none")][1]
+    # Weaker levels expose staleness to readers somewhere in the sweep.
+    stale_total = sum(stale for (c, p), (_w, _r, stale, _m) in data.items()
+                      if c != "sequential" or p == "reader")
+    assert stale_total > 0
+
+    # Message cost tracks guarantees: sequential moves the most.
+    assert data[("sequential", "none")][3] >= data[("release", "none")][3]
+
+
+def test_e13_pod_level_vs_module_level_replication(benchmark):
+    """§3.4's Kubernetes critique, quantified: replicating at pod
+    granularity multiplies resources the user never asked to replicate."""
+    from repro.appmodel.annotations import AppBuilder
+    from repro.baselines.coarse import CoarseOrchestrator
+
+    def run():
+        app = AppBuilder("svc")
+        for name in ("frontend", "auth", "billing", "search", "cache",
+                     "indexer"):
+            @app.task(name=name, work=1.0)
+            def t(ctx):
+                return None
+        dag = app.build()
+        demand = {"frontend": 3, "cache": 2}  # only two modules need replicas
+        pods = CoarseOrchestrator(modules_per_pod=3).deploy(dag, demand)
+        coarse = CoarseOrchestrator.total_units(pods)
+        fine = CoarseOrchestrator.fine_grained_units(dag, demand)
+        return coarse, fine
+
+    coarse, fine = benchmark(run)
+    print(f"\npod-level replication: {coarse['cpu']:.0f} cpu units;  "
+          f"module-level (UDC): {fine['cpu']:.0f} cpu units;  "
+          f"overhead {coarse['cpu'] / fine['cpu']:.2f}x")
+    assert coarse["cpu"] > fine["cpu"] * 1.3

@@ -1,0 +1,114 @@
+"""E14 — §3.4: failure-handling strategies (re-execute vs checkpoint).
+
+A long-running module is killed at varying progress points and recovered
+under each user-selectable strategy.  Reported: end-to-end makespan, the
+checkpoint overhead paid while healthy, and recovered progress.
+
+Expected shape: rerun's makespan grows with the failure point (all work
+lost); checkpoint-restore's stays near the no-failure baseline plus one
+interval; the crossover favors checkpointing for anything but very early
+failures.  Failure-free runs show checkpointing's overhead as the premium.
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+WORK = 100.0  # seconds of compute on 1 CPU core
+SPEC = DatacenterSpec(pods=1, racks_per_pod=2)
+
+
+def long_app():
+    app = AppBuilder("long-job")
+
+    @app.task(name="job", work=WORK, state_bytes=64 << 20)
+    def job(ctx):
+        return "done"
+
+    return app.build()
+
+
+def run_case(strategy: str, fail_at=None):
+    if strategy == "checkpoint":
+        definition = {"job": {"resource": {"device": "cpu", "amount": 1},
+                              "distributed": {"checkpoint": True,
+                                              "checkpoint_interval": 0.1}}}
+    else:
+        definition = {"job": {"resource": {"device": "cpu", "amount": 1},
+                              "distributed": {"recovery": strategy}}}
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    plan = [(fail_at, "fd:job")] if fail_at is not None else None
+    result = runtime.run(long_app(), definition, failure_plan=plan)
+    return result
+
+
+def sweep():
+    rows = []
+    for fail_frac in (None, 0.25, 0.5, 0.9):
+        fail_at = None if fail_frac is None else fail_frac * WORK + 1.0
+        rerun = run_case("rerun", fail_at)
+        ckpt = run_case("checkpoint", fail_at)
+        rows.append((
+            "none" if fail_frac is None else f"{fail_frac:.0%}",
+            rerun.makespan_s,
+            ckpt.makespan_s,
+            ckpt.objects["job"].record.checkpoint_s,
+            ckpt.objects["job"].record.recovered_from_progress,
+        ))
+    return rows
+
+
+def test_e14_failure_strategies(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        f"E14 — recovery strategy vs failure point ({WORK:.0f}s job, "
+        f"10% checkpoint interval)",
+        ["failure at", "rerun makespan_s", "ckpt makespan_s",
+         "ckpt overhead_s", "resumed from"],
+        rows,
+    )
+    by_point = {row[0]: row for row in rows}
+
+    # Failure-free: checkpointing costs a premium, rerun is free.
+    assert by_point["none"][2] > by_point["none"][1]
+    assert by_point["none"][3] > 0
+
+    # Late failure: checkpointing wins big (rerun loses ~90 s).
+    assert by_point["90%"][1] > by_point["90%"][2] + 30
+    # Resumed from a late snapshot (checkpoint overhead delays chunk
+    # completion slightly, so the last snapshot may be the 80% one).
+    assert by_point["90%"][4] >= 0.75
+
+    # Rerun makespan grows with the failure point; checkpoint stays flat.
+    rerun_curve = [by_point[k][1] for k in ("25%", "50%", "90%")]
+    assert rerun_curve == sorted(rerun_curve)
+    ckpt_curve = [by_point[k][2] for k in ("25%", "50%", "90%")]
+    assert max(ckpt_curve) - min(ckpt_curve) < 0.3 * WORK
+
+
+def test_e14_standby_failover_beats_reallocation(benchmark):
+    """Task replication (Table 1's A4 row): a hot standby removes the
+    re-allocation step on failover."""
+
+    def run():
+        with_standby = UDCRuntime(build_datacenter(SPEC)).run(
+            long_app(),
+            {"job": {"resource": {"device": "cpu", "amount": 1},
+                     "distributed": {"replication": 2, "checkpoint": True,
+                                     "checkpoint_interval": 0.1}}},
+            failure_plan=[(51.0, "fd:job")],
+        )
+        return with_standby
+
+    result = benchmark(run)
+    events = result.telemetry.events_of("failover-standby")
+    print(f"\nfailover events: {[e.detail for e in events]}; "
+          f"makespan {result.makespan_s:.1f}s")
+    assert events, "standby failover did not engage"
+    assert result.outputs["job"] == "done"
+    # Standby costs money: two compute allocations were billed.
+    assert result.row("job").cost > 0

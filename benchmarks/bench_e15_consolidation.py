@@ -1,0 +1,138 @@
+"""E15 — §2: multi-tenant consolidation on the shared UDC runtime.
+
+The provider-side half of the economics argument: *"without resource
+wastes, providers could potentially consolidate more applications to the
+same amount of computing resources and shutting down the remaining ones."*
+
+N tenants submit the same mixed application concurrently.  Compared:
+
+* **dedicated** — each tenant gets their own datacenter (today's
+  capacity-planning-per-customer);
+* **consolidated** — all tenants share one datacenter of the same size,
+  contending through the scheduler.
+
+Expected shape: consolidated peak pool usage ≈ dedicated single-tenant
+usage × N, but against 1× the hardware instead of N× — so the provider
+powers a fraction of the devices; tenant makespans stay close to solo.
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+TENANTS = 6
+SPEC = DatacenterSpec(pods=2, racks_per_pod=4)
+
+
+def tenant_app(tag: str):
+    app = AppBuilder(f"app-{tag}")
+
+    @app.task(name="web", work=5.0)
+    def web(ctx):
+        return None
+
+    @app.task(name="batch", work=20.0)
+    def batch(ctx):
+        return None
+
+    store = app.data("state", size_gb=8)
+    app.flows("web", "batch", bytes_=1 << 20)
+    app.writes("batch", store, bytes_per_run=1 << 20)
+    return app.build()
+
+
+DEFINITION = {
+    "web": {"resource": {"device": "cpu", "amount": 2, "mem_gb": 8}},
+    "batch": {"resource": {"device": "cpu", "amount": 4, "mem_gb": 16}},
+    "state": {"resource": "ssd", "distributed": {"replication": 2}},
+}
+
+
+def devices_in_use(datacenter) -> int:
+    return sum(1 for d in datacenter.devices if d.allocations)
+
+
+def run_consolidated():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    for index in range(TENANTS):
+        runtime.submit(tenant_app(str(index)), DEFINITION,
+                       tenant=f"tenant-{index}")
+    peak_devices = devices_in_use(runtime.datacenter)
+    peak_cpu = runtime.datacenter.pool(DeviceType.CPU).total_used
+    results = runtime.drain()
+    return results, peak_devices, peak_cpu
+
+
+def run_dedicated():
+    makespans, devices, cpu_used = [], 0, 0.0
+    for index in range(TENANTS):
+        runtime = UDCRuntime(build_datacenter(SPEC))
+        runtime.submit(tenant_app(str(index)), DEFINITION,
+                       tenant=f"tenant-{index}")
+        devices += devices_in_use(runtime.datacenter)
+        cpu_used += runtime.datacenter.pool(DeviceType.CPU).total_used
+        results = runtime.drain()
+        makespans.append(results[0].makespan_s)
+    return makespans, devices, cpu_used
+
+
+def test_e15_consolidation(benchmark):
+    (consolidated, peak_devices, peak_cpu) = benchmark(run_consolidated)
+    dedicated_makespans, dedicated_devices, dedicated_cpu = run_dedicated()
+
+    total_devices = len(build_datacenter(SPEC).devices)
+    rows = [
+        ["dedicated (one DC per tenant)",
+         TENANTS * total_devices, dedicated_devices, dedicated_cpu,
+         max(dedicated_makespans)],
+        ["consolidated (shared DC)",
+         total_devices, peak_devices, peak_cpu,
+         max(r.makespan_s for r in consolidated)],
+    ]
+    print_table(
+        f"E15 — {TENANTS} tenants: dedicated vs consolidated",
+        ["deployment", "devices provisioned", "devices active",
+         "cpu units in use", "worst makespan_s"],
+        rows,
+    )
+    provisioned_saving = 1 - total_devices / (TENANTS * total_devices)
+    print(f"\nprovider hardware provisioned: -{provisioned_saving:.0%} "
+          f"under consolidation")
+
+    # Shapes.
+    assert len(consolidated) == TENANTS
+    assert all(r.total_failures == 0 for r in consolidated)
+    # Same aggregate demand served by 1/N of the provisioned hardware.
+    assert peak_cpu == pytest.approx(dedicated_cpu, rel=0.01)
+    # Tenants barely notice each other (pools have headroom).
+    solo = max(dedicated_makespans)
+    worst = max(r.makespan_s for r in consolidated)
+    assert worst <= solo * 1.25
+    # Active devices shared, not duplicated per tenant.
+    assert peak_devices < dedicated_devices
+
+
+def test_e15_per_tenant_cost_unchanged(benchmark):
+    """Pay-per-use: consolidation changes the provider's costs, not the
+    tenant's bill."""
+
+    def both():
+        shared = UDCRuntime(build_datacenter(SPEC))
+        for index in range(3):
+            shared.submit(tenant_app(str(index)), DEFINITION,
+                          tenant=f"t{index}")
+        shared_costs = [r.total_cost for r in shared.drain()]
+        solo_runtime = UDCRuntime(build_datacenter(SPEC))
+        solo_cost = solo_runtime.run(tenant_app("solo"), DEFINITION).total_cost
+        return shared_costs, solo_cost
+
+    shared_costs, solo_cost = benchmark(both)
+    print(f"\nshared-tenancy bills: {[round(c, 6) for c in shared_costs]} "
+          f"vs solo {solo_cost:.6f}")
+    for cost in shared_costs:
+        assert cost == pytest.approx(solo_cost, rel=0.05)

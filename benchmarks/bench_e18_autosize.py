@@ -1,0 +1,130 @@
+"""E18 — §3.2: dry-run profiling as a resource-aspect oracle.
+
+The paper's sizing pipeline — developer candidates → dry runs → resource
+aspects — against the two naive alternatives a tenant actually has today:
+accept provider defaults, or hand-overprovision everything "to be safe".
+
+The same 6-task application runs under all three definitions plus the
+latency-targeted autosize.  Expected shape: autosize(cost) matches the
+cheapest bill at moderate latency; autosize(latency) meets the deadline
+the cheap configs miss; overprovisioning buys little speed for much money
+(its parallelism-capped tasks cannot use the extra units).
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.autosize import autosize
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+
+def analytics_app():
+    app = AppBuilder("analytics")
+    stages = [
+        ("ingest", 6.0, {DeviceType.CPU}, 4),
+        ("clean", 10.0, {DeviceType.CPU}, 2),
+        ("join", 16.0, {DeviceType.CPU}, 4),
+        ("featurize", 20.0, {DeviceType.CPU, DeviceType.GPU}, None),
+        ("train", 120.0, {DeviceType.CPU, DeviceType.GPU}, None),
+        ("report", 4.0, {DeviceType.CPU}, 1),
+    ]
+    previous = None
+    for name, work, devices, cap in stages:
+        @app.task(name=name, work=work, devices=devices, max_parallelism=cap)
+        def stage(ctx):
+            return None
+
+        if previous:
+            app.flows(previous, name, bytes_=4 << 20)
+        previous = name
+    return app.build()
+
+
+def overprovisioned_definition(dag):
+    return {
+        task.name: {
+            "resource": {
+                "device": ("gpu" if DeviceType.GPU in task.device_candidates
+                           else "cpu"),
+                "amount": 8,
+            }
+        }
+        for task in dag.tasks
+    }
+
+
+def run_under(definition, tuning=False):
+    runtime = UDCRuntime(build_datacenter(SPEC), tuning=tuning)
+    result = runtime.run(analytics_app(), definition)
+    return result
+
+
+def sweep():
+    dag = analytics_app()
+    cases = [
+        ("provider defaults", None),
+        ("hand-overprovisioned (8 units each)",
+         overprovisioned_definition(dag)),
+        ("autosize(cost)", autosize(dag, optimize="cost")),
+        ("autosize(latency=30s)", autosize(dag, end_to_end_latency_s=30.0)),
+    ]
+    rows = []
+    for label, definition in cases:
+        result = run_under(definition)
+        rows.append((label, result.makespan_s, result.total_cost))
+    return rows
+
+
+def test_e18_autosize_quality(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        "E18 — sizing strategies for the same 6-stage analytics app",
+        ["definition", "makespan_s", "cost_$"],
+        rows,
+    )
+    by = {row[0]: row for row in rows}
+
+    defaults = by["provider defaults"]
+    over = by["hand-overprovisioned (8 units each)"]
+    cost_sized = by["autosize(cost)"]
+    latency_sized = by["autosize(latency=30s)"]
+
+    # The latency-targeted sizing meets its deadline; cheap configs miss it.
+    assert latency_sized[1] <= 30.0 * 1.25  # startup/transfer slack
+    assert defaults[1] > 30.0
+
+    # Cost-optimized autosizing is in the same price class as defaults
+    # and far below overprovisioning.
+    assert cost_sized[2] <= defaults[2] * 1.5
+    assert cost_sized[2] < over[2] / 3
+
+    # Overprovisioning wastes: parallelism-capped stages can't use 8 units,
+    # so its speedup-per-dollar is terrible vs the latency-sized config.
+    over_value = (defaults[1] - over[1]) / max(over[2] - defaults[2], 1e-9)
+    sized_value = (defaults[1] - latency_sized[1]) / max(
+        latency_sized[2] - defaults[2], 1e-9)
+    assert sized_value > over_value
+
+
+def test_e18_tuner_rescues_overprovisioning(benchmark):
+    """Even a badly-sized definition converges: the tuner claws back
+    what the profiler would have never allocated."""
+
+    def run():
+        dag = analytics_app()
+        off = run_under(overprovisioned_definition(dag), tuning=False)
+        on = run_under(overprovisioned_definition(dag), tuning=True)
+        return off, on
+
+    off, on = benchmark(run)
+    print(f"\noverprovisioned: ${off.total_cost:.5f} untuned vs "
+          f"${on.total_cost:.5f} tuned "
+          f"({1 - on.total_cost / off.total_cost:.0%} reclaimed)")
+    assert on.total_cost < off.total_cost
+    assert on.makespan_s == pytest.approx(off.makespan_s, rel=0.05)

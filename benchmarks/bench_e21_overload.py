@@ -1,0 +1,106 @@
+"""E21 — overload: the admission queue under sustained excess demand.
+
+The fine-grained pay-per-use model only works if the control plane
+degrades gracefully when demand exceeds capacity: arrivals must wait for
+releases, not crash, and the queue must drain once the burst passes.
+
+A burst of GPU jobs arrives at a small datacenter that can run only two
+at a time.  Expected shape: all jobs eventually complete in arrival
+order; queue waits grow roughly linearly with queue position (the
+classic single-server backlog ramp); a genuinely oversized job reports
+``unplaceable`` without disturbing the rest.
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+#: 4 GPU boards of 8 = 32 GPUs; each job wants 16 -> 2 concurrent jobs
+SPEC = DatacenterSpec(
+    pods=1, racks_per_pod=2,
+    devices_per_rack={DeviceType.CPU: 2, DeviceType.GPU: 2,
+                      DeviceType.DRAM: 1, DeviceType.SSD: 1},
+)
+N_JOBS = 8
+JOB_SECONDS = 30.0
+
+
+def gpu_job(name):
+    app = AppBuilder(name)
+
+    @app.task(name="train", work=JOB_SECONDS * 40.0 * 16,
+              devices={DeviceType.GPU})
+    def train(ctx):
+        return name
+
+    return app.build(), {"train": {"resource": {"device": "gpu",
+                                                "amount": 16}}}
+
+
+def run_burst():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    submissions = []
+    for index in range(N_JOBS):
+        dag, spec = gpu_job(f"job{index}")
+        submissions.append(
+            runtime.submit(dag, spec, tenant=f"t{index}", queue_if_full=True)
+        )
+    results = runtime.drain()
+    return runtime, submissions, results
+
+
+def test_e21_overload(benchmark):
+    runtime, submissions, results = benchmark(run_burst)
+
+    rows = [
+        (index, submission.status, submission.queue_wait_s,
+         submission.submitted_at,
+         submission.finished_at - submission.submitted_at)
+        for index, submission in enumerate(submissions)
+    ]
+    print_table(
+        f"E21 — {N_JOBS} x 16-GPU jobs hitting a 32-GPU datacenter",
+        ["job", "status", "queue wait_s", "started_s", "ran_s"],
+        rows,
+    )
+
+    # All complete, in arrival order.
+    assert all(s.status == "done" for s in submissions)
+    starts = [s.submitted_at for s in submissions]
+    assert starts == sorted(starts)
+    # Two ran immediately; the rest queued.
+    immediate = [s for s in submissions if s.queue_wait_s == 0]
+    assert len(immediate) == 2
+    # Backlog ramp: each queued wave waits ~one job-length more.
+    waits = [s.queue_wait_s for s in submissions]
+    for wave in range(1, N_JOBS // 2):
+        expected = wave * JOB_SECONDS
+        for submission in submissions[2 * wave:2 * wave + 2]:
+            assert submission.queue_wait_s == pytest.approx(expected, rel=0.1)
+    # No capacity leaked across the burst.
+    assert runtime.datacenter.pool(DeviceType.GPU).total_used == 0.0
+
+
+def test_e21_oversized_job_does_not_wedge_queue(benchmark):
+    def run():
+        runtime = UDCRuntime(build_datacenter(SPEC))
+        too_big_dag, too_big_spec = gpu_job("gigantic")
+        too_big_spec["train"]["resource"]["amount"] = 64  # > 32 total
+        giant = runtime.submit(too_big_dag, too_big_spec, tenant="giant",
+                               queue_if_full=True)
+        normal_dag, normal_spec = gpu_job("normal")
+        normal = runtime.submit(normal_dag, normal_spec, tenant="normal",
+                                queue_if_full=True)
+        runtime.drain()
+        return giant, normal
+
+    giant, normal = benchmark(run)
+    print(f"\ngiant: {giant.status}; normal: {normal.status} "
+          f"(wait {normal.queue_wait_s:.1f}s)")
+    assert giant.status == "unplaceable"
+    assert normal.status == "done"

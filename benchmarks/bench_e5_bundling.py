@@ -1,0 +1,86 @@
+"""E5 — C7: secure-env cold starts vs vertical bundling (Principle 3, §3.3).
+
+A chain of N fine-grained modules, each demanding a strong (attestable)
+environment.  §3.3's worry: *"(cold) starting many environments for many
+modules can significantly slow down the entire application."*  Principle
+3's answer: pre-assembled resource units in a warm pool.
+
+Reported: makespan and aggregate startup time with bundling off/on, across
+chain lengths.  Expected shape: cold startup grows linearly with N and
+dominates the makespan; bundling removes most of it.
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.execenv.warmpool import WarmPool
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+
+def chain_app(n_modules: int):
+    app = AppBuilder(f"chain-{n_modules}")
+    previous = None
+    for index in range(n_modules):
+        @app.task(name=f"m{index}", work=1.0)
+        def module(ctx):
+            return None
+
+        if previous is not None:
+            app.flows(previous, f"m{index}", bytes_=1 << 16)
+        previous = f"m{index}"
+    return app.build()
+
+
+def run_chain(n_modules: int, bundling: bool):
+    dag = chain_app(n_modules)
+    definition = {
+        f"m{i}": {"execenv": {"env": "sgx-enclave"}}
+        for i in range(n_modules)
+    }
+    runtime = UDCRuntime(
+        build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4)),
+        warm_pool=WarmPool(enabled=bundling, target_depth=n_modules),
+        prewarm=bundling,
+    )
+    return runtime.run(dag, definition)
+
+
+def sweep():
+    rows = []
+    for n in (2, 4, 8, 16):
+        cold = run_chain(n, bundling=False)
+        warm = run_chain(n, bundling=True)
+        rows.append((
+            n,
+            cold.makespan_s, cold.total_startup_s,
+            warm.makespan_s, warm.total_startup_s,
+            cold.makespan_s / warm.makespan_s,
+        ))
+    return rows
+
+
+def test_e5_bundling(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        "E5 — secure cold starts vs vertically-bundled warm units",
+        ["modules", "cold makespan_s", "cold startup_s",
+         "warm makespan_s", "warm startup_s", "speedup (x)"],
+        rows,
+    )
+
+    for n, cold_mk, cold_start, warm_mk, warm_start, speedup in rows:
+        # Cold startup ~ n x 2 s (SGX cold start), warm ~ n x 0.05 s.
+        assert cold_start == pytest.approx(n * 2.0, rel=0.05)
+        assert warm_start == pytest.approx(n * 0.05, rel=0.05)
+        assert speedup > 2.0
+    # Startup share of cold makespan grows with chain depth: the paper's
+    # "significantly slow down the entire application".
+    first = rows[0]
+    last = rows[-1]
+    assert last[2] / last[1] >= first[2] / first[1] * 0.9
+    # Warm-pool hit accounting adds up.
+    warm = run_chain(8, bundling=True)
+    assert warm.warm_hits == 8 and warm.warm_misses == 0

@@ -1,0 +1,108 @@
+"""E6 — C8: locality hints guide compute/data placement (§3.1, §3.2).
+
+A data-hungry pipeline (each stage reads a large data module) placed with
+the locality-aware scheduler vs with locality scoring disabled.  Reported:
+cross-rack bytes on the fabric and pipeline makespan.
+
+Expected shape: locality placement moves far fewer bytes across racks and
+finishes faster; co-located stages (the paper's A1~A2 example) exchange
+their intermediate data rack-locally.
+"""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+from _util import print_table
+
+MB = 1 << 20
+#: many racks so that a locality-oblivious placement is usually remote
+SPEC = DatacenterSpec(pods=2, racks_per_pod=4)
+
+
+def data_heavy_app():
+    app = AppBuilder("locality")
+
+    @app.task(name="extract", work=2.0)
+    def extract(ctx):
+        return None
+
+    @app.task(name="transform", work=2.0)
+    def transform(ctx):
+        return None
+
+    dataset = app.data("dataset", size_gb=40.0, hot=False)
+    staging = app.data("staging", size_gb=10.0, hot=False)
+    app.reads("extract", dataset, bytes_per_run=512 * MB)
+    app.writes("extract", staging, bytes_per_run=256 * MB)
+    app.reads("transform", staging, bytes_per_run=256 * MB)
+    return app.build()
+
+
+DEFINITION = {
+    "dataset": {"resource": "ssd"},
+    "staging": {"resource": "ssd"},
+}
+
+
+def run_once(use_locality: bool):
+    runtime = UDCRuntime(build_datacenter(SPEC), use_locality=use_locality)
+    result = runtime.run(data_heavy_app(), DEFINITION)
+    stats = runtime.datacenter.fabric.stats
+    return result, stats
+
+
+def compare():
+    with_locality, stats_local = run_once(True)
+    without, stats_remote = run_once(False)
+    return [
+        ("locality-aware", with_locality.makespan_s,
+         stats_local.bytes_cross_rack / MB, stats_local.bytes_total / MB),
+        ("locality-oblivious", without.makespan_s,
+         stats_remote.bytes_cross_rack / MB, stats_remote.bytes_total / MB),
+    ]
+
+
+def test_e6_locality(benchmark):
+    rows = benchmark(compare)
+    print_table(
+        "E6 — locality-aware vs oblivious placement",
+        ["scheduler", "makespan_s", "cross-rack MB", "total MB"],
+        rows,
+    )
+    aware, oblivious = rows
+    assert aware[2] < oblivious[2], "locality must cut cross-rack traffic"
+    assert aware[1] <= oblivious[1] * 1.001
+
+
+def test_e6_colocation_keeps_exchange_local(benchmark):
+    """The paper's A1~A2 example: co-located stages exchange data with
+    zero fabric hops (same device)."""
+
+    def run():
+        app = AppBuilder("coloc")
+
+        @app.task(name="a1", work=1.0, output_bytes=64 * MB)
+        def a1(ctx):
+            return None
+
+        @app.task(name="a2", work=1.0)
+        def a2(ctx):
+            return None
+
+        app.flows("a1", "a2", bytes_=64 * MB)
+        app.colocate("a1", "a2")
+        runtime = UDCRuntime(build_datacenter(SPEC))
+        result = runtime.run(app.build(), None)
+        return result, runtime.datacenter.fabric.stats
+
+    result, stats = benchmark(run)
+    print(f"\nco-located exchange: {stats.by_hop} "
+          f"(64 MB stage transfer never crosses a rack)")
+    assert stats.bytes_cross_rack == 0
+    a1_dev = result.objects["a1"].primary_allocation.device
+    a2_dev = result.objects["a2"].primary_allocation.device
+    assert a1_dev is a2_dev

@@ -1,0 +1,79 @@
+"""E8 — C5: the cloud DevOps matrix from hell (§1, §2).
+
+Grows a cloud ecosystem year by year (new services, new hardware/software
+features) and accumulates development cost under the provider-dictated
+model (every service x feature pair integrated) vs UDC's decoupled layers
+(one-time infrastructure + per-item cost).
+
+Expected shape: matrix cost grows superlinearly and the decoupled curve —
+despite its upfront investment — crosses below it within the first years,
+ending several x cheaper over a decade.
+"""
+
+import pytest
+
+from repro.economics.devops_matrix import (
+    decoupled_cost,
+    matrix_cost,
+    sweep_growth,
+)
+
+from _util import print_table
+
+
+def test_e8_devops_matrix(benchmark):
+    scenario = benchmark(sweep_growth, horizon_years=10)
+
+    print_table(
+        "E8 — cumulative development cost (engineer-weeks)",
+        ["year", "services", "features", "matrix (provider-dictated)",
+         "decoupled (UDC)", "ratio"],
+        [
+            (y, s, f, m, d, m / d)
+            for y, s, f, m, d in zip(
+                scenario.years, scenario.services, scenario.features,
+                scenario.matrix, scenario.decoupled,
+            )
+        ],
+    )
+    print(f"\ncrossover year: {scenario.crossover_year}")
+
+    # Shapes.
+    assert 0 <= scenario.crossover_year <= 3
+    assert scenario.matrix[-1] / scenario.decoupled[-1] > 3
+    # Matrix growth accelerates; decoupled growth is constant per year.
+    matrix_deltas = [b - a for a, b in zip(scenario.matrix,
+                                           scenario.matrix[1:])]
+    assert all(later >= earlier for earlier, later
+               in zip(matrix_deltas, matrix_deltas[1:]))
+    decoupled_deltas = {
+        round(b - a, 6)
+        for a, b in zip(scenario.decoupled, scenario.decoupled[1:])
+    }
+    assert len(decoupled_deltas) == 1
+
+
+def test_e8_marginal_feature_cost(benchmark):
+    """The per-change view: what one new feature costs to ship at a given
+    ecosystem size — the exact pain §1 describes."""
+
+    def marginal():
+        rows = []
+        for services in (10, 25, 50, 100):
+            matrix_marginal = matrix_cost(services, 11) - matrix_cost(services, 10)
+            udc_marginal = decoupled_cost(services, 11) - decoupled_cost(services, 10)
+            rows.append((services, matrix_marginal, udc_marginal,
+                         matrix_marginal / udc_marginal))
+        return rows
+
+    rows = benchmark(marginal)
+    print_table(
+        "E8 — cost of shipping ONE new feature",
+        ["existing services", "matrix", "decoupled", "ratio"],
+        rows,
+    )
+    # Matrix marginal cost grows with the service count; UDC's does not.
+    matrix_costs = [r[1] for r in rows]
+    assert matrix_costs == sorted(matrix_costs)
+    assert len({r[2] for r in rows}) == 1
+    assert rows[-1][3] > rows[0][3]

@@ -1,0 +1,95 @@
+"""E9 — C10: higher unit price, lower total cost (§2, §4).
+
+Feeds the *measured* inputs from this repo's other experiments — the E1
+waste fraction and the E2 consolidation gain — into the pricing model and
+sweeps the unit-price multiplier, reporting user saving and provider
+profit change at each point.
+
+Expected shape: a non-empty win-win window; the paper's qualitative claim
+("increase the unit price ... still offers users a lower total cost")
+holds for every multiplier inside it.
+"""
+
+import pytest
+
+from repro.baselines.iaas import IaasCloud
+from repro.economics.pricing import pricing_window
+from repro.hardware.catalog import default_catalog
+from repro.hardware.server import ServerCluster, ServerSpec
+from repro.workloads.generators import heterogeneous_mix, skewed_demands
+
+from _util import print_table
+
+
+def measured_inputs():
+    """Waste from the E1 mix; consolidation gain from the E2 skew point."""
+    mix = heterogeneous_mix(400, seed=11)
+    cloud = IaasCloud(default_catalog()).provision_all(mix.demands)
+    waste = cloud.mean_waste_fraction
+
+    demands = skewed_demands(400, cpu_heavy_fraction=0.1, seed=2).demands
+    cluster = ServerCluster(ServerSpec(cpus=32, mem_gb=128))
+    cluster.pack(list(demands))
+    server_util = cluster.demanded_utilization()
+    gain = 0.97 / server_util  # pools pack to ~97% (E2)
+    return waste, gain
+
+
+def test_e9_pricing_window(benchmark):
+    waste, gain = benchmark(measured_inputs)
+    window = pricing_window(waste_fraction=waste, consolidation_gain=gain)
+
+    rows = []
+    for multiplier in (1.0, 1.1, window.provider_breakeven, window.midpoint,
+                       window.user_breakeven, 1.8):
+        rows.append((
+            multiplier,
+            window.user_saving_at(multiplier),
+            window.provider_profit_gain_at(multiplier),
+            "win-win" if (window.user_saving_at(multiplier) > 1e-9
+                          and window.provider_profit_gain_at(multiplier) > 1e-9)
+            else "-",
+        ))
+    print_table(
+        f"E9 — unit-price multiplier sweep "
+        f"(measured waste={waste:.3f}, consolidation={gain:.2f}x)",
+        ["multiplier", "user saving", "provider profit delta", "verdict"],
+        rows,
+    )
+    print(f"\nwin-win window: ({window.provider_breakeven:.3f}, "
+          f"{window.user_breakeven:.3f}), width {window.width:.3f}")
+
+    # Shapes.
+    assert window.exists, "no win-win window at measured parameters"
+    assert window.width > 0.2
+    mid = window.midpoint
+    assert mid > 1.0, "the win-win price is a genuine unit-price INCREASE"
+    assert window.user_saving_at(mid) > 0
+    assert window.provider_profit_gain_at(mid) > 0
+    # Outside the window someone loses.
+    assert window.provider_profit_gain_at(window.provider_breakeven - 0.05) < 0
+    assert window.user_saving_at(window.user_breakeven + 0.05) < 0
+
+
+def test_e9_window_sensitivity(benchmark):
+    """The window exists across the plausible parameter neighborhood and
+    widens with waste and consolidation."""
+
+    def sweep():
+        rows = []
+        for waste in (0.25, 0.35, 0.45):
+            for gain in (1.5, 2.0, 2.5):
+                window = pricing_window(waste, gain)
+                rows.append((waste, gain, window.provider_breakeven,
+                             window.user_breakeven, window.width))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table(
+        "E9 — window sensitivity",
+        ["waste", "gain", "provider breakeven", "user breakeven", "width"],
+        rows,
+    )
+    widths = {(w, g): width for w, g, _pb, _ub, width in rows}
+    assert all(width > 0 for width in widths.values())
+    assert widths[(0.45, 2.5)] > widths[(0.25, 1.5)]

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""The actor programming model (paper §3.1) with journaled recovery.
+
+§3.1 proposes the Actor framework as a natural fit for UDC modules:
+actors communicate only by messages (efficient on disaggregated hardware)
+and *"messages could be reliably recorded for faster recovery"*.
+
+This example builds a fraud-screening pipeline of three actors placed on
+different racks — ingest → score → ledger — streams transactions through
+it, then kills the stateful ledger actor and rebuilds its state purely
+from the message journal.
+
+Run:  python examples/actor_pipeline.py
+"""
+
+from repro.appmodel.actor import ActorSystem
+from repro.hardware.fabric import Fabric, Location
+from repro.simulator import Simulator
+
+
+def make_behaviors(system):
+    def ingest(actor, message):
+        """Validate and forward each raw transaction."""
+        txn = dict(message)
+        txn["validated"] = txn.get("amount", 0) >= 0
+        actor.tell(system.actor("score").ref, txn)
+
+    def score(actor, message):
+        """Heuristic fraud scoring; timed work on the simulator clock."""
+
+        def job():
+            yield system.sim.timeout(0.002)  # model inference time
+            risky = message["amount"] > 900 or not message["validated"]
+            actor.tell(
+                system.actor("ledger").ref,
+                {**message, "flagged": risky},
+            )
+
+        return job()
+
+    def ledger(actor, message):
+        """Stateful aggregation: totals and flags per account."""
+        state = actor.state.setdefault(
+            "accounts", {}
+        ).setdefault(message["account"], {"total": 0, "flags": 0})
+        state["total"] += message["amount"]
+        if message["flagged"]:
+            state["flags"] += 1
+
+    return ingest, score, ledger
+
+
+def main():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    system = ActorSystem(sim, fabric=fabric)
+    ingest, score, ledger = make_behaviors(system)
+
+    # Each actor is a module that could live on its own resource unit:
+    # place them on three different racks.
+    ingest_ref = system.spawn("ingest", ingest, location=Location(0, 0, 1))
+    system.spawn("score", score, location=Location(0, 1, 1))
+    system.spawn("ledger", ledger, location=Location(0, 2, 1))
+
+    transactions = [
+        {"account": "acct-1", "amount": 120},
+        {"account": "acct-2", "amount": 950},
+        {"account": "acct-1", "amount": 40},
+        {"account": "acct-3", "amount": -5},
+        {"account": "acct-2", "amount": 20},
+    ]
+    for txn in transactions:
+        ingest_ref.tell(txn)
+    sim.run()
+
+    books = system.actor("ledger").state["accounts"]
+    print("ledger after the stream:")
+    for account, state in sorted(books.items()):
+        print(f"  {account}: total={state['total']}, flags={state['flags']}")
+    assert books["acct-2"]["flags"] == 1      # the 950 transaction
+    assert books["acct-3"]["flags"] == 1      # the negative one
+
+    # -- the ledger actor dies; rebuild it from the journal (§3.1)
+    print(f"\njournal holds {len(system.journal)} messages; "
+          f"killing 'ledger' and replaying its "
+          f"{len(system.replay_for('ledger'))} inbound messages...")
+    system.respawn_from_journal("ledger", ledger,
+                                location=Location(0, 3, 1))
+    sim.run()
+    recovered = system.actor("ledger").state["accounts"]
+    assert recovered == books
+    print("recovered ledger identical to pre-failure state")
+
+    # New traffic lands on the recovered actor seamlessly.
+    ingest_ref.tell({"account": "acct-1", "amount": 10})
+    sim.run()
+    assert system.actor("ledger").state["accounts"]["acct-1"]["total"] == 170
+    print("post-recovery traffic applied: acct-1 total = 170")
+    print("\nactor pipeline OK")
+
+
+if __name__ == "__main__":
+    main()

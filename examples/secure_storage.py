@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""User-defined security and distributed semantics for a data service.
+
+A financial-records service (one of §1's niche-domain users) stores
+account data with *user-chosen* guarantees and demonstrates, live:
+
+* sequential-consistency reads are never stale while eventual reads can
+  be (a measured staleness window);
+* encryption + integrity + replay protection on data leaving the store —
+  and an actual tamper/replay attack being caught;
+* in-network (switch-sequencer) write ordering vs primary-backup latency.
+
+Run:  python examples/secure_storage.py
+"""
+
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.network_order import OrderingScheme, SwitchSequencer, \
+    run_ordered_writes
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.execenv.protection import (
+    IntegrityError,
+    ProtectionPolicy,
+    SecureChannel,
+)
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+
+def build_store(consistency, sequencer=False):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+        50, "bank", ReplicationPolicy(factor=3))
+    seq = SwitchSequencer(dc.fabric, dc.switch_locations[0]) \
+        if sequencer else None
+    store = ReplicatedStore(dc.sim, dc.fabric, "accounts", placement,
+                            consistency, OpPreference.READER, sequencer=seq)
+    return dc, store
+
+
+def staleness_demo():
+    print("-- consistency contracts, observed --")
+    for level in (ConsistencyLevel.SEQUENTIAL, ConsistencyLevel.EVENTUAL,
+                  ConsistencyLevel.RELEASE):
+        dc, store = build_store(level)
+        client = Location(0, 0, 9)
+        far_client = store.backups[-1].location
+
+        def scenario():
+            yield dc.sim.process(
+                store.write(client, "acct-1", b"balance=100", 512))
+            yield dc.sim.process(
+                store.write(client, "acct-1", b"balance=250", 512))
+            value, stats = yield dc.sim.process(
+                store.read(far_client, "acct-1"))
+            return value, stats
+
+        process = dc.sim.process(scenario())
+        value, stats = dc.sim.run(until_event=process)
+        print(f"  {level.value:<11} far read -> {value} "
+              f"(staleness {stats.staleness} versions)")
+
+
+def protection_demo():
+    print("\n-- data-protection options (§3.3), attacked --")
+    policy = ProtectionPolicy(encrypt=True, integrity=True,
+                              replay_protect=True)
+    sender = SecureChannel(b"bank-shared-key", policy, "tx")
+    receiver = SecureChannel(b"bank-shared-key", policy, "tx")
+
+    deposit = sender.protect(b"deposit:500")
+    withdrawal = sender.protect(b"withdraw:500")
+    print(f"  wire bytes are ciphertext: {deposit.body[:12].hex()}...")
+    assert receiver.unprotect(deposit) == b"deposit:500"
+    assert receiver.unprotect(withdrawal) == b"withdraw:500"
+
+    # A network attacker replays the withdrawal.
+    try:
+        receiver.unprotect(withdrawal)
+        raise AssertionError("replay went undetected!")
+    except IntegrityError as error:
+        print(f"  replay attack caught: {error}")
+
+    # And tampers with a fresh message.
+    import dataclasses
+    fresh = sender.protect(b"deposit:1")
+    forged = dataclasses.replace(
+        fresh, body=fresh.body[:-1] + bytes([fresh.body[-1] ^ 0x80]))
+    try:
+        receiver.unprotect(forged)
+        raise AssertionError("tampering went undetected!")
+    except IntegrityError as error:
+        print(f"  tampering caught:     {error}")
+
+
+def ordering_demo():
+    print("\n-- write-ordering mechanisms (§3.4) --")
+    for scheme in OrderingScheme:
+        result = run_ordered_writes(scheme, num_writes=200, num_replicas=3)
+        print(f"  {scheme.value:<18} mean {result.mean_latency_s * 1e6:6.1f}us"
+              f"  replica-coordination msgs/write: "
+              f"{result.replica_to_replica_messages / 200:.0f}")
+
+
+if __name__ == "__main__":
+    staleness_demo()
+    protection_demo()
+    ordering_demo()
+    print("\nsecure storage demo OK")

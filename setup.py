@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` requires ``wheel`` for PEP 517 editable installs; on
+offline machines without it, ``python setup.py develop`` works through this
+shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""Reproduction of *User-Defined Cloud* (UDC), HotOS '21.
+
+UDC lets cloud *users* define their own clouds: per-module hardware
+resource demands, execution environments & security requirements, and
+distributed semantics — declaratively, with the provider realizing them
+over a fine-grained, disaggregated infrastructure.
+
+Quick start::
+
+    from repro import AppBuilder, UDCRuntime, build_datacenter
+
+    app = AppBuilder("hello")
+
+    @app.task(work=2.0)
+    def crunch(ctx):
+        return (ctx["input"] or 0) * 2
+
+    runtime = UDCRuntime(build_datacenter())
+    result = runtime.run(app.build(), {"crunch": {"resource": "fastest"}},
+                         inputs={"crunch": 21})
+    print(result.outputs["crunch"])   # 42
+    print(result.format_table())
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+per-figure/claim benchmark index.
+"""
+
+from repro.appmodel import AppBuilder, ModuleDAG, compile_dag, data, task
+from repro.core import (
+    AspectBundle,
+    ConflictPolicy,
+    DistributedAspect,
+    DryRunProfiler,
+    ExecEnvAspect,
+    ResourceAspect,
+    ResourceGoal,
+    RunResult,
+    UDCRuntime,
+    UserDefinition,
+    parse_definition,
+    verify_run,
+)
+from repro.hardware import (
+    Datacenter,
+    DatacenterSpec,
+    DeviceType,
+    build_datacenter,
+    default_catalog,
+)
+from repro.simulator import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AppBuilder",
+    "AspectBundle",
+    "ConflictPolicy",
+    "Datacenter",
+    "DatacenterSpec",
+    "DeviceType",
+    "DistributedAspect",
+    "DryRunProfiler",
+    "ExecEnvAspect",
+    "ModuleDAG",
+    "ResourceAspect",
+    "ResourceGoal",
+    "RunResult",
+    "Simulator",
+    "UDCRuntime",
+    "UserDefinition",
+    "build_datacenter",
+    "compile_dag",
+    "data",
+    "default_catalog",
+    "parse_definition",
+    "task",
+    "verify_run",
+    "__version__",
+]

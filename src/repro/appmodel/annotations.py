@@ -1,0 +1,143 @@
+"""Developer-facing annotation API (paper §3.1).
+
+*"We could build libraries in different languages that offer annotations
+for expressing module scopes and locality hints."*  This is that library
+for Python: a :func:`task` decorator that turns a function into a
+:class:`~repro.appmodel.module.TaskModule`, a :func:`data` declaration for
+data modules, and an :class:`AppBuilder` that wires them into a validated
+:class:`~repro.appmodel.dag.ModuleDAG`.
+
+Example::
+
+    app = AppBuilder("pipeline")
+
+    @app.task(work=5.0, devices={DeviceType.GPU})
+    def infer(image):
+        return model(image)
+
+    records = app.data("records", size_gb=10, hot=True)
+    app.reads(infer, records, bytes_per_run=1 << 20)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, Union
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.hardware.devices import DeviceType
+
+__all__ = ["AppBuilder", "data", "task"]
+
+ModuleRef = Union[str, TaskModule, DataModule, Callable]
+
+
+def task(
+    name: Optional[str] = None,
+    work: float = 1.0,
+    devices: Optional[Set[DeviceType]] = None,
+    output_bytes: int = 1024,
+    state_bytes: int = 1024,
+    max_parallelism: Optional[float] = None,
+) -> Callable[[Callable], TaskModule]:
+    """Standalone decorator: wrap a function as a TaskModule."""
+
+    def wrap(fn: Callable) -> TaskModule:
+        return TaskModule(
+            name=name or fn.__name__,
+            work=work,
+            device_candidates=frozenset(devices or {DeviceType.CPU}),
+            output_bytes=output_bytes,
+            state_bytes=state_bytes,
+            max_parallelism=max_parallelism,
+            fn=fn,
+        )
+
+    return wrap
+
+
+def data(name: str, size_gb: float = 1.0, record_bytes: int = 4096,
+         hot: bool = False) -> DataModule:
+    """Standalone declaration of a data module."""
+    return DataModule(name=name, size_gb=size_gb, record_bytes=record_bytes, hot=hot)
+
+
+def _name_of(ref: ModuleRef) -> str:
+    if isinstance(ref, str):
+        return ref
+    if isinstance(ref, (TaskModule, DataModule)):
+        return ref.name
+    if callable(ref):
+        return ref.__name__
+    raise TypeError(f"cannot resolve module reference {ref!r}")
+
+
+class AppBuilder:
+    """Incrementally assemble a validated application DAG."""
+
+    def __init__(self, name: str):
+        self.dag = ModuleDAG(name=name)
+
+    # -- module declaration ---------------------------------------------------
+
+    def task(
+        self,
+        name: Optional[str] = None,
+        work: float = 1.0,
+        devices: Optional[Set[DeviceType]] = None,
+        output_bytes: int = 1024,
+        state_bytes: int = 1024,
+        max_parallelism: Optional[float] = None,
+    ) -> Callable[[Callable], TaskModule]:
+        """Decorator form: declare a task and register it with the app."""
+
+        def wrap(fn: Callable) -> TaskModule:
+            module = task(
+                name=name, work=work, devices=devices,
+                output_bytes=output_bytes, state_bytes=state_bytes,
+                max_parallelism=max_parallelism,
+            )(fn)
+            self.dag.add_module(module)
+            return module
+
+        return wrap
+
+    def add_task(self, module: TaskModule) -> TaskModule:
+        self.dag.add_module(module)
+        return module
+
+    def data(self, name: str, size_gb: float = 1.0, record_bytes: int = 4096,
+             hot: bool = False) -> DataModule:
+        module = data(name, size_gb=size_gb, record_bytes=record_bytes, hot=hot)
+        self.dag.add_module(module)
+        return module
+
+    # -- relationships ------------------------------------------------------------
+
+    def flows(self, src: ModuleRef, dst: ModuleRef, bytes_: int = 1024) -> None:
+        """Declare a dependency edge: src's output feeds dst."""
+        self.dag.add_edge(_name_of(src), _name_of(dst), bytes_transferred=bytes_)
+
+    def reads(self, task_ref: ModuleRef, data_ref: ModuleRef,
+              bytes_per_run: int = 1 << 20) -> None:
+        """Declare a data→task dependency plus an affinity hint."""
+        task_name, data_name = _name_of(task_ref), _name_of(data_ref)
+        self.dag.add_edge(data_name, task_name, bytes_transferred=bytes_per_run)
+        self.dag.affine(task_name, data_name, weight_bytes=bytes_per_run)
+
+    def writes(self, task_ref: ModuleRef, data_ref: ModuleRef,
+               bytes_per_run: int = 1 << 20) -> None:
+        """Declare a task→data dependency plus an affinity hint."""
+        task_name, data_name = _name_of(task_ref), _name_of(data_ref)
+        self.dag.add_edge(task_name, data_name, bytes_transferred=bytes_per_run)
+        self.dag.affine(task_name, data_name, weight_bytes=bytes_per_run)
+
+    def colocate(self, *refs: ModuleRef) -> None:
+        self.dag.colocate(*[_name_of(r) for r in refs])
+
+    # -- finalization ----------------------------------------------------------------
+
+    def build(self) -> ModuleDAG:
+        """Validate and return the DAG."""
+        self.dag.validate()
+        return self.dag

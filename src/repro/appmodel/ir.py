@@ -1,0 +1,181 @@
+"""Uniform intermediate representation (paper §3.1).
+
+*"We will then extend their compilers to compile them into a uniform
+intermediate representation (in units of IR modules) for resource
+allocation and execution.  Our IR is defined as high-level modules and
+their relationships, not low-level code instructions.  For example, each
+language can have a different type of IR module that specifies the
+execution environment for programs in this language."*
+
+:func:`compile_dag` lowers a :class:`~repro.appmodel.dag.ModuleDAG` into an
+:class:`IRProgram`: per-module :class:`IRModule` records tagged with a
+language runtime, typed interfaces derived from edges, and the locality
+metadata the scheduler consumes.  The IR is deliberately serializable
+(plain dicts) — it is the contract between user-side frontends and the
+provider-side runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+
+__all__ = ["IRModule", "IRProgram", "compile_dag"]
+
+#: language → runtime the provider must provision inside the exec env.
+KNOWN_RUNTIMES = {
+    "python": "cpython-3.9",
+    "java": "jvm-11",
+    "go": "go-1.16",
+    "rust": "native",
+    "native": "native",
+}
+
+
+@dataclass(frozen=True)
+class IRModule:
+    """One lowered module: identity + interface + placement metadata."""
+
+    name: str
+    kind: str                       # "task" | "data"
+    language: str
+    runtime: str
+    code_hash: str
+    work: float
+    size_bytes: int
+    device_candidates: Tuple[str, ...]
+    inputs: Tuple[str, ...]         # upstream module names
+    outputs: Tuple[str, ...]        # downstream module names
+    colocate_with: Tuple[str, ...] = ()
+    affinities: Tuple[Tuple[str, int], ...] = ()
+
+    def to_dict(self) -> Dict:
+        """Serializable form (the cross-language wire format)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "language": self.language,
+            "runtime": self.runtime,
+            "code_hash": self.code_hash,
+            "work": self.work,
+            "size_bytes": self.size_bytes,
+            "device_candidates": list(self.device_candidates),
+            "inputs": list(self.inputs),
+            "outputs": list(self.outputs),
+            "colocate_with": list(self.colocate_with),
+            "affinities": [list(a) for a in self.affinities],
+        }
+
+
+@dataclass
+class IRProgram:
+    """A lowered application: modules + the edge list with sizes."""
+
+    name: str
+    modules: Dict[str, IRModule] = field(default_factory=dict)
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)
+
+    def module(self, name: str) -> IRModule:
+        return self.modules[name]
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "modules": {n: m.to_dict() for n, m in self.modules.items()},
+            "edges": [list(e) for e in self.edges],
+        }
+
+    def interface_errors(self) -> List[str]:
+        """Cross-check: every declared input/output corresponds to an edge.
+
+        Returns human-readable diagnostics (empty when consistent)."""
+        errors = []
+        edge_set = {(s, d) for s, d, _ in self.edges}
+        for module in self.modules.values():
+            for upstream in module.inputs:
+                if (upstream, module.name) not in edge_set:
+                    errors.append(
+                        f"{module.name} declares input {upstream} with no edge"
+                    )
+            for downstream in module.outputs:
+                if (module.name, downstream) not in edge_set:
+                    errors.append(
+                        f"{module.name} declares output {downstream} with no edge"
+                    )
+        return errors
+
+
+def compile_dag(
+    dag: ModuleDAG,
+    language: str = "python",
+    per_module_language: Optional[Dict[str, str]] = None,
+) -> IRProgram:
+    """Lower a validated DAG to IR.
+
+    ``per_module_language`` lets a polyglot application tag individual
+    modules; unknown languages are rejected here rather than at provision
+    time.
+    """
+    dag.validate()
+    per_module_language = per_module_language or {}
+    for lang in list(per_module_language.values()) + [language]:
+        if lang not in KNOWN_RUNTIMES:
+            raise ValueError(
+                f"unknown language {lang!r}; known: {sorted(KNOWN_RUNTIMES)}"
+            )
+
+    program = IRProgram(name=dag.name)
+    groups = dag.merged_colocation_groups()
+
+    for name, module in dag.modules.items():
+        lang = per_module_language.get(name, language)
+        colocate: Set[str] = set()
+        for group in groups:
+            if name in group:
+                colocate = group - {name}
+        affinities = tuple(
+            sorted(
+                (data_name, weight)
+                for (task_name, data_name), weight in dag.affinities.items()
+                if task_name == name
+            )
+        )
+        if isinstance(module, TaskModule):
+            ir_module = IRModule(
+                name=name,
+                kind="task",
+                language=lang,
+                runtime=KNOWN_RUNTIMES[lang],
+                code_hash=module.code_hash,
+                work=module.work,
+                size_bytes=module.state_bytes,
+                device_candidates=tuple(
+                    sorted(d.value for d in module.device_candidates)
+                ),
+                inputs=tuple(sorted(dag.predecessors(name))),
+                outputs=tuple(sorted(dag.successors(name))),
+                colocate_with=tuple(sorted(colocate)),
+                affinities=affinities,
+            )
+        else:
+            assert isinstance(module, DataModule)
+            ir_module = IRModule(
+                name=name,
+                kind="data",
+                language=lang,
+                runtime="none",
+                code_hash="",
+                work=0.0,
+                size_bytes=module.size_bytes,
+                device_candidates=(),
+                inputs=tuple(sorted(dag.predecessors(name))),
+                outputs=tuple(sorted(dag.successors(name))),
+            )
+        program.modules[name] = ir_module
+
+    for edge in dag.edges:
+        program.edges.append((edge.src, edge.dst, edge.bytes_transferred))
+    return program

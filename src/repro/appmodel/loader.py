@@ -1,0 +1,110 @@
+"""Load applications from their serialized IR (paper §3.1).
+
+The IR is the wire format between language frontends and the provider's
+runtime: :func:`repro.appmodel.ir.compile_dag` produces it, and this
+module consumes it — :func:`load_program` rebuilds an executable
+:class:`~repro.appmodel.dag.ModuleDAG` from an
+:class:`~repro.appmodel.ir.IRProgram` dict (e.g. parsed from a ``.json``
+file written by a non-Python frontend).
+
+Round-trip guarantee (tested): ``load_program(compile_dag(dag).to_dict())``
+reconstructs a DAG that compiles back to the identical IR, module for
+module.  Function bodies do not survive serialization (the IR carries code
+*identity*, not code); reattach them with ``functions={name: callable}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+from repro.appmodel.dag import DagValidationError, ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.hardware.devices import DeviceType
+
+__all__ = ["load_program", "load_program_file"]
+
+_DEVICE_BY_NAME = {d.value: d for d in DeviceType}
+
+
+def load_program(
+    ir_dict: Dict,
+    functions: Optional[Dict[str, Callable]] = None,
+) -> ModuleDAG:
+    """Rebuild a validated DAG from a serialized IR program.
+
+    Args:
+        ir_dict: the output of :meth:`IRProgram.to_dict` (or equivalent
+            JSON produced by another frontend).
+        functions: optional callables to attach to task modules by name.
+
+    Raises:
+        DagValidationError: malformed IR (missing fields, unknown devices,
+            dangling edges) — with the offending module named.
+    """
+    functions = functions or {}
+    if not isinstance(ir_dict, dict) or "modules" not in ir_dict:
+        raise DagValidationError("IR must be a mapping with a 'modules' key")
+    dag = ModuleDAG(name=str(ir_dict.get("name", "loaded-program")))
+
+    colocations = []
+    for name, raw in ir_dict["modules"].items():
+        kind = raw.get("kind")
+        if kind == "task":
+            candidates = set()
+            for device_name in raw.get("device_candidates", ["cpu"]):
+                if device_name not in _DEVICE_BY_NAME:
+                    raise DagValidationError(
+                        f"module {name}: unknown device {device_name!r}"
+                    )
+                candidates.add(_DEVICE_BY_NAME[device_name])
+            module = TaskModule(
+                name=name,
+                work=float(raw.get("work", 1.0)),
+                device_candidates=frozenset(candidates),
+                state_bytes=int(raw.get("size_bytes", 1024)),
+                fn=functions.get(name),
+                code_hash=str(raw.get("code_hash", "")),
+            )
+            if raw.get("colocate_with"):
+                colocations.append({name, *raw["colocate_with"]})
+        elif kind == "data":
+            size_gb = max(float(raw.get("size_bytes", 1e9)) / 1e9, 1e-9)
+            module = DataModule(name=name, size_gb=size_gb)
+        else:
+            raise DagValidationError(
+                f"module {name}: unknown kind {kind!r} (expected task/data)"
+            )
+        dag.add_module(module)
+
+    for edge in ir_dict.get("edges", []):
+        try:
+            src, dst, nbytes = edge
+        except (TypeError, ValueError) as exc:
+            raise DagValidationError(f"malformed edge {edge!r}") from exc
+        dag.add_edge(str(src), str(dst), bytes_transferred=int(nbytes))
+
+    for name, raw in ir_dict["modules"].items():
+        if raw.get("kind") != "task":
+            continue
+        for affinity in raw.get("affinities", []):
+            data_name, weight = affinity
+            dag.affine(name, str(data_name), weight_bytes=int(weight))
+
+    # De-duplicate colocation groups (each member repeats the group).
+    seen = []
+    for group in colocations:
+        if group not in seen:
+            seen.append(group)
+            dag.colocate(*sorted(group))
+
+    dag.validate()
+    return dag
+
+
+def load_program_file(
+    path: str, functions: Optional[Dict[str, Callable]] = None
+) -> ModuleDAG:
+    """Load an IR program from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_program(json.load(handle), functions=functions)

@@ -1,0 +1,139 @@
+"""Task and data modules — the nodes of a UDC application DAG (§3.1).
+
+*"A module could be a code block representing a task (e.g., A1 to A4, B1
+and B2) or one or more data structures representing a set of data (S1 to
+S4)."*
+
+A :class:`TaskModule` carries what the *developer* knows statically: an
+abstract amount of work, the set of hardware it could run on, and a code
+identity (hash) for attestation.  A :class:`DataModule` carries a size and
+access pattern.  Everything the *IT team* specifies (resources, security,
+distribution) lives in the aspect system (:mod:`repro.core.aspects`) —
+tied to modules but orthogonal to them, per Design Principle 1.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+from repro.hardware.devices import DeviceType
+
+__all__ = ["DataModule", "ModuleKind", "TaskModule"]
+
+
+class ModuleKind(enum.Enum):
+    TASK = "task"
+    DATA = "data"
+
+
+def _default_code_hash(name: str, fn: Optional[Callable]) -> str:
+    """A stable identity for the module's code, used in attestation.
+
+    Real deployments hash the deployable artifact; here we hash the
+    function's bytecode when one is supplied, else the module name.
+    """
+    if fn is not None and hasattr(fn, "__code__"):
+        return hashlib.sha256(fn.__code__.co_code).hexdigest()[:16]
+    return hashlib.sha256(name.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class TaskModule:
+    """A unit of computation.
+
+    Attributes:
+        name: unique within the application (e.g. ``"A2"``).
+        work: abstract work units; wall time on a device is
+            ``work / (compute_rate * allocated_amount)``.
+        device_candidates: the developer-declared *set of possible
+            hardware* (§3.2); the profiler / scheduler picks within it.
+        output_bytes: estimated bytes this task emits downstream.
+        state_bytes: size of the task's in-flight state (what a
+            checkpoint must persist).
+        max_parallelism: the most allocation units the task can actually
+            keep busy (None = perfectly scalable).  Allocating beyond it
+            wastes resources — what runtime telemetry observes and the
+            tuner corrects (§3.2's fine tuning).
+        fn: optional Python callable executed functionally during the
+            simulated run (lets examples compute real values end-to-end).
+    """
+
+    name: str
+    work: float = 1.0
+    device_candidates: FrozenSet[DeviceType] = frozenset({DeviceType.CPU})
+    output_bytes: int = 1024
+    state_bytes: int = 1024
+    max_parallelism: Optional[float] = None
+    fn: Optional[Callable] = None
+    code_hash: str = ""
+    kind: ModuleKind = field(default=ModuleKind.TASK, init=False)
+
+    def __post_init__(self):
+        if self.work <= 0:
+            raise ValueError(f"module {self.name}: work must be positive")
+        if not self.device_candidates:
+            raise ValueError(f"module {self.name}: empty device candidate set")
+        non_compute = {
+            d for d in self.device_candidates
+            if d.device_class.value != "compute"
+        }
+        if non_compute:
+            raise ValueError(
+                f"module {self.name}: task candidates must be compute devices, "
+                f"got {sorted(d.value for d in non_compute)}"
+            )
+        if not self.code_hash:
+            self.code_hash = _default_code_hash(self.name, self.fn)
+
+    @property
+    def effective_parallelism_cap(self) -> float:
+        return self.max_parallelism if self.max_parallelism else float("inf")
+
+    def usable_amount(self, amount: float) -> float:
+        """How much of an allocation the task can actually keep busy."""
+        return min(amount, self.effective_parallelism_cap)
+
+    def execution_seconds(self, device_type: DeviceType, amount: float,
+                          compute_rate: float) -> float:
+        """Native seconds of execution given an allocation.
+
+        Capacity beyond ``max_parallelism`` contributes nothing — the
+        allocation is paid for but idle, which telemetry surfaces.
+        """
+        if device_type not in self.device_candidates:
+            raise ValueError(
+                f"module {self.name} cannot run on {device_type.value}"
+            )
+        if amount <= 0 or compute_rate <= 0:
+            raise ValueError("amount and compute_rate must be positive")
+        return self.work / (compute_rate * self.usable_amount(amount))
+
+
+@dataclass
+class DataModule:
+    """A set of data structures with a size and an access pattern.
+
+    ``hot`` marks data accessed on the application's latency-critical path
+    (Figure 2's S3 medical image vs S4's archival output); the scheduler
+    biases hot data toward memory-class media when the user's resource
+    aspect does not pin one.
+    """
+
+    name: str
+    size_gb: float = 1.0
+    record_bytes: int = 4096
+    hot: bool = False
+    kind: ModuleKind = field(default=ModuleKind.DATA, init=False)
+
+    def __post_init__(self):
+        if self.size_gb <= 0:
+            raise ValueError(f"data module {self.name}: size must be positive")
+        if self.record_bytes <= 0:
+            raise ValueError(f"data module {self.name}: record size must be positive")
+
+    @property
+    def size_bytes(self) -> int:
+        return int(self.size_gb * 1e9)

@@ -1,0 +1,25 @@
+"""Provider-dictated baselines UDC is compared against.
+
+* :mod:`~repro.baselines.iaas` — today's VM/instance model: each workload
+  rents the cheapest catalog instance that covers its demand (the §1
+  p3.16xlarge story);
+* :mod:`~repro.baselines.serverless` — FaaS: CPU-only functions with cold
+  starts and per-invocation billing (no GPU offering, §1's gap);
+* :mod:`~repro.baselines.coarse` — a Kubernetes-like orchestrator whose
+  unit of replication/placement is a whole container bundle rather than a
+  fine-grained module (§3.4's "coarse-grained, application-oblivious"
+  critique).
+"""
+
+from repro.baselines.coarse import CoarseOrchestrator, CoarsePod
+from repro.baselines.iaas import IaasAllocation, IaasCloud
+from repro.baselines.serverless import FaasPlatform, FaasResult
+
+__all__ = [
+    "CoarseOrchestrator",
+    "CoarsePod",
+    "FaasPlatform",
+    "FaasResult",
+    "IaasAllocation",
+    "IaasCloud",
+]

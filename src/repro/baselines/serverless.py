@@ -1,0 +1,138 @@
+"""FaaS baseline and the UDC GPU-serverless comparator (paper §1, E3).
+
+Model of a 2021 serverless platform:
+
+* functions run on **CPU only** (the gap the paper calls out);
+* per-request: a warm idle instance within the keep-alive window is
+  reused, otherwise a cold start is paid on the critical path;
+* autoscaling is unbounded (each request can get its own instance);
+* billing is duration x allocated-capacity (GB-second style), plus a
+  per-request fee.
+
+The same machinery with ``gpu=True`` models what UDC enables: serverless
+functions whose resource aspect names a GPU.  The third comparator —
+today's workaround — is an always-on GPU VM rented for the full horizon
+(:func:`always_on_gpu_vm_cost`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.workloads.inference import InferenceTrace
+
+__all__ = ["FaasPlatform", "FaasResult", "always_on_gpu_vm_cost"]
+
+#: per-request platform fee (AWS Lambda's $0.20 per million requests)
+REQUEST_FEE = 0.20 / 1e6
+
+
+@dataclass
+class FaasResult:
+    """Measured behaviour of one trace on one platform configuration."""
+
+    latencies_s: List[float] = field(default_factory=list)
+    cold_starts: int = 0
+    invocations: int = 0
+    compute_cost: float = 0.0
+    request_fees: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return self.compute_cost + self.request_fees
+
+    @property
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    def percentile_latency_s(self, p: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(int(p / 100.0 * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def cold_start_fraction(self) -> float:
+        return self.cold_starts / self.invocations if self.invocations else 0.0
+
+
+@dataclass
+class FaasPlatform:
+    """An event-triggered function platform.
+
+    Args:
+        gpu: whether functions may attach a GPU (False = today's FaaS).
+        cpu_units: cores allocated per invocation.
+        cpu_rate: work units per second per core.
+        gpu_rate: work units per second per GPU.
+        cold_start_s: instance provisioning time on a cold path (GPU
+            functions pay extra for device attach).
+        keepalive_s: how long an idle instance stays warm.
+        cpu_unit_price_hour / gpu_unit_price_hour: billing rates.
+    """
+
+    gpu: bool = False
+    cpu_units: float = 2.0
+    cpu_rate: float = 1.0
+    gpu_rate: float = 40.0
+    cold_start_s: float = 0.5
+    gpu_attach_s: float = 1.5
+    keepalive_s: float = 600.0
+    cpu_unit_price_hour: float = 0.037
+    gpu_unit_price_hour: float = 2.596
+
+    def execution_seconds(self, work: float) -> float:
+        if self.gpu:
+            return work / self.gpu_rate
+        return work / (self.cpu_rate * self.cpu_units)
+
+    def invocation_cost(self, duration_s: float) -> float:
+        hours = duration_s / 3600.0
+        cost = self.cpu_units * self.cpu_unit_price_hour * hours
+        if self.gpu:
+            cost += self.gpu_unit_price_hour * hours
+        return cost + REQUEST_FEE
+
+    def run_trace(self, trace: InferenceTrace) -> FaasResult:
+        """Replay the arrival trace; returns latency/cost measurements.
+
+        Warm-instance reuse: each finished invocation leaves its instance
+        idle until ``keepalive_s`` later; an arrival grabs the idle
+        instance with the *latest* expiry (LIFO, matching real platforms'
+        bias toward keeping few instances warm).
+        """
+        result = FaasResult()
+        # (idle_since, expires_at) per warm instance
+        warm: List[float] = []  # idle-since times; expiry = idle + keepalive
+        for request in trace.requests:
+            arrival = request.arrival_s
+            warm = [t for t in warm if t + self.keepalive_s >= arrival]
+            startup = 0.0
+            if warm:
+                warm.sort()
+                warm.pop()  # most recently idle
+            else:
+                result.cold_starts += 1
+                startup = self.cold_start_s + (self.gpu_attach_s if self.gpu else 0.0)
+            execution = self.execution_seconds(request.work)
+            latency = startup + execution
+            finish = arrival + latency
+            warm.append(finish)
+            result.latencies_s.append(latency)
+            result.invocations += 1
+            billed = startup + execution  # cold start is billed time too
+            result.compute_cost += self.invocation_cost(billed) - REQUEST_FEE
+            result.request_fees += REQUEST_FEE
+        return result
+
+
+def always_on_gpu_vm_cost(
+    horizon_s: float, instance_price_hour: float = 3.06
+) -> float:
+    """Today's workaround for event-triggered GPU inference: keep a GPU
+    instance (p3.2xlarge) running for the whole horizon."""
+    return instance_price_hour * horizon_s / 3600.0

@@ -1,0 +1,293 @@
+"""``udc`` — command-line front door to the UDC runtime.
+
+Subcommands:
+
+* ``udc run APP.json [--spec SPEC.json] [...]`` — load a serialized IR
+  program, apply a declarative aspect spec, execute it on a simulated
+  datacenter, and print the run report (optionally a Gantt timeline and a
+  fulfillment audit);
+* ``udc profile APP.json`` — dry-run every task module across its
+  candidate hardware and print the measurements (§3.2's tooling);
+* ``udc autosize APP.json [--latency S]`` — emit a resource-aspect spec
+  inferred from dry runs, ready to pass back to ``udc run --spec``;
+* ``udc partition GRAPH.json -k N`` — cut a legacy dependency graph into
+  N segments (§4's migration path);
+* ``udc catalog DEMANDS.json`` — price a demand list against the 2021
+  instance catalog vs UDC exact billing (the E1 arithmetic).
+
+All input formats are documented in each handler's docstring; everything
+is plain JSON so non-Python frontends can target the same entry points.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.appmodel.loader import load_program_file
+from repro.core.autosize import autosize
+from repro.core.runtime import UDCRuntime
+from repro.core.timeline import ascii_gantt
+from repro.core.verify import verify_run
+from repro.execenv.attestation import Verifier
+from repro.execenv.warmpool import WarmPool
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+__all__ = ["main"]
+
+
+def _build_dc(args) -> "object":
+    return build_datacenter(
+        DatacenterSpec(pods=args.pods, racks_per_pod=args.racks)
+    )
+
+
+def _add_dc_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pods", type=int, default=1,
+                        help="datacenter pods (default 1)")
+    parser.add_argument("--racks", type=int, default=4,
+                        help="racks per pod (default 4)")
+
+
+def cmd_run(args) -> int:
+    """Execute an IR program.
+
+    ``APP.json`` is :meth:`IRProgram.to_dict` output; ``--spec`` is the
+    declarative definition format of :func:`repro.core.spec.parse_definition`.
+    """
+    dag = load_program_file(args.app)
+    definition = None
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    runtime = UDCRuntime(
+        _build_dc(args),
+        warm_pool=WarmPool(enabled=args.warm),
+        prewarm=args.warm,
+    )
+    result = runtime.run(dag, definition, tenant=args.tenant)
+    print(result.format_table())
+    if args.timeline:
+        print()
+        print(ascii_gantt(result))
+    if args.verify:
+        report = verify_run(result.objects, result.records,
+                            Verifier(runtime.root_of_trust))
+        print(f"\nfulfillment: {len(report.attested)} attested, "
+              f"{len(report.trusted)} trusted, "
+              f"{len(report.violated)} violated")
+        for check in report.violated:
+            print(f"  VIOLATED {check.module}.{check.prop}: promised "
+                  f"{check.promised}, provided {check.provided}")
+        return 0 if report.ok else 2
+    return 0
+
+
+def cmd_plan(args) -> int:
+    """Placement preview: where would this app land, and at what burn rate
+    (no execution, no allocations left behind)."""
+    dag = load_program_file(args.app)
+    definition = None
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    runtime = UDCRuntime(_build_dc(args))
+    rows = runtime.plan(dag, definition, tenant=args.tenant)
+    for row in rows:
+        if row["kind"] == "data":
+            print(f"{row['module']:<12} data  {row['replicas']} replica(s) "
+                  f"on {', '.join(row['devices'])}  "
+                  f"${row['hourly_cost']:.4f}/h"
+                  + ("  [anti-affinity degraded]"
+                     if row["anti_affinity_degraded"] else ""))
+        else:
+            tenancy = " single-tenant" if row["single_tenant"] else ""
+            print(f"{row['module']:<12} task  {row['amount']:g} x "
+                  f"{row['device_type']} in {row['env']}{tenancy} "
+                  f"on {', '.join(row['devices'])}  "
+                  f"${row['hourly_cost']:.4f}/h")
+    total = sum(row["hourly_cost"] for row in rows)
+    print(f"\ntotal burn rate while deployed: ${total:.4f}/h")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Describe an IR program: modules, stages, locality relationships."""
+    dag = load_program_file(args.app)
+    print(f"application: {dag.name}")
+    print(f"modules: {len(dag.tasks)} tasks, {len(dag.data_modules)} data")
+    for depth, stage in enumerate(dag.task_stages()):
+        print(f"  stage {depth}: {', '.join(stage)}")
+    for group in dag.merged_colocation_groups():
+        print(f"  co-located: {' ~ '.join(sorted(group))}")
+    for (task_name, data_name), weight in sorted(dag.affinities.items()):
+        print(f"  affinity: {task_name} <-> {data_name} "
+              f"({weight / (1 << 20):.1f} MB/run)")
+    for edge in dag.edges:
+        print(f"  edge: {edge.src} -> {edge.dst} "
+              f"({edge.bytes_transferred} B)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Dry-run profile every task module (work x candidate hardware)."""
+    from repro.core.profiler import DryRunProfiler
+
+    dag = load_program_file(args.app)
+    profiler = DryRunProfiler()
+    for task in dag.tasks:
+        result = profiler.profile(task)
+        print(f"{task.name}:")
+        for entry in sorted(result.entries,
+                            key=lambda e: (e.device_type.value, e.amount)):
+            print(f"  {entry.amount:g} x {entry.device_type.value:<5} "
+                  f"-> {entry.wall_seconds:10.4f}s  ${entry.cost:.6f}  "
+                  f"util {entry.utilization:.0%}")
+    return 0
+
+
+def cmd_autosize(args) -> int:
+    """Infer resource aspects from dry runs; prints a spec JSON."""
+    dag = load_program_file(args.app)
+    definition = autosize(
+        dag,
+        end_to_end_latency_s=args.latency,
+        optimize=args.optimize,
+    )
+    spec = {
+        name: {
+            "resource": {
+                "device": bundle.resource.device.value,
+                "amount": bundle.resource.amount,
+            }
+        }
+        for name, bundle in definition.bundles.items()
+        if bundle.resource is not None
+    }
+    json.dump(spec, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def cmd_partition(args) -> int:
+    """Cut a legacy dependency graph.
+
+    ``GRAPH.json``: ``{"edges": [["caller", "callee", weight], ...],
+    "hints": [["fn1", "fn2"], ...]}``.
+    """
+    import networkx as nx
+
+    from repro.appmodel.legacy import partition_program
+
+    with open(args.graph, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    graph = nx.Graph()
+    for u, v, weight in raw["edges"]:
+        graph.add_edge(str(u), str(v), weight=float(weight))
+    hints = [set(map(str, h)) for h in raw.get("hints", [])]
+    report = partition_program(graph, args.segments, developer_hints=hints)
+    for index, segment in enumerate(report.segments):
+        print(f"segment {index}: {sorted(segment)}")
+    print(f"cross-segment weight: {report.cut_fraction:.1%}")
+    return 0
+
+
+def cmd_catalog(args) -> int:
+    """Price demands: ``DEMANDS.json`` is a list of
+    ``{"cpus": .., "mem_gb": .., "gpus": .., "duty": ..}`` objects."""
+    from repro.baselines.iaas import IaasCloud, udc_exact_hourly_cost
+    from repro.hardware.catalog import default_catalog
+    from repro.hardware.server import WorkloadDemand
+
+    with open(args.demands, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    demands = [
+        WorkloadDemand(
+            cpus=float(d.get("cpus", 0)),
+            mem_gb=float(d.get("mem_gb", 0)),
+            gpus=float(d.get("gpus", 0)),
+            duty=float(d.get("duty", 1.0)),
+            name=str(d.get("name", f"job-{i}")),
+        )
+        for i, d in enumerate(raw)
+    ]
+    cloud = IaasCloud(default_catalog()).provision_all(demands)
+    for allocation in cloud.allocations:
+        print(f"{allocation.demand.name:<16} -> {allocation.instance.name:<16}"
+              f" ${allocation.hourly_cost:8.3f}/h  "
+              f"waste {allocation.waste_fraction:.0%}")
+    for demand in cloud.unplaceable:
+        print(f"{demand.name:<16} -> (no instance fits)")
+    print(f"\nIaaS total: ${cloud.total_hourly_cost:.2f}/h   "
+          f"UDC exact: ${udc_exact_hourly_cost(demands):.2f}/h   "
+          f"waste {cloud.mean_waste_fraction:.1%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="udc",
+        description="User-Defined Cloud (HotOS '21 reproduction) CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute an IR program")
+    run_p.add_argument("app", help="IR program JSON (IRProgram.to_dict)")
+    run_p.add_argument("--spec", help="declarative aspect spec JSON")
+    run_p.add_argument("--tenant", default="cli-tenant")
+    run_p.add_argument("--warm", action="store_true",
+                       help="enable warm bundled resource units")
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print an ASCII Gantt chart")
+    run_p.add_argument("--verify", action="store_true",
+                       help="run the fulfillment audit (exit 2 on violation)")
+    _add_dc_args(run_p)
+    run_p.set_defaults(handler=cmd_run)
+
+    plan_p = sub.add_parser("plan",
+                            help="placement preview (no execution)")
+    plan_p.add_argument("app")
+    plan_p.add_argument("--spec")
+    plan_p.add_argument("--tenant", default="cli-tenant")
+    _add_dc_args(plan_p)
+    plan_p.set_defaults(handler=cmd_plan)
+
+    inspect_p = sub.add_parser("inspect", help="describe an IR program")
+    inspect_p.add_argument("app")
+    inspect_p.set_defaults(handler=cmd_inspect)
+
+    profile_p = sub.add_parser("profile", help="dry-run profile all tasks")
+    profile_p.add_argument("app")
+    profile_p.set_defaults(handler=cmd_profile)
+
+    autosize_p = sub.add_parser("autosize",
+                                help="infer resource aspects from dry runs")
+    autosize_p.add_argument("app")
+    autosize_p.add_argument("--latency", type=float, default=None,
+                            help="end-to-end latency target (seconds)")
+    autosize_p.add_argument("--optimize", choices=("cost", "speed"),
+                            default="cost")
+    autosize_p.set_defaults(handler=cmd_autosize)
+
+    partition_p = sub.add_parser("partition",
+                                 help="cut a legacy dependency graph")
+    partition_p.add_argument("graph")
+    partition_p.add_argument("-k", "--segments", type=int, required=True)
+    partition_p.set_defaults(handler=cmd_partition)
+
+    catalog_p = sub.add_parser("catalog",
+                               help="price demands against the 2021 catalog")
+    catalog_p.add_argument("demands")
+    catalog_p.set_defaults(handler=cmd_catalog)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""UDC core: the paper's primary contribution.
+
+The pieces map onto the paper's three design principles:
+
+* **Principle 1 (aspects)** — :mod:`~repro.core.aspects` defines the three
+  aspect types; :mod:`~repro.core.spec` parses their declarative form.
+* **Principle 2 (decoupling)** — :mod:`~repro.core.defaults` supplies
+  provider fallbacks; :mod:`~repro.core.conflicts` detects and resolves
+  cross-module disagreements; the scheduler/runtime choose *how* to
+  realize each declaration.
+* **Principle 3 (fine granularity + bundling)** —
+  :mod:`~repro.core.objects` (module + aspects as one object) and
+  :mod:`~repro.core.bundle` (vertically bundled resource units).
+
+The operational pieces: :mod:`~repro.core.scheduler` (placement),
+:mod:`~repro.core.telemetry` + :mod:`~repro.core.tuner` (adaptive fine
+tuning), :mod:`~repro.core.profiler` (dry-run resource inference),
+:mod:`~repro.core.verify` (attestation-backed fulfillment checks), and
+:mod:`~repro.core.runtime` (the control plane tying them together).
+"""
+
+from repro.core.autosize import autosize
+from repro.core.aspects import (
+    AspectBundle,
+    DistributedAspect,
+    ExecEnvAspect,
+    ResourceAspect,
+    ResourceGoal,
+)
+from repro.core.bundle import BundleManager, ResourceUnit
+from repro.core.conflicts import (
+    Conflict,
+    ConflictError,
+    ConflictPolicy,
+    detect_conflicts,
+    resolve_conflicts,
+)
+from repro.core.defaults import provider_defaults
+from repro.core.objects import ExecutionRecord, UDCObject
+from repro.core.profiler import DryRunProfiler, ProfileResult
+from repro.core.report import ModuleRow, RunResult
+from repro.core.runtime import Submission, UDCRuntime
+from repro.core.timeline import ModuleSpan, ascii_gantt, build_timeline
+from repro.core.scheduler import SchedulerError, TaskPlacement, UdcScheduler
+from repro.core.spec import SpecError, UserDefinition, parse_definition
+from repro.core.telemetry import Telemetry
+from repro.core.tuner import FineTuner, TuningAction
+from repro.core.verify import (
+    FulfillmentRecord,
+    PropertyCheck,
+    VerificationReport,
+    verify_run,
+)
+
+__all__ = [
+    "AspectBundle",
+    "BundleManager",
+    "Conflict",
+    "ConflictError",
+    "ConflictPolicy",
+    "DistributedAspect",
+    "DryRunProfiler",
+    "ExecEnvAspect",
+    "ExecutionRecord",
+    "FineTuner",
+    "FulfillmentRecord",
+    "ModuleRow",
+    "ProfileResult",
+    "PropertyCheck",
+    "ResourceAspect",
+    "ResourceGoal",
+    "ResourceUnit",
+    "RunResult",
+    "SchedulerError",
+    "ModuleSpan",
+    "SpecError",
+    "Submission",
+    "TaskPlacement",
+    "Telemetry",
+    "TuningAction",
+    "UDCObject",
+    "UDCRuntime",
+    "UdcScheduler",
+    "UserDefinition",
+    "VerificationReport",
+    "ascii_gantt",
+    "autosize",
+    "build_timeline",
+    "detect_conflicts",
+    "parse_definition",
+    "provider_defaults",
+    "resolve_conflicts",
+    "verify_run",
+]

@@ -1,0 +1,96 @@
+"""Automatic resource-aspect inference for a whole application (§3.2).
+
+The paper's division of labor: developers declare candidate hardware sets;
+the IT team (or the provider, with UDC's tools) dry-runs each task and
+turns the measurements into resource aspects.  :func:`autosize` is that
+tool at application granularity: it profiles every task module and emits a
+definition fragment the runtime accepts directly.
+
+Goals:
+
+* ``latency_target_s`` — per-task budget so the *critical path* of the
+  DAG meets an end-to-end target (the budget is the end-to-end target
+  split across the task's stage depth);
+* ``optimize="cost"`` (default) — cheapest configuration, breaking ties
+  toward faster;
+* ``optimize="speed"`` — fastest configuration, breaking ties toward
+  cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.appmodel.dag import ModuleDAG
+from repro.core.profiler import DryRunProfiler
+from repro.core.spec import UserDefinition, parse_definition
+
+__all__ = ["autosize"]
+
+
+def autosize(
+    dag: ModuleDAG,
+    end_to_end_latency_s: Optional[float] = None,
+    optimize: str = "cost",
+    profiler: Optional[DryRunProfiler] = None,
+    amounts=None,
+) -> UserDefinition:
+    """Profile every task and emit resource aspects for the whole app.
+
+    Returns a parsed :class:`UserDefinition` containing only resource
+    aspects; merge your own execenv/distributed declarations on top (the
+    aspects are orthogonal — Principle 2).
+    """
+    if optimize not in ("cost", "speed"):
+        raise ValueError(f"optimize must be 'cost' or 'speed', got {optimize!r}")
+    profiler = profiler or DryRunProfiler()
+    dag.validate()
+
+    stage_of: Dict[str, int] = {}
+    stages = dag.task_stages()
+    for depth, stage in enumerate(stages):
+        for name in stage:
+            stage_of[name] = depth
+    depth_total = max(len(stages), 1)
+    per_stage_budget = (
+        end_to_end_latency_s / depth_total
+        if end_to_end_latency_s is not None
+        else None
+    )
+
+    # Co-location groups must agree on one device type: restrict each
+    # member's choice to the group's shared candidate set.
+    allowed: Dict[str, frozenset] = {}
+    for group in dag.merged_colocation_groups():
+        members = [dag.task(name) for name in group]
+        shared = frozenset.intersection(*(m.device_candidates for m in members))
+        for name in group:
+            allowed[name] = shared
+
+    raw: Dict[str, Dict] = {}
+    for task in dag.tasks:
+        profile = profiler.profile(task, amounts=amounts)
+        entries = [
+            e for e in profile.entries
+            if task.name not in allowed or e.device_type in allowed[task.name]
+        ]
+        if not entries:
+            raise ValueError(
+                f"{task.name}: no profilable device in its co-location "
+                f"group's shared candidate set"
+            )
+        if per_stage_budget is not None:
+            meeting = [e for e in entries if e.wall_seconds <= per_stage_budget]
+            entry = (min(meeting, key=lambda e: e.cost) if meeting
+                     else min(entries, key=lambda e: (e.wall_seconds, e.cost)))
+        elif optimize == "speed":
+            entry = min(entries, key=lambda e: (e.wall_seconds, e.cost))
+        else:
+            entry = min(entries, key=lambda e: (e.cost, e.wall_seconds))
+        raw[task.name] = {
+            "resource": {
+                "device": entry.device_type.value,
+                "amount": entry.amount,
+            }
+        }
+    return parse_definition(raw)

@@ -1,0 +1,141 @@
+"""Cross-module specification conflict detection (paper §3.4).
+
+*"Users may define conflicting specifications for different modules, e.g.,
+two modules sharing data and one specified as sequential consistency and
+the other as release consistency.  UDC needs to detect such conflicts and
+either chooses the strictest specification or returns an error to the
+user."*
+
+A conflict exists when, for one data module, the set of declared
+consistency levels — the data module's own plus every accessing task's
+``data_consistency`` expectation — contains more than one distinct level.
+Resolution policy is exactly the paper's two options: STRICTEST rewrites
+everyone to the strictest level (and records what changed); ERROR raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule
+from repro.core.spec import UserDefinition
+from repro.distsem.consistency import ConsistencyLevel
+
+__all__ = [
+    "Conflict",
+    "ConflictError",
+    "ConflictPolicy",
+    "ConflictResolution",
+    "detect_conflicts",
+    "resolve_conflicts",
+]
+
+
+class ConflictPolicy(enum.Enum):
+    STRICTEST = "strictest"
+    ERROR = "error"
+
+
+class ConflictError(Exception):
+    """Raised under ConflictPolicy.ERROR when any conflict exists."""
+
+    def __init__(self, conflicts: List["Conflict"]):
+        self.conflicts = conflicts
+        super().__init__(
+            "; ".join(
+                f"data module {c.data_module}: {c.describe()}" for c in conflicts
+            )
+        )
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One data module with disagreeing consistency declarations."""
+
+    data_module: str
+    #: (declaring module, declared level) pairs, data module itself included
+    declarations: Tuple[Tuple[str, ConsistencyLevel], ...]
+
+    @property
+    def strictest(self) -> ConsistencyLevel:
+        return max((level for _m, level in self.declarations), key=lambda l: l.rank)
+
+    def describe(self) -> str:
+        decls = ", ".join(f"{m}={l.value}" for m, l in self.declarations)
+        return f"conflicting consistency declarations ({decls})"
+
+
+@dataclass
+class ConflictResolution:
+    """Outcome of running detection + resolution over a definition."""
+
+    conflicts: List[Conflict] = field(default_factory=list)
+    #: data module -> level every party was rewritten to
+    resolved_levels: Dict[str, ConsistencyLevel] = field(default_factory=dict)
+    definition: UserDefinition = field(default_factory=UserDefinition)
+
+
+def _declarations_for(
+    dag: ModuleDAG, definition: UserDefinition, data_name: str
+) -> List[Tuple[str, ConsistencyLevel]]:
+    declarations: List[Tuple[str, ConsistencyLevel]] = []
+    own = definition.bundle_for(data_name).distributed
+    if own is not None and own.consistency is not None:
+        declarations.append((data_name, own.consistency))
+    # Every task connected to this data module may declare an expectation.
+    neighbors = set(dag.predecessors(data_name)) | set(dag.successors(data_name))
+    for task_name in sorted(neighbors):
+        dist = definition.bundle_for(task_name).distributed
+        if dist is None:
+            continue
+        expected = dist.data_consistency.get(data_name)
+        if expected is not None:
+            declarations.append((task_name, expected))
+    return declarations
+
+
+def detect_conflicts(dag: ModuleDAG, definition: UserDefinition) -> List[Conflict]:
+    """All data modules whose declared consistency levels disagree."""
+    conflicts: List[Conflict] = []
+    for module in dag.modules.values():
+        if not isinstance(module, DataModule):
+            continue
+        declarations = _declarations_for(dag, definition, module.name)
+        levels = {level for _m, level in declarations}
+        if len(levels) > 1:
+            conflicts.append(
+                Conflict(
+                    data_module=module.name,
+                    declarations=tuple(declarations),
+                )
+            )
+    return conflicts
+
+
+def resolve_conflicts(
+    dag: ModuleDAG,
+    definition: UserDefinition,
+    policy: ConflictPolicy = ConflictPolicy.STRICTEST,
+) -> ConflictResolution:
+    """Detect, then either rewrite to the strictest level or error.
+
+    Returns a :class:`ConflictResolution` whose ``definition`` has the
+    rewrites applied (the original is not mutated).
+    """
+    conflicts = detect_conflicts(dag, definition)
+    if conflicts and policy == ConflictPolicy.ERROR:
+        raise ConflictError(conflicts)
+
+    resolved = UserDefinition(bundles=dict(definition.bundles))
+    resolution = ConflictResolution(conflicts=conflicts, definition=resolved)
+    for conflict in conflicts:
+        strictest = conflict.strictest
+        resolution.resolved_levels[conflict.data_module] = strictest
+        bundle = resolved.bundle_for(conflict.data_module)
+        resolved.bundles[conflict.data_module] = bundle.override_consistency(
+            strictest
+        )
+    return resolution

@@ -1,0 +1,59 @@
+"""Provider defaults — "today's cloud" as the fallback (paper footnote 1).
+
+*"Users can also choose to not define one or more layers, in which case we
+fall back to traditional cloud solutions."*  The defaults below encode
+what a 2021 provider gives an unopinionated tenant: cheapest-fit compute
+in a plain container, no replication, eventual consistency, rerun on
+failure, no data protection.
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.aspects import (
+    AspectBundle,
+    DistributedAspect,
+    ExecEnvAspect,
+    ResourceAspect,
+    ResourceGoal,
+)
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.recovery import RecoveryStrategy
+from repro.distsem.replication import ReplicationPolicy
+from repro.execenv.isolation import IsolationLevel
+from repro.execenv.protection import ProtectionPolicy
+
+__all__ = ["provider_defaults"]
+
+
+def provider_defaults(module) -> AspectBundle:
+    """The aspect bundle a module gets when the user declares nothing."""
+    if isinstance(module, TaskModule):
+        return AspectBundle(
+            resource=ResourceAspect(goal=ResourceGoal.CHEAPEST, amount=1.0),
+            execenv=ExecEnvAspect(
+                isolation=IsolationLevel.WEAK,
+                protection=ProtectionPolicy(),
+            ),
+            distributed=DistributedAspect(
+                replication=ReplicationPolicy(factor=1),
+                consistency=ConsistencyLevel.EVENTUAL,
+                preference=OpPreference.NONE,
+                recovery=RecoveryStrategy.RERUN,
+            ),
+        )
+    if isinstance(module, DataModule):
+        return AspectBundle(
+            resource=ResourceAspect(goal=ResourceGoal.CHEAPEST),
+            execenv=ExecEnvAspect(
+                isolation=IsolationLevel.WEAK,
+                protection=ProtectionPolicy(),
+            ),
+            distributed=DistributedAspect(
+                replication=ReplicationPolicy(factor=1),
+                consistency=ConsistencyLevel.EVENTUAL,
+                preference=OpPreference.NONE,
+                recovery=RecoveryStrategy.NONE,
+            ),
+        )
+    raise TypeError(f"unknown module type {type(module).__name__}")

@@ -1,0 +1,86 @@
+"""High-level objects: module + aspects, bundled (Design Principle 3).
+
+*"We also propose to bundle a fine-grained code/data module and its
+aspects into a high-level object, which can be executed on one or more
+resource units."*
+
+A :class:`UDCObject` is the runtime's unit of admission, placement, and
+accounting.  It is created during admission (after defaults fill-in and
+conflict resolution), then progressively annotated with placement results,
+execution record, and fulfillment evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.aspects import AspectBundle
+from repro.hardware.pools import Allocation
+
+__all__ = ["ExecutionRecord", "UDCObject"]
+
+
+@dataclass
+class ExecutionRecord:
+    """What actually happened when a task object ran."""
+
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    startup_s: float = 0.0
+    compute_s: float = 0.0
+    transfer_s: float = 0.0
+    protection_s: float = 0.0
+    checkpoint_s: float = 0.0
+    checkpoints_taken: int = 0
+    failures: int = 0
+    recovered_from_progress: float = 0.0
+    migrations: int = 0
+    result: object = None
+
+    @property
+    def wall_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class UDCObject:
+    """One module with its resolved aspects and live placement."""
+
+    module: Union[TaskModule, DataModule]
+    aspects: AspectBundle
+    tenant: str
+    #: compute + memory allocations for tasks; replica allocations for data
+    allocations: List[Allocation] = field(default_factory=list)
+    #: the ExecutionEnvironment hosting a task object (None for data)
+    environment: Optional[object] = None
+    #: the ReplicatedStore backing a data object (None for tasks)
+    store: Optional[object] = None
+    record: ExecutionRecord = field(default_factory=ExecutionRecord)
+    #: attestation quote when the environment is attestable
+    quote: Optional[object] = None
+
+    @property
+    def name(self) -> str:
+        return self.module.name
+
+    @property
+    def is_task(self) -> bool:
+        return isinstance(self.module, TaskModule)
+
+    @property
+    def is_data(self) -> bool:
+        return isinstance(self.module, DataModule)
+
+    @property
+    def primary_allocation(self) -> Optional[Allocation]:
+        return self.allocations[0] if self.allocations else None
+
+    @property
+    def location(self):
+        alloc = self.primary_allocation
+        return alloc.device.location if alloc else None
+
+    def hourly_cost(self) -> float:
+        return sum(a.hourly_cost for a in self.allocations if not a.released)

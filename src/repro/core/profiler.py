@@ -1,0 +1,123 @@
+"""Dry-run profiling for resource-aspect inference (paper §3.2).
+
+*"We believe a viable solution is a combination of developer knowledge,
+program analysis, and 'dry-run' profiling ... The IT team or the cloud
+provider will then use tools that UDC provides (e.g., profilers,
+cross-platform compilers, etc.) to perform dry runs that execute the
+program with developer-supplied test inputs on different types of hardware
+within the developer-defined set.  The actual resource usage observed for
+each task is then used as the resource aspect of the task."*
+
+:class:`DryRunProfiler` runs a task module against each device type in the
+developer's candidate set on a scratch simulator, measures wall time and
+cost per run, and recommends a :class:`~repro.core.aspects.ResourceAspect`
+for a latency target or a cost ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.appmodel.module import TaskModule
+from repro.core.aspects import ResourceAspect
+from repro.hardware.devices import DEFAULT_SPECS, DeviceSpec, DeviceType
+
+__all__ = ["DryRunProfiler", "ProfileEntry", "ProfileResult"]
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """Measured behaviour of one (device type, amount) configuration."""
+
+    device_type: DeviceType
+    amount: float
+    wall_seconds: float
+    cost: float          # $ for the run at on-demand unit prices
+    utilization: float   # fraction of the allocation the task kept busy
+
+
+@dataclass
+class ProfileResult:
+    """All dry-run measurements for one task."""
+
+    task: str
+    entries: List[ProfileEntry] = field(default_factory=list)
+
+    def fastest(self) -> ProfileEntry:
+        return min(self.entries, key=lambda e: (e.wall_seconds, e.cost))
+
+    def cheapest(self) -> ProfileEntry:
+        return min(self.entries, key=lambda e: (e.cost, e.wall_seconds))
+
+    def meeting_latency(self, max_seconds: float) -> Optional[ProfileEntry]:
+        """Cheapest configuration meeting a latency target, if any."""
+        ok = [e for e in self.entries if e.wall_seconds <= max_seconds]
+        return min(ok, key=lambda e: e.cost) if ok else None
+
+
+class DryRunProfiler:
+    """Profiles task modules across their candidate hardware."""
+
+    def __init__(self, specs: Optional[Dict[DeviceType, DeviceSpec]] = None):
+        self.specs = specs or DEFAULT_SPECS
+
+    def profile(
+        self,
+        task: TaskModule,
+        amounts: Optional[List[float]] = None,
+    ) -> ProfileResult:
+        """Dry-run ``task`` on every candidate type at each amount.
+
+        Amounts default to {1, 2, 4} units clipped to device capacity.
+        The measured utilization exposes over-allocation: amounts beyond
+        the task's parallelism cap run no faster but cost more.
+        """
+        result = ProfileResult(task=task.name)
+        for device_type in sorted(task.device_candidates, key=lambda d: d.value):
+            spec = self.specs.get(device_type)
+            if spec is None or spec.compute_rate <= 0:
+                continue
+            for amount in amounts or [1.0, 2.0, 4.0]:
+                amount = max(min(amount, spec.capacity), spec.min_grain)
+                wall = task.execution_seconds(
+                    device_type, amount, spec.compute_rate
+                )
+                cost = amount * spec.unit_price_hour * (wall / 3600.0)
+                utilization = task.usable_amount(amount) / amount
+                entry = ProfileEntry(
+                    device_type=device_type,
+                    amount=amount,
+                    wall_seconds=wall,
+                    cost=cost,
+                    utilization=utilization,
+                )
+                if not any(
+                    e.device_type == entry.device_type and e.amount == entry.amount
+                    for e in result.entries
+                ):
+                    result.entries.append(entry)
+        if not result.entries:
+            raise ValueError(
+                f"task {task.name}: no profilable candidate device types"
+            )
+        return result
+
+    def recommend(
+        self,
+        task: TaskModule,
+        latency_target_s: Optional[float] = None,
+        amounts: Optional[List[float]] = None,
+    ) -> ResourceAspect:
+        """Turn dry-run measurements into a concrete resource aspect.
+
+        With a latency target: the cheapest configuration meeting it
+        (falling back to the fastest when none does).  Without: the
+        cheapest overall.
+        """
+        profile = self.profile(task, amounts=amounts)
+        if latency_target_s is not None:
+            entry = profile.meeting_latency(latency_target_s) or profile.fastest()
+        else:
+            entry = profile.cheapest()
+        return ResourceAspect(device=entry.device_type, amount=entry.amount)

@@ -1,0 +1,509 @@
+"""Placement scheduler (paper §3.2).
+
+*"Our runtime scheduler would use the user-supplied resource aspect,
+execution environment aspect, and locality information from the
+application semantic aspect to decide the location(s) to execute a module
+and initialize it with the resource amount as user specified."*
+
+Decisions, in order:
+
+1. **Device type** — explicit aspect device wins; otherwise the goal
+   picks among the developer's candidates: FASTEST maximizes effective
+   compute rate, CHEAPEST minimizes cost-per-work (`price / rate`).
+2. **Amount** — the aspect's amount (defaulting to one unit).
+3. **Location** — co-location groups are hard constraints (all members on
+   one device); otherwise the scheduler scores candidate racks by the
+   fabric cost of moving the module's inputs (affinity hints + incoming
+   edge bytes) and picks the cheapest.  Locality can be disabled for the
+   E6 ablation.
+4. **Environment** — the concrete env kind if named, else the provider's
+   pick for the requested isolation tier on the chosen device type.
+5. **Memory** — `mem_gb` from the DRAM pool, same rack when possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.aspects import ResourceAspect, ResourceGoal
+from repro.core.bundle import BundleManager, ResourceUnit
+from repro.core.objects import UDCObject
+from repro.core.telemetry import Telemetry
+from repro.distsem.replication import PlacementResult, ReplicaPlacer, ReplicationPolicy
+from repro.execenv.environments import EnvKind, environments_for_level
+from repro.execenv.isolation import IsolationLevel
+from repro.hardware.devices import Device, DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.pools import Allocation, AllocationError
+from repro.hardware.topology import Datacenter
+
+__all__ = ["SchedulerError", "TaskPlacement", "UdcScheduler"]
+
+#: media fallback order for data with no explicit pin: hot data prefers
+#: memory-class, cold data prefers cheap storage.
+HOT_MEDIA_ORDER = [DeviceType.DRAM, DeviceType.NVM, DeviceType.SSD, DeviceType.HDD]
+COLD_MEDIA_ORDER = [DeviceType.HDD, DeviceType.SSD, DeviceType.NVM, DeviceType.DRAM]
+
+
+class SchedulerError(Exception):
+    """Raised when a module cannot be placed as specified."""
+
+
+@dataclass
+class TaskPlacement:
+    """Everything the runtime needs to execute one task object."""
+
+    obj: UDCObject
+    device_type: DeviceType
+    amount: float
+    unit: ResourceUnit
+    compute_rate: float
+
+
+class UdcScheduler:
+    """Places UDC objects onto a disaggregated datacenter."""
+
+    def __init__(
+        self,
+        datacenter: Datacenter,
+        bundles: BundleManager,
+        telemetry: Optional[Telemetry] = None,
+        use_locality: bool = True,
+    ):
+        self.datacenter = datacenter
+        self.bundles = bundles
+        self.telemetry = telemetry or Telemetry()
+        self.use_locality = use_locality
+        #: round-robin cursor for locality-oblivious spreading
+        self._rr_rack = 0
+
+    # -- data placement -------------------------------------------------------
+
+    def place_data(self, obj: UDCObject) -> PlacementResult:
+        """Allocate replicas for a data object per its aspects."""
+        assert isinstance(obj.module, DataModule)
+        aspect = obj.aspects.resource or ResourceAspect()
+        dist = obj.aspects.distributed
+        policy = (dist.replication if dist and dist.replication
+                  else ReplicationPolicy(factor=1))
+        size = obj.module.size_gb
+
+        media_order: List[DeviceType]
+        if aspect.media is not None:
+            media_order = [aspect.media]
+        elif obj.module.hot:
+            media_order = HOT_MEDIA_ORDER
+        else:
+            media_order = COLD_MEDIA_ORDER
+
+        last_error: Optional[Exception] = None
+        for media in media_order:
+            if media not in self.datacenter.pools:
+                continue
+            pool = self.datacenter.pool(media)
+            if pool.total_free < size * policy.factor:
+                continue
+            placer = ReplicaPlacer(pool)
+            try:
+                result = placer.place(size, obj.tenant, policy)
+            except AllocationError as exc:
+                last_error = exc
+                continue
+            obj.allocations.extend(result.allocations)
+            self.telemetry.event(
+                self._now(), obj.name, "place-data",
+                f"{policy.factor}x{size:g}GB on {media.value}",
+            )
+            return result
+        raise SchedulerError(
+            f"data module {obj.name}: no medium can hold "
+            f"{policy.factor} x {size:g} GB "
+            f"(tried {[m.value for m in media_order]}; last: {last_error})"
+        )
+
+    # -- task placement ---------------------------------------------------------
+
+    def place_tasks(
+        self, objects: Dict[str, UDCObject], dag: ModuleDAG
+    ) -> Dict[str, TaskPlacement]:
+        """Place every task object, honoring co-location groups."""
+        placements: Dict[str, TaskPlacement] = {}
+        groups = dag.merged_colocation_groups()
+        grouped: Set[str] = set().union(*groups) if groups else set()
+
+        for group in groups:
+            members = [objects[name] for name in sorted(group) if name in objects]
+            if members:
+                placements.update(self._place_group(members, objects, dag))
+
+        for stage in dag.task_stages():
+            for name in stage:
+                if name in grouped or name not in objects:
+                    continue
+                obj = objects[name]
+                if obj.is_task:
+                    placements[name] = self._place_single(obj, objects, dag)
+        return placements
+
+    def _choose_device_type(
+        self, task: TaskModule, aspect: ResourceAspect
+    ) -> DeviceType:
+        if aspect.device is not None:
+            if aspect.device not in task.device_candidates:
+                raise SchedulerError(
+                    f"{task.name}: aspect demands {aspect.device.value} but the "
+                    f"developer's candidate set is "
+                    f"{sorted(d.value for d in task.device_candidates)}"
+                )
+            return aspect.device
+        available = [
+            d for d in task.device_candidates if d in self.datacenter.pools
+        ]
+        if not available:
+            raise SchedulerError(
+                f"{task.name}: none of the candidate device types exist in "
+                f"this datacenter"
+            )
+        # §3.2: goal-directed selection happens "based on load and
+        # available hardware at the run time" — a candidate type whose
+        # pool cannot currently host even the smallest grain is skipped
+        # (falling back to the full set only if every pool is exhausted,
+        # so the error message names the preferred type).
+        def has_capacity(device_type: DeviceType) -> bool:
+            pool = self.datacenter.pool(device_type)
+            grain = self.datacenter.spec.spec_for(device_type).min_grain
+            needed = aspect.amount if aspect.amount is not None else grain
+            shard = min(needed,
+                        self.datacenter.spec.spec_for(device_type).capacity)
+            return any(
+                d.free + 1e-9 >= shard for d in pool.devices if not d.failed
+            )
+
+        with_capacity = [d for d in available if has_capacity(d)]
+        candidates = with_capacity or available
+        goal = aspect.goal or ResourceGoal.CHEAPEST
+        specs = {d: self.datacenter.spec.spec_for(d) for d in candidates}
+        if goal == ResourceGoal.FASTEST:
+            return max(candidates, key=lambda d: specs[d].compute_rate)
+        # CHEAPEST: minimize cost to finish a unit of work.
+        return min(
+            candidates,
+            key=lambda d: specs[d].unit_price_hour / max(specs[d].compute_rate, 1e-9),
+        )
+
+    def _preferred_location(
+        self,
+        name: str,
+        objects: Dict[str, UDCObject],
+        dag: ModuleDAG,
+        device_type: DeviceType,
+    ) -> Optional[Location]:
+        """Pick the rack minimizing input-transfer cost (locality, E6).
+
+        With locality disabled, placement models what coarse cluster
+        schedulers actually do: round-robin across racks for load balance,
+        oblivious to where the module's data lives.
+        """
+        if not self.use_locality:
+            racks = sorted({
+                Location(d.location.pod, d.location.rack, 0)
+                for d in self.datacenter.pool(device_type).devices
+                if not d.failed
+            })
+            if not racks:
+                return None
+            self._rr_rack += 1
+            return racks[self._rr_rack % len(racks)]
+        pulls: List[Tuple[Location, int]] = []
+        for edge in dag.edges:
+            if edge.dst != name:
+                continue
+            upstream = objects.get(edge.src)
+            if upstream is not None and upstream.location is not None:
+                pulls.append((upstream.location, edge.bytes_transferred))
+        for (task_name, data_name), weight in dag.affinities.items():
+            if task_name != name:
+                continue
+            data_obj = objects.get(data_name)
+            if data_obj is not None and data_obj.location is not None:
+                pulls.append((data_obj.location, weight))
+        if not pulls:
+            return None
+
+        fabric = self.datacenter.fabric
+        pool = self.datacenter.pool(device_type)
+        candidate_racks = {
+            Location(d.location.pod, d.location.rack, 0)
+            for d in pool.devices
+            if not d.failed
+        }
+        if not candidate_racks:
+            return None
+
+        def cost(rack: Location) -> float:
+            return sum(
+                fabric.transfer_time(src, rack, size) for src, size in pulls
+            )
+
+        return min(sorted(candidate_racks), key=cost)
+
+    def _resolve_env_kind(
+        self, obj: UDCObject, device_type: DeviceType
+    ) -> Tuple[EnvKind, bool]:
+        execenv = obj.aspects.execenv
+        if execenv is None:
+            level, single = IsolationLevel.WEAK, False
+        elif execenv.env_kind is not None:
+            from repro.execenv.environments import ENV_PROFILES
+
+            profile = ENV_PROFILES[execenv.env_kind]
+            if device_type not in profile.requires_device:
+                raise SchedulerError(
+                    f"{obj.name}: environment "
+                    f"{execenv.env_kind.value!r} cannot host on "
+                    f"{device_type.value} (today's TEEs are CPU-only — the "
+                    f"paper's §3.3 gap); pick a CPU device or an isolation "
+                    f"tier and let the provider choose the mechanism"
+                )
+            return execenv.env_kind, execenv.single_tenant
+        else:
+            level = execenv.isolation or IsolationLevel.WEAK
+            single = execenv.single_tenant or level == IsolationLevel.STRONGEST
+        profiles = environments_for_level(level, device_type)
+        if not profiles:
+            raise SchedulerError(
+                f"{obj.name}: no environment provides isolation "
+                f"{level.value} on {device_type.value}"
+            )
+        # Provider's pick: the fastest-starting mechanism that satisfies
+        # the tier (providers optimize their own churn).
+        chosen = min(profiles, key=lambda p: p.cold_start_s)
+        return chosen.kind, single
+
+    def _build_unit(
+        self,
+        obj: UDCObject,
+        device_type: DeviceType,
+        amount: float,
+        preferred: Optional[Location],
+        device: Optional[Device] = None,
+    ) -> Tuple[ResourceUnit, float]:
+        aspect = obj.aspects.resource or ResourceAspect()
+        env_kind, single_tenant = self._resolve_env_kind(obj, device_type)
+        pool = self.datacenter.pool(device_type)
+        spec = self.datacenter.spec.spec_for(device_type)
+        shards: List[Allocation] = []
+        try:
+            primary_amount = amount
+            if device is None and amount > spec.capacity:
+                # "Arbitrary amounts" (§1): requests larger than one
+                # physical device split into shards across devices, all
+                # preferring the same rack.  The primary shard hosts the
+                # environment; the rest gang with it.
+                remaining = amount
+                first = True
+                while remaining > 1e-9:
+                    shard_amount = min(remaining, spec.capacity)
+                    shard = pool.allocate(
+                        shard_amount,
+                        obj.tenant,
+                        single_tenant=single_tenant,
+                        preferred_location=preferred,
+                    )
+                    if first:
+                        preferred = preferred or Location(
+                            shard.device.location.pod,
+                            shard.device.location.rack, 0,
+                        )
+                        first = False
+                    shards.append(shard)
+                    remaining -= shard_amount
+                compute = shards[0]
+                primary_amount = compute.amount
+                self.telemetry.event(
+                    self._now(), obj.name, "split-allocation",
+                    f"{amount:g} {device_type.value} across "
+                    f"{len(shards)} devices",
+                )
+            else:
+                compute = pool.allocate(
+                    amount,
+                    obj.tenant,
+                    single_tenant=single_tenant,
+                    preferred_location=preferred,
+                    device=device,
+                )
+                shards = [compute]
+        except AllocationError as exc:
+            for shard in shards:
+                pool.release(shard)
+            raise SchedulerError(f"{obj.name}: {exc}") from exc
+
+        memory: Optional[Allocation] = None
+        if aspect.mem_gb > 0 and DeviceType.DRAM in self.datacenter.pools:
+            try:
+                memory = self.datacenter.pool(DeviceType.DRAM).allocate(
+                    aspect.mem_gb,
+                    obj.tenant,
+                    preferred_location=compute.device.location,
+                )
+            except AllocationError as exc:
+                for shard in shards:
+                    pool.release(shard)
+                raise SchedulerError(f"{obj.name}: memory: {exc}") from exc
+
+        unit = self.bundles.assemble(
+            compute=compute,
+            memory=memory,
+            env_kind=env_kind,
+            tenant=obj.tenant,
+            single_tenant=single_tenant,
+            extra_compute=shards[1:],
+        )
+        obj.allocations.extend(shards)
+        if memory is not None:
+            obj.allocations.append(memory)
+        obj.environment = unit.environment
+        rate = compute.device.spec.compute_rate
+        self.telemetry.event(
+            self._now(), obj.name, "place-task",
+            f"{amount:g} {device_type.value} @ {compute.device.device_id} "
+            f"env={env_kind.value} warm={unit.environment.from_warm_pool}",
+        )
+        return unit, rate
+
+    def _place_single(
+        self, obj: UDCObject, objects: Dict[str, UDCObject], dag: ModuleDAG
+    ) -> TaskPlacement:
+        task = obj.module
+        assert isinstance(task, TaskModule)
+        aspect = obj.aspects.resource or ResourceAspect()
+        device_type = self._choose_device_type(task, aspect)
+        spec = self.datacenter.spec.spec_for(device_type)
+        amount = aspect.amount if aspect.amount is not None else spec.min_grain
+        preferred = self._preferred_location(obj.name, objects, dag, device_type)
+        unit, rate = self._build_unit(obj, device_type, amount, preferred)
+        self._place_standbys(obj, device_type, amount, unit)
+        return TaskPlacement(
+            obj=obj, device_type=device_type, amount=amount, unit=unit,
+            compute_rate=rate,
+        )
+
+    def _place_standbys(self, obj, device_type, amount, unit) -> None:
+        """Task replication (Table 1's "Rep 2x" on task modules): keep
+        ``factor - 1`` hot-standby allocations on *other* devices.
+
+        Standbys cost money while held (the paper's "more replicas is more
+        expensive") and let failover skip re-allocation.
+        """
+        dist = obj.aspects.distributed
+        if dist is None or dist.replication is None or dist.replication.factor <= 1:
+            return
+        pool = self.datacenter.pool(device_type)
+        primary_device = unit.compute.device
+        single = unit.environment.single_tenant
+        for _ in range(dist.replication.factor - 1):
+            candidate = next(
+                (
+                    d for d in sorted(pool.devices, key=lambda d: d.device_id)
+                    if d is not primary_device
+                    and d.can_fit(amount, obj.tenant, single)
+                ),
+                None,
+            )
+            if candidate is None:
+                self.telemetry.event(
+                    self._now(), obj.name, "standby-degraded",
+                    "no device available for a task standby replica",
+                )
+                return
+            standby = pool.allocate(
+                amount, obj.tenant, single_tenant=single, device=candidate
+            )
+            obj.allocations.append(standby)
+            self.telemetry.event(
+                self._now(), obj.name, "place-standby",
+                f"{amount:g} {device_type.value} @ {candidate.device_id}",
+            )
+
+    def _place_group(
+        self,
+        members: List[UDCObject],
+        objects: Dict[str, UDCObject],
+        dag: ModuleDAG,
+    ) -> Dict[str, TaskPlacement]:
+        """Co-location: all members on one physical device (hard)."""
+        shared = frozenset.intersection(
+            *(m.module.device_candidates for m in members)
+        )
+        # Respect any member's explicit device pin inside the shared set.
+        pinned = {
+            m.aspects.resource.device
+            for m in members
+            if m.aspects.resource and m.aspects.resource.device
+        }
+        pinned.discard(None)
+        if pinned:
+            if len(pinned) > 1 or not pinned <= shared:
+                raise SchedulerError(
+                    f"colocate group {[m.name for m in members]}: conflicting "
+                    f"device pins {sorted(d.value for d in pinned)}"
+                )
+            device_type = next(iter(pinned))
+        else:
+            goal_aspect = members[0].aspects.resource or ResourceAspect()
+            probe = TaskModule(
+                name="__group__", work=1.0, device_candidates=shared
+            )
+            device_type = self._choose_device_type(probe, goal_aspect)
+
+        spec = self.datacenter.spec.spec_for(device_type)
+        amounts = [
+            (m.aspects.resource.amount
+             if m.aspects.resource and m.aspects.resource.amount
+             else spec.min_grain)
+            for m in members
+        ]
+        total = sum(amounts)
+        single = any(
+            m.aspects.execenv and m.aspects.execenv.single_tenant for m in members
+        )
+        pool = self.datacenter.pool(device_type)
+        preferred = self._preferred_location(
+            members[0].name, objects, dag, device_type
+        )
+        host = next(
+            (
+                d for d in sorted(
+                    pool.devices,
+                    key=lambda d: (
+                        0 if preferred is not None
+                        and d.location.same_rack(preferred) else 1,
+                        d.free,
+                    ),
+                )
+                if d.can_fit(total, members[0].tenant, single)
+            ),
+            None,
+        )
+        if host is None:
+            raise SchedulerError(
+                f"colocate group {[m.name for m in members]}: no single "
+                f"{device_type.value} device has {total:g} free units"
+            )
+        placements: Dict[str, TaskPlacement] = {}
+        for member, amount in zip(members, amounts):
+            unit, rate = self._build_unit(
+                member, device_type, amount, preferred=None, device=host
+            )
+            placements[member.name] = TaskPlacement(
+                obj=member, device_type=device_type, amount=amount, unit=unit,
+                compute_rate=rate,
+            )
+        return placements
+
+    def _now(self) -> float:
+        return self.datacenter.sim.now

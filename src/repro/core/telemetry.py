@@ -1,0 +1,84 @@
+"""Runtime telemetry (paper §3.2).
+
+*"UDC would perform fine tuning (enlarging or shrinking the amount of
+resources for a module, migrating modules across hardware units, etc.)
+based on telemetry data collected at the run time."*
+
+:class:`Telemetry` records per-module utilization samples and typed
+events; the tuner consumes samples, the run report consumes events, and
+the pool set's time-weighted utilization supplies the E2/E4 metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Sample", "Telemetry", "TelemetryEvent"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of a module's resource usage."""
+
+    time: float
+    module: str
+    #: fraction of the module's allocated compute actually busy [0, 1]
+    compute_utilization: float
+    allocated_amount: float
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """A discrete runtime occurrence (placement, resize, migration, ...)."""
+
+    time: float
+    module: str
+    kind: str
+    detail: str = ""
+
+
+class Telemetry:
+    """Append-only sample and event log for one run."""
+
+    def __init__(self):
+        self.samples: List[Sample] = []
+        self.events: List[TelemetryEvent] = []
+
+    def sample(self, time: float, module: str, compute_utilization: float,
+               allocated_amount: float) -> None:
+        if not 0.0 <= compute_utilization <= 1.0 + 1e-9:
+            raise ValueError(
+                f"utilization must be in [0,1], got {compute_utilization}"
+            )
+        self.samples.append(
+            Sample(
+                time=time,
+                module=module,
+                compute_utilization=min(compute_utilization, 1.0),
+                allocated_amount=allocated_amount,
+            )
+        )
+
+    def event(self, time: float, module: str, kind: str, detail: str = "") -> None:
+        self.events.append(
+            TelemetryEvent(time=time, module=module, kind=kind, detail=detail)
+        )
+
+    def samples_for(self, module: str) -> List[Sample]:
+        return [s for s in self.samples if s.module == module]
+
+    def events_of(self, kind: str) -> List[TelemetryEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def mean_utilization(self, module: str) -> Optional[float]:
+        samples = self.samples_for(module)
+        if not samples:
+            return None
+        return sum(s.compute_utilization for s in samples) / len(samples)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out

@@ -1,0 +1,109 @@
+"""Execution timelines from run results.
+
+Turns a :class:`~repro.core.report.RunResult` into:
+
+* a structured timeline (list of per-module spans with phase breakdown),
+  serializable to JSON for external tooling;
+* an ASCII Gantt chart for terminals — the quickest way to *see* where a
+  makespan went (cold starts vs compute vs transfers), which is how the
+  E5 bundling result was first spotted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+from repro.core.report import RunResult
+
+__all__ = ["ModuleSpan", "ascii_gantt", "build_timeline"]
+
+
+@dataclass(frozen=True)
+class ModuleSpan:
+    """One task module's execution span with its phase breakdown."""
+
+    module: str
+    start_s: float
+    end_s: float
+    startup_s: float
+    compute_s: float
+    transfer_s: float
+    protection_s: float
+    checkpoint_s: float
+    failures: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["duration_s"] = self.duration_s
+        return payload
+
+
+def build_timeline(result: RunResult) -> List[ModuleSpan]:
+    """Extract task spans in start order."""
+    spans = []
+    for name, obj in result.objects.items():
+        if not obj.is_task:
+            continue
+        record = obj.record
+        spans.append(
+            ModuleSpan(
+                module=name,
+                start_s=record.started_at,
+                end_s=record.finished_at,
+                startup_s=record.startup_s,
+                compute_s=record.compute_s,
+                transfer_s=record.transfer_s,
+                protection_s=record.protection_s,
+                checkpoint_s=record.checkpoint_s,
+                failures=record.failures,
+            )
+        )
+    spans.sort(key=lambda s: (s.start_s, s.module))
+    return spans
+
+
+def ascii_gantt(result: RunResult, width: int = 64) -> str:
+    """Render the run as an ASCII Gantt chart.
+
+    Each row is a task module; the bar spans its wall time, shaded by the
+    dominant phase: ``s`` startup, ``#`` compute, ``~`` transfer,
+    ``c`` checkpoint, ``p`` protection.  ``!`` marks a failure.
+    """
+    spans = build_timeline(result)
+    if not spans:
+        return "(no task spans)"
+    horizon = max(s.end_s for s in spans)
+    if horizon <= 0:
+        return "(zero-length run)"
+    scale = width / horizon
+
+    lines = [f"timeline 0 .. {horizon:.3f}s  (one column = "
+             f"{horizon / width:.3f}s)"]
+    for span in spans:
+        start_col = int(span.start_s * scale)
+        bar_cols = max(int(span.duration_s * scale), 1)
+        phases = [
+            ("s", span.startup_s),
+            ("#", span.compute_s),
+            ("~", span.transfer_s),
+            ("c", span.checkpoint_s),
+            ("p", span.protection_s),
+        ]
+        total = sum(value for _c, value in phases)
+        bar = ""
+        if total > 0:
+            for char, value in phases:
+                bar += char * int(round(bar_cols * value / total))
+        bar = (bar or "#")[:bar_cols].ljust(bar_cols, "#")
+        marker = "!" * span.failures
+        lines.append(
+            f"{span.module:>8} |{' ' * start_col}{bar}{marker}"
+        )
+    lines.append("legend: s=startup  #=compute  ~=transfer  c=checkpoint  "
+                 "p=protection  !=failure")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Adaptive fine-tuning (paper §3.2).
+
+*"Since user specified resources may be inaccurate when executing with
+real (and changing) inputs, UDC would perform fine tuning (enlarging or
+shrinking the amount of resources for a module, migrating modules across
+hardware units, etc.) based on telemetry data collected at the run time."*
+
+The tuner consumes telemetry samples and acts through the pools:
+
+* **shrink** — observed utilization below the target band means the user
+  over-declared (e.g. 8 cores for a task whose parallelism caps at 2);
+  the allocation is resized down to observed need;
+* **grow** — utilization pinned at the top of the band grows the
+  allocation toward the declared ceiling, when the device has headroom;
+* **migrate** — on device failure (or a resize that cannot fit), the
+  module's allocation is rebuilt on another device of the same type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.telemetry import Telemetry
+from repro.hardware.devices import DeviceType
+from repro.hardware.pools import Allocation, AllocationError
+from repro.hardware.topology import Datacenter
+
+__all__ = ["FineTuner", "TuningAction"]
+
+
+@dataclass(frozen=True)
+class TuningAction:
+    """One adjustment the tuner made."""
+
+    module: str
+    kind: str                 # "shrink" | "grow" | "migrate"
+    old_amount: float
+    new_amount: float
+    #: allocation-unit-hours saved per hour of continued execution
+    units_saved: float = 0.0
+
+
+@dataclass
+class FineTuner:
+    """Telemetry-driven resize/migrate engine."""
+
+    datacenter: Datacenter
+    telemetry: Telemetry
+    #: acceptable utilization band; outside it the tuner acts
+    band: Tuple[float, float] = (0.6, 0.95)
+    enabled: bool = True
+    actions: List[TuningAction] = field(default_factory=list)
+
+    def review_allocation(
+        self, module: str, allocation: Allocation, declared_amount: float
+    ) -> Optional[TuningAction]:
+        """Resize ``allocation`` if observed utilization is out of band.
+
+        Returns the action taken, or None.
+        """
+        if not self.enabled or allocation.released:
+            return None
+        observed = self.telemetry.mean_utilization(module)
+        if observed is None:
+            return None
+        low, high = self.band
+        pool = self.datacenter.pool(allocation.device_type)
+        grain = allocation.device.spec.min_grain
+
+        if observed < low:
+            # The module only uses observed*amount; shrink to that (snapped
+            # up to the device grain).
+            needed = max(observed * allocation.amount, grain)
+            needed = _snap_up(needed, grain)
+            if needed < allocation.amount - 1e-9:
+                old = allocation.amount
+                pool.resize(allocation, needed)
+                action = TuningAction(
+                    module=module, kind="shrink",
+                    old_amount=old, new_amount=needed,
+                    units_saved=old - needed,
+                )
+                self._record(action)
+                return action
+        elif observed > high and allocation.amount < declared_amount:
+            target = min(declared_amount, allocation.amount * 2)
+            target = _snap_up(target, grain)
+            try:
+                old = allocation.amount
+                pool.resize(allocation, target)
+            except AllocationError:
+                return None
+            action = TuningAction(
+                module=module, kind="grow",
+                old_amount=old, new_amount=target,
+            )
+            self._record(action)
+            return action
+        return None
+
+    def migrate(
+        self, module: str, allocation: Allocation, tenant: str
+    ) -> Optional[Allocation]:
+        """Move an allocation to a healthy device of the same type.
+
+        Used after device failure; returns the replacement allocation (the
+        caller rewires the module), or None when the pool is exhausted.
+        """
+        pool = self.datacenter.pool(allocation.device_type)
+        amount = allocation.amount
+        single = allocation.single_tenant
+        pool.release(allocation)
+        try:
+            replacement = pool.allocate(amount, tenant, single_tenant=single)
+        except AllocationError:
+            return None
+        action = TuningAction(
+            module=module, kind="migrate",
+            old_amount=amount, new_amount=amount,
+        )
+        self._record(action)
+        return replacement
+
+    def defragment(self, device_type: DeviceType) -> int:
+        """Pack a pool's allocations onto fewer devices (§2's "consolidate
+        more applications to the same amount of computing resources and
+        shutting down the remaining ones").
+
+        Greedy: visit devices from emptiest to fullest; try to move each
+        of their allocations onto a fuller device that can host it.  A
+        device drained to zero can be powered down by the provider.
+        Single-tenant allocations never move onto shared devices (their
+        pinning is a user guarantee, not a provider preference).
+
+        Returns the number of devices fully drained.
+        """
+        if not self.enabled:
+            return 0
+        pool = self.datacenter.pool(device_type)
+        drained = 0
+        donors = sorted(
+            (d for d in pool.devices if not d.failed and 0 < d.used),
+            key=lambda d: d.used,
+        )
+        for donor in donors:
+            moved_all = True
+            for alloc_id in list(donor.allocations):
+                allocation = next(
+                    (a for a in pool._allocations.values()
+                     if a.alloc_id == alloc_id), None,
+                )
+                if allocation is None or allocation.single_tenant:
+                    moved_all = False
+                    continue
+                target = next(
+                    (
+                        d for d in sorted(
+                            pool.devices, key=lambda d: d.free
+                        )
+                        if d is not donor
+                        and d.used > 0
+                        and d.can_fit(allocation.amount, allocation.tenant,
+                                      single_tenant=False)
+                    ),
+                    None,
+                )
+                if target is None:
+                    moved_all = False
+                    continue
+                # Move: re-home the allocation's accounting to the target.
+                donor.allocations.pop(allocation.alloc_id)
+                target.allocations[allocation.alloc_id] = allocation.amount
+                allocation.device = target
+                self._record(TuningAction(
+                    module=allocation.tenant, kind="migrate",
+                    old_amount=allocation.amount,
+                    new_amount=allocation.amount,
+                ))
+            if moved_all and donor.used == 0:
+                drained += 1
+        return drained
+
+    def total_units_saved(self) -> float:
+        return sum(a.units_saved for a in self.actions)
+
+    def _record(self, action: TuningAction) -> None:
+        self.actions.append(action)
+        self.telemetry.event(
+            self.datacenter.sim.now, action.module, f"tune-{action.kind}",
+            f"{action.old_amount:g} -> {action.new_amount:g}",
+        )
+
+
+def _snap_up(value: float, grain: float) -> float:
+    """Round up to the device grain (never bill below it)."""
+    import math
+
+    return math.ceil(value / grain - 1e-12) * grain

@@ -1,0 +1,256 @@
+"""User-side verification of fulfillment (paper §4).
+
+*"UDC must enable users to verify that the cloud vendor is correctly
+providing their selected features ... users can verify important
+properties without trusting the vendor and by just trusting the hardware
+itself."*  And the limitation: *"many features that UDC allows users to
+define cannot be verified with today's remote attestation primitives
+(e.g., whether or not resources were provided as specified)."*
+
+For every placed object the runtime emits a :class:`FulfillmentRecord` —
+the provider's claim of what was provided.  :func:`verify_run` then checks
+each promised property:
+
+* **attested** — covered by the hardware measurement; a lying provider is
+  caught (quote mismatch);
+* **trusted** — fulfilled per provider telemetry, but outside the
+  measurement: the user must take the provider's word (resource amounts,
+  replication factor, consistency level);
+* **violated** — the claim or quote contradicts the promise.
+
+Benchmark E12 runs this against both an honest and a dishonest provider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.objects import UDCObject
+from repro.execenv.attestation import (
+    ATTESTABLE_PROPERTIES,
+    AttestationError,
+    Verifier,
+)
+from repro.execenv.isolation import verifiable_by_user
+
+__all__ = ["FulfillmentRecord", "PropertyCheck", "VerificationReport", "verify_run"]
+
+
+@dataclass(frozen=True)
+class PropertyCheck:
+    """The verdict on one promised property of one module."""
+
+    module: str
+    prop: str
+    promised: str
+    provided: str
+    #: "attested" | "trusted" | "violated"
+    status: str
+
+    @property
+    def user_verifiable(self) -> bool:
+        return self.status == "attested"
+
+
+@dataclass
+class FulfillmentRecord:
+    """Provider-side claim of what one object actually received."""
+
+    module: str
+    device_type: Optional[str] = None
+    amount: Optional[float] = None
+    env_kind: Optional[str] = None
+    single_tenant: bool = False
+    isolation: Optional[str] = None
+    replication_factor: Optional[int] = None
+    consistency: Optional[str] = None
+    protections: List[str] = field(default_factory=list)
+    quote: Optional[object] = None
+    device: Optional[object] = None
+
+
+@dataclass
+class VerificationReport:
+    """All property checks for one run."""
+
+    checks: List[PropertyCheck] = field(default_factory=list)
+
+    @property
+    def violated(self) -> List[PropertyCheck]:
+        return [c for c in self.checks if c.status == "violated"]
+
+    @property
+    def attested(self) -> List[PropertyCheck]:
+        return [c for c in self.checks if c.status == "attested"]
+
+    @property
+    def trusted(self) -> List[PropertyCheck]:
+        return [c for c in self.checks if c.status == "trusted"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violated
+
+    def for_module(self, module: str) -> List[PropertyCheck]:
+        return [c for c in self.checks if c.module == module]
+
+
+def _values_match(promised: str, provided: str) -> bool:
+    if promised == provided:
+        return True
+    try:  # "4" and "4.0" are the same amount
+        return float(promised) == float(provided)
+    except (TypeError, ValueError):
+        return False
+
+
+def _check(module: str, prop: str, promised, provided, attested: bool) \
+        -> PropertyCheck:
+    promised_s, provided_s = str(promised), str(provided)
+    if not _values_match(promised_s, provided_s):
+        status = "violated"
+    elif attested:
+        status = "attested"
+    else:
+        status = "trusted"
+    return PropertyCheck(
+        module=module, prop=prop, promised=promised_s, provided=provided_s,
+        status=status,
+    )
+
+
+def verify_run(
+    objects: Dict[str, UDCObject],
+    records: Dict[str, FulfillmentRecord],
+    verifier: Optional[Verifier] = None,
+) -> VerificationReport:
+    """Cross-check every object's promises against fulfillment records.
+
+    When ``verifier`` is given, quotes are checked cryptographically;
+    a record whose quote fails verification marks its attestable
+    properties violated even if the textual claim matches (the provider's
+    *claim* can lie; the *quote* cannot).
+    """
+    report = VerificationReport()
+    for name, obj in sorted(objects.items()):
+        record = records.get(name)
+        if record is None:
+            continue
+
+        quote_ok = False
+        measured: Dict[str, str] = {}
+        if verifier is not None and record.quote is not None:
+            try:
+                if record.device is not None:
+                    verifier.trust_device(record.device)
+                verifier.verify(record.quote, {})
+                quote_ok = True
+                measured = dict(record.quote.measurement.items())
+            except AttestationError:
+                quote_ok = False
+
+        execenv = obj.aspects.execenv
+        # Environment properties only exist for task objects — a data
+        # module's "environment" is its storage devices; what it promises
+        # users is the protection policy, checked below.
+        if execenv is not None and obj.is_task:
+            promised_level = execenv.effective_isolation
+            if promised_level is not None:
+                attestable_tier = verifiable_by_user(promised_level)
+                report.checks.append(
+                    _check(name, "isolation", promised_level.value,
+                           record.isolation, attested=attestable_tier and quote_ok)
+                )
+            if execenv.env_kind is not None:
+                from repro.execenv.environments import ENV_PROFILES
+
+                promise_attestable = ENV_PROFILES[execenv.env_kind].attestable
+                if quote_ok:
+                    provided = measured.get("env_kind", record.env_kind)
+                elif verifier is not None and promise_attestable:
+                    # The user demanded an attestable mechanism; a missing
+                    # or invalid quote means whatever launched was NOT that
+                    # mechanism (honest launches of attestable envs always
+                    # produce quotes).  The claim alone cannot stand in.
+                    provided = "<no valid quote>"
+                else:
+                    provided = record.env_kind
+                report.checks.append(
+                    _check(name, "env_kind", execenv.env_kind.value, provided,
+                           attested=quote_ok)
+                )
+            if execenv.single_tenant:
+                tier = execenv.effective_isolation
+                # A quote can only be expected where the hosting device
+                # carries a hardware root of trust.  Today that means CPUs:
+                # single tenancy on a GPU/FPGA (the paper's §3.3 challenge)
+                # is physically enforced but NOT user-verifiable, so it
+                # degrades to a trusted claim rather than a violation.
+                device_attestable = (
+                    record.device is not None
+                    and record.device.spec.attestable
+                )
+                expects_quote = (
+                    tier is not None
+                    and verifiable_by_user(tier)
+                    and device_attestable
+                )
+                if quote_ok:
+                    provided = measured.get("single_tenant",
+                                            str(record.single_tenant))
+                elif verifier is not None and expects_quote:
+                    # The user chose a verifiable tier: single tenancy is
+                    # a measured property, and without a valid quote it
+                    # cannot be confirmed (§3.3 — only the attestable
+                    # tiers are user-verifiable).
+                    provided = "<no valid quote>"
+                else:
+                    # A non-attestable tier with single tenancy is a
+                    # trust-the-provider configuration by construction.
+                    provided = record.single_tenant
+                report.checks.append(
+                    _check(name, "single_tenant", True, provided,
+                           attested=quote_ok)
+                )
+        if execenv is not None:
+            for flag, enabled in (
+                ("encrypt", execenv.protection.encrypt),
+                ("integrity", execenv.protection.integrity),
+                ("replay", execenv.protection.replay_protect),
+            ):
+                if enabled:
+                    report.checks.append(
+                        _check(name, f"protection.{flag}", True,
+                               flag in record.protections, attested=False)
+                    )
+
+        resource = obj.aspects.resource
+        if resource is not None:
+            if resource.device is not None:
+                # Device *type* is attestable via the device-model field.
+                report.checks.append(
+                    _check(name, "device_type", resource.device.value,
+                           record.device_type, attested=quote_ok)
+                )
+            if resource.amount is not None:
+                # Amounts are NOT attestable (the paper's open problem).
+                assert "amount" not in ATTESTABLE_PROPERTIES
+                report.checks.append(
+                    _check(name, "amount", resource.amount, record.amount,
+                           attested=False)
+                )
+
+        dist = obj.aspects.distributed
+        if dist is not None:
+            if dist.replication is not None and obj.is_data:
+                report.checks.append(
+                    _check(name, "replication", dist.replication.factor,
+                           record.replication_factor, attested=False)
+                )
+            if dist.consistency is not None and obj.is_data:
+                report.checks.append(
+                    _check(name, "consistency", dist.consistency.value,
+                           record.consistency, attested=False)
+                )
+    return report

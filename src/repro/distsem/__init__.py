@@ -1,0 +1,56 @@
+"""Distributed semantics (paper §3.4).
+
+UDC users define *how their applications run distributedly* per module:
+replication factor, consistency level, operation preference, failure
+domains, and failure-handling strategy — without building the distributed
+systems that implement them.  This package is that implementation:
+
+* :mod:`~repro.distsem.store` — a replicated object store whose replicas
+  live on simulated pool devices and talk over the fabric;
+* :mod:`~repro.distsem.consistency` — consistency levels (sequential,
+  release, eventual) and read/write preference, as actual message
+  protocols with measurable latency, message counts, and staleness;
+* :mod:`~repro.distsem.replication` — replica placement with
+  failure-domain anti-affinity and quorum accounting;
+* :mod:`~repro.distsem.checkpoint` — user-defined checkpoints to storage
+  devices, with restore;
+* :mod:`~repro.distsem.failures` — failure domains and deterministic
+  failure injection (device death interrupts running module processes);
+* :mod:`~repro.distsem.recovery` — re-execute vs checkpoint-restore
+  strategies (E14);
+* :mod:`~repro.distsem.network_order` — in-network sequencing on a
+  programmable switch vs software consensus (E11, the NOPaxos-style design
+  §3.4 cites).
+"""
+
+from repro.distsem.checkpoint import Checkpoint, CheckpointStore
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.failures import Failure, FailureDomain, FailureInjector
+from repro.distsem.network_order import (
+    OrderingScheme,
+    ReplicationProtocolResult,
+    SwitchSequencer,
+    run_ordered_writes,
+)
+from repro.distsem.recovery import RecoveryStrategy
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import OpStats, ReplicatedStore
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "ConsistencyLevel",
+    "Failure",
+    "FailureDomain",
+    "FailureInjector",
+    "OpPreference",
+    "OpStats",
+    "OrderingScheme",
+    "RecoveryStrategy",
+    "ReplicaPlacer",
+    "ReplicatedStore",
+    "ReplicationPolicy",
+    "ReplicationProtocolResult",
+    "SwitchSequencer",
+    "run_ordered_writes",
+]

@@ -1,0 +1,110 @@
+"""User-defined checkpoints (paper §3.4, Table 1's "Checkpoint" cells).
+
+Table 1 marks A2, A3, A4, and B2 as *"Checkpoint"*: on failure these
+modules recover from a user-defined checkpoint instead of re-executing
+from scratch.  :class:`CheckpointStore` persists module state snapshots to
+a storage device over the fabric and restores the most recent one;
+benchmark E14 measures the checkpoint-overhead vs recovery-time trade.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hardware.devices import Device
+from repro.hardware.fabric import Fabric, Location
+from repro.simulator.engine import Simulator
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+_ckpt_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One persisted snapshot of a module's execution state."""
+
+    checkpoint_id: str
+    module: str
+    #: how much of the module's work was complete at snapshot time [0, 1]
+    progress: float
+    size_bytes: int
+    taken_at: float
+    payload: object = None
+
+
+class CheckpointStore:
+    """Snapshots for one tenant on one storage device."""
+
+    def __init__(self, sim: Simulator, fabric: Fabric, device: Device):
+        self.sim = sim
+        self.fabric = fabric
+        self.device = device
+        self._by_module: Dict[str, List[Checkpoint]] = {}
+        self.bytes_written = 0
+        self.checkpoint_seconds = 0.0
+
+    @property
+    def location(self) -> Location:
+        return self.device.location
+
+    def _media_time(self, size_bytes: int) -> float:
+        spec = self.device.spec
+        bw = spec.bandwidth_gbps * 1e9 / 8
+        return spec.access_latency_s + (size_bytes / bw if bw > 0 else 0.0)
+
+    def checkpoint(
+        self,
+        module: str,
+        source: Location,
+        progress: float,
+        size_bytes: int,
+        payload: object = None,
+    ):
+        """Generator: persist a snapshot; returns the :class:`Checkpoint`.
+
+        Cost = fabric transfer from the module's location + media write.
+        """
+        if not 0.0 <= progress <= 1.0:
+            raise ValueError(f"progress must be in [0, 1], got {progress}")
+        start = self.sim.now
+        yield self.fabric.send(source, self.location, size_bytes)
+        yield self.sim.timeout(self._media_time(size_bytes))
+        snapshot = Checkpoint(
+            checkpoint_id=f"ckpt-{next(_ckpt_ids)}",
+            module=module,
+            progress=progress,
+            size_bytes=size_bytes,
+            taken_at=self.sim.now,
+            payload=payload,
+        )
+        self._by_module.setdefault(module, []).append(snapshot)
+        self.bytes_written += size_bytes
+        self.checkpoint_seconds += self.sim.now - start
+        return snapshot
+
+    def latest(self, module: str) -> Optional[Checkpoint]:
+        snapshots = self._by_module.get(module)
+        return snapshots[-1] if snapshots else None
+
+    def restore(self, module: str, destination: Location):
+        """Generator: fetch the latest snapshot; returns it (or None).
+
+        Cost = media read + fabric transfer to the recovering module.
+        """
+        snapshot = self.latest(module)
+        if snapshot is None:
+            return None
+        if self.device.failed:
+            raise RuntimeError(
+                f"checkpoint device {self.device.device_id} failed; "
+                f"snapshots for {module} are unavailable"
+            )
+        yield self.sim.timeout(self._media_time(snapshot.size_bytes))
+        yield self.fabric.send(self.location, destination, snapshot.size_bytes)
+        return snapshot
+
+    def count(self, module: str) -> int:
+        return len(self._by_module.get(module, ()))

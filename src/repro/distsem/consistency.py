@@ -1,0 +1,55 @@
+"""Consistency levels and operation preferences (paper §3.4, Table 1).
+
+Table 1 uses three distinct consistency/preference cells:
+
+* S1 — *"Replicate 3x, Sequential consistency"*
+* S2 — *"Replicate 2x, Reader preference"*
+* S4 — *"No replication, Release consistency"*
+
+The enum below covers those plus eventual consistency (the weakest point
+in the lattice, used as the provider default for unreplicated caches) and
+defines the *strictness order* used by conflict resolution: the paper says
+conflicting specs on shared data resolve to the strictest or error out.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ConsistencyLevel", "OpPreference", "strictest"]
+
+
+class ConsistencyLevel(enum.Enum):
+    """Supported consistency contracts for data modules."""
+
+    SEQUENTIAL = "sequential"
+    RELEASE = "release"
+    EVENTUAL = "eventual"
+
+    @property
+    def rank(self) -> int:
+        """Strictness rank (higher = stricter) for strictest-wins merges."""
+        return _RANK[self]
+
+    def at_least(self, other: "ConsistencyLevel") -> bool:
+        return self.rank >= other.rank
+
+
+_RANK = {
+    ConsistencyLevel.EVENTUAL: 0,
+    ConsistencyLevel.RELEASE: 1,
+    ConsistencyLevel.SEQUENTIAL: 2,
+}
+
+
+def strictest(a: ConsistencyLevel, b: ConsistencyLevel) -> ConsistencyLevel:
+    return a if a.rank >= b.rank else b
+
+
+class OpPreference(enum.Enum):
+    """Which operation class the user optimizes for (§3.4: e.g. "read
+    preference over write")."""
+
+    NONE = "none"
+    READER = "reader"
+    WRITER = "writer"

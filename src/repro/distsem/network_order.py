@@ -1,0 +1,207 @@
+"""In-network ordering vs software consensus (paper §3.4, benchmark E11).
+
+The paper: disaggregated devices *"may not have computation power or could
+run any software. Thus, traditional software systems that implement
+distributed protocols would not directly work. A promising direction is to
+explore the programmability in the network to enforce the distributed
+specifications"* — citing NOPaxos and Pegasus.
+
+Three ordering schemes for replicated writes are implemented as message
+protocols on the fabric:
+
+* **PRIMARY_BACKUP** — client → primary → backups → primary → client.
+  Two sequential network stages; the primary is a software box.
+* **CONSENSUS** — leader-based Multi-Paxos/Raft steady state:
+  client → leader, leader → followers (accept), followers → leader
+  (accepted, majority), leader → client.  Same hop structure as
+  primary-backup but waits only for a majority; modeled with an explicit
+  per-message software processing delay at every replica, which a
+  switch does not pay.
+* **SWITCH_SEQUENCER** — NOPaxos-style: client → switch (stamps a global
+  sequence in the forwarding path) → all replicas, replicas → client.
+  Replicas apply in stamp order; no replica-to-replica coordination on
+  the fast path.
+
+The benchmark reports per-write latency and message count; the shape that
+must hold is: sequencer < primary-backup ≈ consensus in latency, and
+sequencer uses no replica-to-replica messages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.hardware.fabric import Fabric, Location, Message
+from repro.simulator.engine import Simulator
+
+__all__ = [
+    "OrderingScheme",
+    "ReplicationProtocolResult",
+    "SwitchSequencer",
+    "run_ordered_writes",
+]
+
+#: software request-processing delay at a replica CPU (per message); a
+#: programmable switch forwards at line rate and pays none of this.
+SOFTWARE_PROCESSING_S = 3e-6
+WRITE_BYTES = 512
+ACK_BYTES = 64
+
+
+class OrderingScheme(enum.Enum):
+    PRIMARY_BACKUP = "primary-backup"
+    CONSENSUS = "consensus"
+    SWITCH_SEQUENCER = "switch-sequencer"
+
+
+class SwitchSequencer:
+    """A programmable switch that stamps a monotonic global sequence onto
+    messages routed through it (in the forwarding path, zero added delay
+    beyond the extra hop)."""
+
+    def __init__(self, fabric: Fabric, switch_location: Location):
+        self.fabric = fabric
+        self.switch_location = switch_location
+        self.counter = 0
+        fabric.attach_sequencer(switch_location, self._stamp)
+
+    def _stamp(self, message: Message) -> None:
+        message.sequence = self.counter
+        self.counter += 1
+
+
+@dataclass
+class ReplicationProtocolResult:
+    """Aggregate measurements for one scheme's run (E11's table row)."""
+
+    scheme: OrderingScheme
+    writes: int
+    total_messages: int
+    replica_to_replica_messages: int
+    mean_latency_s: float
+    latencies: List[float] = field(default_factory=list)
+
+
+def _write_primary_backup(sim: Simulator, fabric: Fabric, client: Location,
+                          replicas: List[Location], counters: dict):
+    primary, backups = replicas[0], replicas[1:]
+    start = sim.now
+    yield fabric.send(client, primary, WRITE_BYTES)
+    counters["messages"] += 1
+    yield sim.timeout(SOFTWARE_PROCESSING_S)
+
+    def to_backup(backup: Location):
+        yield fabric.send(primary, backup, WRITE_BYTES)
+        yield sim.timeout(SOFTWARE_PROCESSING_S)
+        yield fabric.send(backup, primary, ACK_BYTES)
+
+    acks = [sim.process(to_backup(b)) for b in backups]
+    counters["messages"] += 2 * len(backups)
+    counters["replica_msgs"] += 2 * len(backups)
+    if acks:
+        yield sim.all_of(acks)
+    yield fabric.send(primary, client, ACK_BYTES)
+    counters["messages"] += 1
+    return sim.now - start
+
+
+def _write_consensus(sim: Simulator, fabric: Fabric, client: Location,
+                     replicas: List[Location], counters: dict):
+    """Leader steady state: waits for a majority of accepts (incl. leader)."""
+    leader, followers = replicas[0], replicas[1:]
+    majority_acks = len(replicas) // 2  # leader itself counts as one vote
+    start = sim.now
+    yield fabric.send(client, leader, WRITE_BYTES)
+    counters["messages"] += 1
+    yield sim.timeout(SOFTWARE_PROCESSING_S)
+
+    def accept(follower: Location):
+        yield fabric.send(leader, follower, WRITE_BYTES)
+        yield sim.timeout(SOFTWARE_PROCESSING_S)
+        yield fabric.send(follower, leader, ACK_BYTES)
+
+    acks = [sim.process(accept(f)) for f in followers]
+    counters["messages"] += 2 * len(followers)
+    counters["replica_msgs"] += 2 * len(followers)
+    # Wait until a majority of accept-acks arrived (leader pre-voted).
+    done = 0
+    pending = list(acks)
+    while done < majority_acks and pending:
+        winner = yield sim.any_of(pending)
+        pending = [p for p in pending if not p.processed]
+        done += 1
+    yield sim.timeout(SOFTWARE_PROCESSING_S)  # commit bookkeeping
+    yield fabric.send(leader, client, ACK_BYTES)
+    counters["messages"] += 1
+    return sim.now - start
+
+
+def _write_sequenced(sim: Simulator, fabric: Fabric, client: Location,
+                     replicas: List[Location], sequencer: SwitchSequencer,
+                     counters: dict):
+    start = sim.now
+    sends = [
+        fabric.send(client, r, WRITE_BYTES, via=sequencer.switch_location)
+        for r in replicas
+    ]
+    counters["messages"] += len(replicas)
+    yield sim.all_of(sends)
+
+    def reply(replica: Location):
+        yield sim.timeout(SOFTWARE_PROCESSING_S)  # apply at the replica
+        yield fabric.send(replica, client, ACK_BYTES)
+
+    replies = [sim.process(reply(r)) for r in replicas]
+    counters["messages"] += len(replicas)
+    yield sim.all_of(replies)
+    return sim.now - start
+
+
+def run_ordered_writes(
+    scheme: OrderingScheme,
+    num_writes: int,
+    num_replicas: int = 3,
+    client_rack: int = 0,
+) -> ReplicationProtocolResult:
+    """Run ``num_writes`` sequential replicated writes under ``scheme`` on a
+    fresh single-pod fabric with one replica per rack, and measure."""
+    if num_replicas < 1:
+        raise ValueError("need at least one replica")
+    sim = Simulator()
+    fabric = Fabric(sim)
+    client = Location(pod=0, rack=client_rack, slot=99)
+    replicas = [Location(pod=0, rack=i + 1, slot=0) for i in range(num_replicas)]
+    switch = Location(pod=0, rack=-1, slot=0)
+    sequencer = SwitchSequencer(fabric, switch)
+    counters = {"messages": 0, "replica_msgs": 0}
+    latencies: List[float] = []
+
+    def driver():
+        for _ in range(num_writes):
+            if scheme == OrderingScheme.PRIMARY_BACKUP:
+                latency = yield sim.process(
+                    _write_primary_backup(sim, fabric, client, replicas, counters)
+                )
+            elif scheme == OrderingScheme.CONSENSUS:
+                latency = yield sim.process(
+                    _write_consensus(sim, fabric, client, replicas, counters)
+                )
+            else:
+                latency = yield sim.process(
+                    _write_sequenced(sim, fabric, client, replicas, sequencer,
+                                     counters)
+                )
+            latencies.append(latency)
+
+    done = sim.process(driver())
+    sim.run(until_event=done)
+    return ReplicationProtocolResult(
+        scheme=scheme,
+        writes=num_writes,
+        total_messages=counters["messages"],
+        replica_to_replica_messages=counters["replica_msgs"],
+        mean_latency_s=sum(latencies) / len(latencies) if latencies else 0.0,
+        latencies=latencies,
+    )

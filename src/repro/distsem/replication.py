@@ -1,0 +1,146 @@
+"""Replica placement with failure-domain anti-affinity.
+
+The user's distributed aspect names a replication factor; the provider must
+place that many replicas so that no single failure domain holds two of them
+(otherwise the factor is security theater).  :class:`ReplicaPlacer` picks
+storage/memory devices across racks, falling back gracefully (with an
+explicit diagnostic) when the topology cannot honor full anti-affinity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hardware.devices import Device
+from repro.hardware.pools import Allocation, AllocationError, ResourcePool
+
+__all__ = ["PlacementResult", "ReplicaPlacer", "ReplicationPolicy"]
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """User-declared replication for one data module."""
+
+    factor: int = 1
+    #: replicas must land on distinct racks when True
+    anti_affinity: bool = True
+
+    def __post_init__(self):
+        if self.factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {self.factor}")
+
+    @property
+    def write_quorum(self) -> int:
+        """Majority quorum used by quorum-mode protocols."""
+        return self.factor // 2 + 1
+
+    def strictest(self, other: "ReplicationPolicy") -> "ReplicationPolicy":
+        return ReplicationPolicy(
+            factor=max(self.factor, other.factor),
+            anti_affinity=self.anti_affinity or other.anti_affinity,
+        )
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing one module's replicas."""
+
+    allocations: List[Allocation]
+    #: True when rack anti-affinity could not be fully honored
+    anti_affinity_degraded: bool = False
+
+    @property
+    def devices(self) -> List[Device]:
+        return [a.device for a in self.allocations]
+
+    @property
+    def locations(self):
+        return [a.device.location for a in self.allocations]
+
+
+class ReplicaPlacer:
+    """Places N replicas of ``size`` units on a pool, spreading racks."""
+
+    def __init__(self, pool: ResourcePool):
+        self.pool = pool
+
+    def place(
+        self,
+        size: float,
+        tenant: str,
+        policy: ReplicationPolicy,
+        preferred_location=None,
+    ) -> PlacementResult:
+        """Allocate ``policy.factor`` replicas.
+
+        Placement strategy: the first replica prefers the caller's locality
+        hint; subsequent replicas prefer *other* racks.  If distinct racks
+        run out, placement continues on used racks and the result is marked
+        degraded rather than failing — availability degraded beats data
+        unplaced, and the runtime surfaces the degradation in the report.
+        """
+        allocations: List[Allocation] = []
+        used_racks = set()
+        degraded = False
+        try:
+            for index in range(policy.factor):
+                allocation = self._place_one(
+                    size, tenant, used_racks if policy.anti_affinity else set(),
+                    preferred_location if index == 0 else None,
+                )
+                if allocation is None:
+                    # Retry ignoring anti-affinity.
+                    allocation = self._place_one(size, tenant, set(), None)
+                    if allocation is None:
+                        raise AllocationError(
+                            f"cannot place replica {index + 1}/{policy.factor} "
+                            f"of size {size:g} on pool {self.pool.device_type.value}"
+                        )
+                    degraded = True
+                loc = allocation.device.location
+                used_racks.add((loc.pod, loc.rack))
+                allocations.append(allocation)
+        except AllocationError:
+            for allocation in allocations:
+                self.pool.release(allocation)
+            raise
+        return PlacementResult(allocations=allocations, anti_affinity_degraded=degraded)
+
+    def place_replacement(
+        self, size: float, tenant: str, avoid_racks: set
+    ) -> Allocation:
+        """Place ONE replacement replica, preferring racks not in
+        ``avoid_racks`` (the survivors' racks) — used by store healing."""
+        allocation = self._place_one(size, tenant, avoid_racks, None)
+        if allocation is None:
+            allocation = self._place_one(size, tenant, set(), None)
+        if allocation is None:
+            raise AllocationError(
+                f"pool {self.pool.device_type.value}: no capacity for a "
+                f"replacement replica of {size:g}"
+            )
+        return allocation
+
+    def _place_one(
+        self, size: float, tenant: str, excluded_racks: set, preferred_location
+    ) -> Optional[Allocation]:
+        candidates: Sequence[Device] = [
+            d
+            for d in self.pool.devices
+            if not d.failed
+            and d.free + 1e-9 >= size
+            and (d.location.pod, d.location.rack) not in excluded_racks
+        ]
+        if not candidates:
+            return None
+
+        def key(device: Device):
+            local = 0 if (
+                preferred_location is not None
+                and device.location.same_rack(preferred_location)
+            ) else 1
+            return (local, device.free, device.device_id)
+
+        chosen = sorted(candidates, key=key)[0]
+        return self.pool.allocate(size, tenant, device=chosen)

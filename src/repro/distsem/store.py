@@ -1,0 +1,641 @@
+"""A replicated object store over disaggregated devices.
+
+Data modules (the S1–S4 boxes of Figure 2) become
+:class:`ReplicatedStore` instances: N replicas on storage/memory devices,
+speaking real message protocols over the fabric.  Each consistency level
+from the user's distributed aspect maps to a different protocol:
+
+* **sequential** — all writes ordered through the primary replica (or an
+  in-network sequencer when one is attached); writes ack only after every
+  replica applied, reads see the latest write.
+* **release** — writes apply at the primary and buffer; propagation to
+  backups happens at an explicit ``release()``; reads at backups between
+  releases may be stale (by design — that is the contract).
+* **eventual** — writes ack at the nearest replica and propagate
+  asynchronously.
+
+Operation preference (§3.4's "read preference over write") routes reads to
+the nearest replica instead of the primary, trading staleness for latency.
+
+Every operation returns an :class:`OpStats` so benchmarks E13/E11 can
+report latency, message count, bytes moved, and observed staleness.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.replication import PlacementResult
+from repro.hardware.devices import Device
+from repro.hardware.fabric import Fabric, Location
+from repro.simulator.engine import Simulator
+
+__all__ = ["OpStats", "Replica", "ReplicatedStore"]
+
+ACK_BYTES = 64
+REQUEST_BYTES = 64
+
+_op_ids = itertools.count()
+
+
+@dataclass
+class OpStats:
+    """Measured cost and semantics of one store operation."""
+
+    op: str
+    key: str
+    latency_s: float = 0.0
+    messages: int = 0
+    bytes_moved: int = 0
+    #: for reads: how many versions behind the primary the result was
+    staleness: int = 0
+    served_by: Optional[str] = None
+
+
+@dataclass
+class Replica:
+    """One replica's state on one device."""
+
+    device: Device
+    location: Location
+    data: Dict[str, Tuple[int, Any]] = field(default_factory=dict)
+    #: highest version applied per key (for staleness accounting)
+    applied_version: Dict[str, int] = field(default_factory=dict)
+    #: out-of-order buffer for sequencer-ordered delivery
+    reorder_buffer: Dict[int, Tuple[str, int, Any]] = field(default_factory=dict)
+    next_sequence: int = 0
+
+    def apply(self, key: str, version: int, value: Any) -> None:
+        current = self.applied_version.get(key, 0)
+        if version > current:
+            self.data[key] = (version, value)
+            self.applied_version[key] = version
+
+    def media_time(self, size_bytes: int) -> float:
+        """Device access latency + serialization at media bandwidth."""
+        spec = self.device.spec
+        bw = spec.bandwidth_gbps * 1e9 / 8  # bytes/s
+        transfer = size_bytes / bw if bw > 0 else 0.0
+        return spec.access_latency_s + transfer
+
+
+class ReplicatedStore:
+    """The live form of one data module.
+
+    Args:
+        sim: the simulator driving the datacenter.
+        fabric: the network between replicas and clients.
+        name: the data module's name (S1, S2, ...).
+        placement: replica allocations from :class:`ReplicaPlacer`.
+        consistency: contract from the distributed aspect.
+        preference: operation preference from the distributed aspect.
+        sequencer: optional in-network sequencer; when present, sequential
+            writes are ordered by the switch instead of the primary.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: Fabric,
+        name: str,
+        placement: PlacementResult,
+        consistency: ConsistencyLevel = ConsistencyLevel.SEQUENTIAL,
+        preference: OpPreference = OpPreference.NONE,
+        sequencer=None,
+    ):
+        if not placement.allocations:
+            raise ValueError("store requires at least one replica allocation")
+        self.sim = sim
+        self.fabric = fabric
+        self.name = name
+        self.placement = placement
+        self.consistency = consistency
+        self.preference = preference
+        self.sequencer = sequencer
+        self.replicas: List[Replica] = [
+            Replica(device=a.device, location=a.device.location)
+            for a in placement.allocations
+        ]
+        self._version_counter: Dict[str, int] = {}
+        #: (key, version, value, size) pending propagation under RELEASE
+        self._pending_release: List[Tuple[str, int, Any, int]] = []
+        self.op_log: List[OpStats] = []
+
+    # -- replica selection ---------------------------------------------------
+
+    @property
+    def primary(self) -> Replica:
+        return self.replicas[0]
+
+    @property
+    def backups(self) -> List[Replica]:
+        return self.replicas[1:]
+
+    def live_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if not r.device.failed]
+
+    def nearest_replica(self, client: Location) -> Replica:
+        live = self.live_replicas()
+        if not live:
+            raise RuntimeError(f"store {self.name}: all replicas failed")
+        return min(
+            live,
+            key=lambda r: (self.fabric.latency(client, r.location), r.device.device_id),
+        )
+
+    # -- write protocols -------------------------------------------------------
+
+    def write(self, client: Location, key: str, value: Any, size_bytes: int):
+        """Generator: run under ``sim.process``; returns :class:`OpStats`."""
+        if self.consistency == ConsistencyLevel.SEQUENTIAL:
+            if self.sequencer is not None:
+                return self._write_sequenced(client, key, value, size_bytes)
+            return self._write_primary_sync(client, key, value, size_bytes)
+        if self.consistency == ConsistencyLevel.RELEASE:
+            return self._write_release(client, key, value, size_bytes)
+        return self._write_eventual(client, key, value, size_bytes)
+
+    def _next_version(self, key: str) -> int:
+        self._version_counter[key] = self._version_counter.get(key, 0) + 1
+        return self._version_counter[key]
+
+    def _write_primary_sync(self, client: Location, key: str, value, size_bytes: int):
+        """Primary-ordered, fully synchronous replication (sequential)."""
+        stats = OpStats(op="write", key=key)
+        start = self.sim.now
+        primary = self.primary
+        if primary.device.failed:
+            primary = self.nearest_replica(client)
+
+        yield self.fabric.send(client, primary.location, size_bytes)
+        stats.messages += 1
+        stats.bytes_moved += size_bytes
+
+        version = self._next_version(key)
+        yield self.sim.timeout(primary.media_time(size_bytes))
+        primary.apply(key, version, value)
+
+        # Parallel propagate to live backups, wait for all acks.
+        acks = []
+        for backup in self.backups:
+            if backup.device.failed:
+                continue
+            acks.append(
+                self.sim.process(
+                    self._propagate_one(primary.location, backup, key, version,
+                                        value, size_bytes)
+                )
+            )
+            stats.messages += 2  # data out + ack back
+            stats.bytes_moved += size_bytes + ACK_BYTES
+        if acks:
+            yield self.sim.all_of(acks)
+
+        yield self.fabric.send(primary.location, client, ACK_BYTES)
+        stats.messages += 1
+        stats.bytes_moved += ACK_BYTES
+        stats.latency_s = self.sim.now - start
+        stats.served_by = primary.device.device_id
+        self.op_log.append(stats)
+        return stats
+
+    def _propagate_one(self, src: Location, backup: Replica, key: str,
+                       version: int, value, size_bytes: int):
+        yield self.fabric.send(src, backup.location, size_bytes)
+        yield self.sim.timeout(backup.media_time(size_bytes))
+        backup.apply(key, version, value)
+        yield self.fabric.send(backup.location, src, ACK_BYTES)
+
+    def _write_sequenced(self, client: Location, key: str, value, size_bytes: int):
+        """In-network ordering: the switch stamps a global sequence and
+        multicasts; replicas apply in stamp order; all reply to the client,
+        which waits for every live replica (NOPaxos-style fast path)."""
+        stats = OpStats(op="write", key=key)
+        start = self.sim.now
+        version = self._next_version(key)
+        live = self.live_replicas()
+
+        sends = self.fabric.multicast_via(
+            client,
+            [replica.location for replica in live],
+            size_bytes,
+            payload=(key, version, value),
+            via=self.sequencer.switch_location,
+        )
+        stats.messages += len(live)
+        stats.bytes_moved += size_bytes * len(live)
+        deliveries = yield self.sim.all_of(sends)
+
+        applies = []
+        for replica, message in zip(live, deliveries):
+            applies.append(
+                self.sim.process(
+                    self._apply_sequenced(replica, message, size_bytes)
+                )
+            )
+            stats.messages += 1  # reply to client
+            stats.bytes_moved += ACK_BYTES
+        replies = [
+            self.sim.process(self._reply_after(apply, replica.location, client))
+            for apply, replica in zip(applies, live)
+        ]
+        yield self.sim.all_of(replies)
+
+        stats.latency_s = self.sim.now - start
+        stats.served_by = "sequencer"
+        self.op_log.append(stats)
+        return stats
+
+    def _apply_sequenced(self, replica: Replica, message, size_bytes: int):
+        key, version, value = message.payload
+        sequence = message.sequence
+        replica.reorder_buffer[sequence] = (key, version, value)
+        # Apply every contiguously available stamp.
+        while replica.next_sequence in replica.reorder_buffer:
+            k, v, val = replica.reorder_buffer.pop(replica.next_sequence)
+            yield self.sim.timeout(replica.media_time(size_bytes))
+            replica.apply(k, v, val)
+            replica.next_sequence += 1
+
+    def _reply_after(self, apply_process, src: Location, client: Location):
+        yield apply_process
+        yield self.fabric.send(src, client, ACK_BYTES)
+
+    def _write_release(self, client: Location, key: str, value, size_bytes: int):
+        """Apply at primary, buffer propagation until release()."""
+        stats = OpStats(op="write", key=key)
+        start = self.sim.now
+        primary = self.primary
+        yield self.fabric.send(client, primary.location, size_bytes)
+        stats.messages += 1
+        stats.bytes_moved += size_bytes
+        version = self._next_version(key)
+        yield self.sim.timeout(primary.media_time(size_bytes))
+        primary.apply(key, version, value)
+        self._pending_release.append((key, version, value, size_bytes))
+        yield self.fabric.send(primary.location, client, ACK_BYTES)
+        stats.messages += 1
+        stats.bytes_moved += ACK_BYTES
+        stats.latency_s = self.sim.now - start
+        stats.served_by = primary.device.device_id
+        self.op_log.append(stats)
+        return stats
+
+    def release(self, client: Location):
+        """Flush buffered release-consistency writes to all backups."""
+        stats = OpStats(op="release", key="*")
+        start = self.sim.now
+        pending, self._pending_release = self._pending_release, []
+        if pending:
+            batch_bytes = sum(p[3] for p in pending)
+            acks = []
+            for backup in self.backups:
+                if backup.device.failed:
+                    continue
+                acks.append(
+                    self.sim.process(
+                        self._propagate_batch(backup, pending, batch_bytes)
+                    )
+                )
+                stats.messages += 2
+                stats.bytes_moved += batch_bytes + ACK_BYTES
+            if acks:
+                yield self.sim.all_of(acks)
+        yield self.fabric.send(self.primary.location, client, ACK_BYTES)
+        stats.messages += 1
+        stats.bytes_moved += ACK_BYTES
+        stats.latency_s = self.sim.now - start
+        self.op_log.append(stats)
+        return stats
+
+    def acquire(self, client: Location):
+        """Release-consistency acquire: synchronize the reader's nearest
+        replica with the primary before a critical section.
+
+        After ``yield``-ing an acquire, reads served by that replica see
+        every write that was *released* before the acquire — the RC
+        contract.  Writes still buffered at the primary (not yet
+        released) remain invisible: also the contract.  Approximation:
+        a key holding BOTH a released and a newer unreleased write is
+        skipped entirely (the store keeps only the newest version per
+        key, and leaking the unreleased one would be worse than serving
+        the replica's older view).  Returns :class:`OpStats`.
+        """
+        stats = OpStats(op="acquire", key="*")
+        start = self.sim.now
+        target = self.nearest_replica(client)
+        primary = self.primary
+        if target is not primary and not primary.device.failed:
+            missing = [
+                (key, version, value)
+                for key, (version, value) in sorted(primary.data.items())
+                if target.applied_version.get(key, 0) < version
+                and not any(key == p[0] for p in self._pending_release)
+            ]
+            if missing:
+                sync_bytes = sum(_size_of(v) for _k, _ver, v in missing)
+                yield self.fabric.send(target.location, primary.location,
+                                       REQUEST_BYTES)
+                yield self.fabric.send(primary.location, target.location,
+                                       sync_bytes)
+                yield self.sim.timeout(target.media_time(sync_bytes))
+                for key, version, value in missing:
+                    target.apply(key, version, value)
+                stats.messages = 2
+                stats.bytes_moved = REQUEST_BYTES + sync_bytes
+        stats.latency_s = self.sim.now - start
+        stats.served_by = target.device.device_id
+        self.op_log.append(stats)
+        return stats
+
+    def _propagate_batch(self, backup: Replica, pending, batch_bytes: int):
+        yield self.fabric.send(self.primary.location, backup.location, batch_bytes)
+        yield self.sim.timeout(backup.media_time(batch_bytes))
+        for key, version, value, _size in pending:
+            backup.apply(key, version, value)
+        yield self.fabric.send(backup.location, self.primary.location, ACK_BYTES)
+
+    def _write_eventual(self, client: Location, key: str, value, size_bytes: int):
+        """Ack at nearest replica; propagate asynchronously."""
+        stats = OpStats(op="write", key=key)
+        start = self.sim.now
+        target = self.nearest_replica(client)
+        yield self.fabric.send(client, target.location, size_bytes)
+        stats.messages += 1
+        stats.bytes_moved += size_bytes
+        version = self._next_version(key)
+        yield self.sim.timeout(target.media_time(size_bytes))
+        target.apply(key, version, value)
+        yield self.fabric.send(target.location, client, ACK_BYTES)
+        stats.messages += 1
+        stats.bytes_moved += ACK_BYTES
+        stats.latency_s = self.sim.now - start
+        stats.served_by = target.device.device_id
+        # Background anti-entropy: not charged to the client's latency.
+        for other in self.replicas:
+            if other is target or other.device.failed:
+                continue
+            self.sim.process(
+                self._propagate_one(target.location, other, key, version,
+                                    value, size_bytes)
+            )
+            stats.messages += 2
+            stats.bytes_moved += size_bytes + ACK_BYTES
+        self.op_log.append(stats)
+        return stats
+
+    # -- read protocol -----------------------------------------------------------
+
+    def read(self, client: Location, key: str):
+        """Generator returning ``(value, OpStats)``."""
+        stats = OpStats(op="read", key=key)
+        start = self.sim.now
+        if (
+            self.consistency == ConsistencyLevel.SEQUENTIAL
+            and self.preference != OpPreference.READER
+            and not self.primary.device.failed
+        ):
+            target = self.primary
+        else:
+            target = self.nearest_replica(client)
+
+        yield self.fabric.send(client, target.location, REQUEST_BYTES)
+        version, value = target.data.get(key, (0, None))
+        size = max(REQUEST_BYTES, 0 if value is None else _size_of(value))
+        yield self.sim.timeout(target.media_time(size))
+        yield self.fabric.send(target.location, client, size)
+
+        stats.messages = 2
+        stats.bytes_moved = REQUEST_BYTES + size
+        stats.latency_s = self.sim.now - start
+        stats.served_by = target.device.device_id
+        stats.staleness = self._version_counter.get(key, 0) - version
+        self.op_log.append(stats)
+        return value, stats
+
+    def write_quorum(self, client: Location, key: str, value: Any,
+                     size_bytes: int, quorum: Optional[int] = None):
+        """Generator: Dynamo-style W-quorum write.
+
+        Sends the write to all live replicas in parallel but acks the
+        client after ``quorum`` of them applied (default: majority).
+        The remaining replicas finish in the background.  Paired with
+        :meth:`read_quorum` at R where R + W > N, reads see the latest
+        acknowledged write.  Returns :class:`OpStats`.
+        """
+        stats = OpStats(op="write-quorum", key=key)
+        start = self.sim.now
+        live = self.live_replicas()
+        if quorum is None:
+            quorum = len(self.replicas) // 2 + 1
+        if quorum < 1 or quorum > len(live):
+            raise ValueError(
+                f"write quorum {quorum} impossible with {len(live)} live "
+                f"replicas"
+            )
+        version = self._next_version(key)
+
+        def deliver(replica: Replica):
+            yield self.fabric.send(client, replica.location, size_bytes)
+            yield self.sim.timeout(replica.media_time(size_bytes))
+            replica.apply(key, version, value)
+            yield self.fabric.send(replica.location, client, ACK_BYTES)
+
+        deliveries = [self.sim.process(deliver(r)) for r in live]
+        stats.messages = 2 * len(live)
+        stats.bytes_moved = (size_bytes + ACK_BYTES) * len(live)
+        acked = 0
+        pending = list(deliveries)
+        while acked < quorum and pending:
+            yield self.sim.any_of(pending)
+            pending = [p for p in pending if not p.processed]
+            acked = len(deliveries) - len(pending)
+        stats.latency_s = self.sim.now - start
+        stats.served_by = f"quorum-{quorum}"
+        self.op_log.append(stats)
+        return stats
+
+    def read_quorum(self, client: Location, key: str, quorum: Optional[int] = None):
+        """Generator: majority-quorum read with read-repair.
+
+        Queries ``quorum`` live replicas in parallel (default: majority of
+        the replication factor), returns the freshest version among them,
+        and repairs any stale replica it touched in the background — the
+        standard Dynamo-style construction, here available to users whose
+        distributed aspect pairs eventual consistency with read quorums.
+        Returns ``(value, OpStats)``; the stats' ``staleness`` is measured
+        against the global latest version (0 whenever the quorum
+        intersects the freshest replica).
+        """
+        stats = OpStats(op="read-quorum", key=key)
+        start = self.sim.now
+        live = self.live_replicas()
+        if quorum is None:
+            quorum = len(self.replicas) // 2 + 1
+        if quorum < 1 or quorum > len(live):
+            raise ValueError(
+                f"quorum {quorum} impossible with {len(live)} live replicas"
+            )
+        targets = sorted(
+            live, key=lambda r: (self.fabric.latency(client, r.location),
+                                 r.device.device_id)
+        )[:quorum]
+
+        def query(replica: Replica):
+            yield self.fabric.send(client, replica.location, REQUEST_BYTES)
+            version, value = replica.data.get(key, (0, None))
+            size = max(REQUEST_BYTES, 0 if value is None else _size_of(value))
+            yield self.sim.timeout(replica.media_time(size))
+            yield self.fabric.send(replica.location, client, size)
+            return replica, version, value, size
+
+        responses = yield self.sim.all_of(
+            [self.sim.process(query(replica)) for replica in targets]
+        )
+        stats.messages = 2 * quorum
+        stats.bytes_moved = sum(REQUEST_BYTES + r[3] for r in responses)
+
+        best_replica, best_version, best_value, _best_size = max(
+            responses, key=lambda r: r[1]
+        )
+        # Read-repair: push the winning version to the stale quorum
+        # members (background; not charged to the reader's latency).
+        for replica, version, _value, _size in responses:
+            if version < best_version:
+                self.sim.process(
+                    self._propagate_one(
+                        best_replica.location, replica, key, best_version,
+                        best_value, _size_of(best_value),
+                    )
+                )
+                stats.messages += 2
+        stats.latency_s = self.sim.now - start
+        stats.served_by = best_replica.device.device_id
+        stats.staleness = self._version_counter.get(key, 0) - best_version
+        self.op_log.append(stats)
+        return best_value, stats
+
+    def heal(self, placer) -> int:
+        """Re-replicate after device failures (§3.4 availability).
+
+        Replaces every replica whose device has failed: allocates one
+        replacement per casualty through ``placer`` (a
+        :class:`~repro.distsem.replication.ReplicaPlacer`), preferring
+        racks the survivors do not occupy, then copies the freshest
+        surviving state onto the replacements.  Returns the number of
+        replicas rebuilt.  State transfer runs in the background (drain
+        the sim to wait for it).
+        """
+        dead = [r for r in self.replicas if r.device.failed]
+        if not dead:
+            return 0
+        survivors = self.live_replicas()
+        if not survivors:
+            raise RuntimeError(
+                f"store {self.name}: no surviving replica to heal from"
+            )
+        source = survivors[0]
+        size = self.placement.allocations[0].amount
+        tenant = self.placement.allocations[0].tenant
+        rebuilt = 0
+        for casualty in dead:
+            avoid = {
+                (r.location.pod, r.location.rack) for r in self.live_replicas()
+            }
+            replacement_alloc = placer.place_replacement(size, tenant, avoid)
+            replacement = Replica(
+                device=replacement_alloc.device,
+                location=replacement_alloc.device.location,
+            )
+            index = self.replicas.index(casualty)
+            self.replicas[index] = replacement
+            self.placement.allocations[index] = replacement_alloc
+            for key, (version, value) in sorted(source.data.items()):
+                self.sim.process(
+                    self._propagate_one(
+                        source.location, replacement, key, version, value,
+                        _size_of(value),
+                    )
+                )
+            rebuilt += 1
+        return rebuilt
+
+    # -- bulk transfers (module-level dataflow) ---------------------------------
+
+    def bulk_read(self, client: Location, nbytes: int):
+        """Generator: stream ``nbytes`` of this data module to a task.
+
+        Routed like a read (primary under sequential without reader
+        preference, else nearest replica); returns :class:`OpStats`.
+        """
+        stats = OpStats(op="bulk-read", key="*")
+        start = self.sim.now
+        if (
+            self.consistency == ConsistencyLevel.SEQUENTIAL
+            and self.preference != OpPreference.READER
+            and not self.primary.device.failed
+        ):
+            target = self.primary
+        else:
+            target = self.nearest_replica(client)
+        yield self.fabric.send(client, target.location, REQUEST_BYTES)
+        yield self.sim.timeout(target.media_time(nbytes))
+        yield self.fabric.send(target.location, client, nbytes)
+        stats.messages = 2
+        stats.bytes_moved = REQUEST_BYTES + nbytes
+        stats.latency_s = self.sim.now - start
+        stats.served_by = target.device.device_id
+        self.op_log.append(stats)
+        return stats
+
+    def bulk_write(self, client: Location, nbytes: int, tag: str = "bulk"):
+        """Generator: persist ``nbytes`` from a task into this data module,
+        paying the store's consistency protocol; returns :class:`OpStats`."""
+        key = f"__{tag}-{next(_op_ids)}"
+        stats = yield self.sim.process(
+            self.write(client, key, _Blob(nbytes), nbytes)
+        )
+        return stats
+
+    # -- aggregate accounting -------------------------------------------------
+
+    def totals(self) -> Dict[str, float]:
+        reads = [o for o in self.op_log if o.op == "read"]
+        writes = [o for o in self.op_log if o.op == "write"]
+        return {
+            "reads": len(reads),
+            "writes": len(writes),
+            "mean_read_latency_s": _mean(o.latency_s for o in reads),
+            "mean_write_latency_s": _mean(o.latency_s for o in writes),
+            "messages": sum(o.messages for o in self.op_log),
+            "bytes_moved": sum(o.bytes_moved for o in self.op_log),
+            "stale_reads": sum(1 for o in reads if o.staleness > 0),
+        }
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+class _Blob:
+    """Opaque sized payload used by bulk writes."""
+
+    def __init__(self, size_bytes: int):
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return f"_Blob({self.size_bytes})"
+
+
+def _size_of(value: Any) -> int:
+    if isinstance(value, _Blob):
+        return value.size_bytes
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    return 64

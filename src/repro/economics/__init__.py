@@ -1,0 +1,36 @@
+"""Economics models (paper §2 and §4).
+
+* :mod:`~repro.economics.devops_matrix` — the "cloud DevOps matrix from
+  hell": provider development cost growing as services x features under
+  the provider-dictated model vs services + features under UDC's
+  decoupled layers (C5, benchmark E8);
+* :mod:`~repro.economics.pricing` — the unit-price window where the
+  provider charges *more* per unit yet the user's total bill *drops*,
+  enabled by eliminating waste and consolidating utilization (C10, E9);
+* :mod:`~repro.economics.cost` — cost aggregation helpers shared by the
+  benchmarks.
+"""
+
+from repro.economics.cost import CostComparison, compare_costs
+from repro.economics.devops_matrix import (
+    GrowthScenario,
+    decoupled_cost,
+    matrix_cost,
+    sweep_growth,
+)
+from repro.economics.pricing import PricingWindow, pricing_window
+from repro.economics.provider import ProviderLedger, account_run, powered_devices
+
+__all__ = [
+    "CostComparison",
+    "GrowthScenario",
+    "PricingWindow",
+    "ProviderLedger",
+    "account_run",
+    "powered_devices",
+    "compare_costs",
+    "decoupled_cost",
+    "matrix_cost",
+    "pricing_window",
+    "sweep_growth",
+]

@@ -1,0 +1,49 @@
+"""Cost aggregation helpers shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CostComparison", "compare_costs"]
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Two labeled costs with derived ratios."""
+
+    label_a: str
+    cost_a: float
+    label_b: str
+    cost_b: float
+
+    @property
+    def ratio(self) -> float:
+        """cost_a / cost_b (inf when b is zero and a is not)."""
+        if self.cost_b == 0:
+            return float("inf") if self.cost_a > 0 else 1.0
+        return self.cost_a / self.cost_b
+
+    @property
+    def saving_fraction(self) -> float:
+        """How much cheaper b is than a, as a fraction of a."""
+        if self.cost_a == 0:
+            return 0.0
+        return 1.0 - self.cost_b / self.cost_a
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            self.label_a: self.cost_a,
+            self.label_b: self.cost_b,
+            "ratio": self.ratio,
+            "saving": self.saving_fraction,
+        }
+
+
+def compare_costs(label_a: str, cost_a: float, label_b: str, cost_b: float) \
+        -> CostComparison:
+    if cost_a < 0 or cost_b < 0:
+        raise ValueError("costs must be non-negative")
+    return CostComparison(
+        label_a=label_a, cost_a=cost_a, label_b=label_b, cost_b=cost_b
+    )

@@ -1,0 +1,105 @@
+"""The cloud DevOps matrix from hell (paper §1/§2, claim C5).
+
+*"When there is new hardware to deploy or a security feature to add, the
+cloud provider needs to integrate them into every single one of its
+existing services.  On the other hand, launching a new service dictates
+that the service must be compatible with different types of hardware,
+system software, and security features ... These two problems collectively
+create a 'cloud DevOps matrix from hell'."*
+
+Cost model:
+
+* **provider-dictated** — every (service, feature) pair must be
+  integrated and regression-tested: cost ∝ services x features, plus a
+  per-service and per-feature base.
+* **UDC (decoupled)** — layers are independent: adding a feature costs
+  only that feature's work; adding a service only that service's.  Cost ∝
+  services + features, plus a one-time investment in the customizable
+  infrastructure (§4: "providers only need to pay a one-time cost").
+
+Benchmark E8 sweeps ecosystem growth and reports when the UDC curve,
+despite its upfront cost, drops below the matrix curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["GrowthScenario", "decoupled_cost", "matrix_cost", "sweep_growth"]
+
+#: engineer-week costs (arbitrary but consistent units)
+PAIR_INTEGRATION_COST = 2.0      # integrate one feature into one service
+SERVICE_BASE_COST = 40.0         # stand up one service
+FEATURE_BASE_COST = 25.0         # develop one feature (hardware or software)
+UDC_INFRA_ONE_TIME = 600.0       # the customizable infrastructure investment
+UDC_SERVICE_COST = 8.0           # a "service" is just a spec template now
+UDC_FEATURE_COST = 30.0          # features integrate against one interface
+
+
+def matrix_cost(services: int, features: int) -> float:
+    """Cumulative development cost under the provider-dictated model."""
+    if services < 0 or features < 0:
+        raise ValueError("services and features must be >= 0")
+    return (
+        services * SERVICE_BASE_COST
+        + features * FEATURE_BASE_COST
+        + services * features * PAIR_INTEGRATION_COST
+    )
+
+
+def decoupled_cost(services: int, features: int) -> float:
+    """Cumulative development cost under UDC's decoupled layers."""
+    if services < 0 or features < 0:
+        raise ValueError("services and features must be >= 0")
+    return (
+        UDC_INFRA_ONE_TIME
+        + services * UDC_SERVICE_COST
+        + features * UDC_FEATURE_COST
+    )
+
+
+@dataclass
+class GrowthScenario:
+    """One year-by-year growth trajectory with both cost curves."""
+
+    years: List[int] = field(default_factory=list)
+    services: List[int] = field(default_factory=list)
+    features: List[int] = field(default_factory=list)
+    matrix: List[float] = field(default_factory=list)
+    decoupled: List[float] = field(default_factory=list)
+
+    @property
+    def crossover_year(self) -> int:
+        """First year the decoupled model is cheaper (-1 if never)."""
+        for year, m, d in zip(self.years, self.matrix, self.decoupled):
+            if d < m:
+                return year
+        return -1
+
+
+def sweep_growth(
+    horizon_years: int = 10,
+    services_per_year: int = 6,
+    features_per_year: int = 4,
+    initial_services: int = 10,
+    initial_features: int = 5,
+) -> GrowthScenario:
+    """Grow the ecosystem linearly and evaluate both cost models yearly.
+
+    The defaults roughly track public-cloud history (AWS launched ~5-10
+    substantial services a year through the 2010s while adding hardware
+    generations, TEEs, accelerators, ...).
+    """
+    if horizon_years < 1:
+        raise ValueError("horizon_years must be >= 1")
+    scenario = GrowthScenario()
+    for year in range(horizon_years + 1):
+        services = initial_services + services_per_year * year
+        features = initial_features + features_per_year * year
+        scenario.years.append(year)
+        scenario.services.append(services)
+        scenario.features.append(features)
+        scenario.matrix.append(matrix_cost(services, features))
+        scenario.decoupled.append(decoupled_cost(services, features))
+    return scenario

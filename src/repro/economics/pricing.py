@@ -1,0 +1,100 @@
+"""The unit-price window (paper §2/§4, claim C10).
+
+*"Although cloud providers cannot charge users for the resources they do
+not use, they can increase the unit price of their computing resources to
+the extent that still offers users a lower total cost than today's cloud.
+Moreover, without resource wastes, providers could potentially consolidate
+more applications to the same amount of computing resources."*
+
+Model, for a workload population with IaaS waste fraction ``w`` and a
+consolidation gain ``g = util_udc / util_iaas``:
+
+* User breakeven: under IaaS the user pays ``P``; under UDC at unit-price
+  multiplier ``m`` they pay ``m * (1 - w) * P``.  The user saves while
+  ``m < 1 / (1 - w)``.
+* Provider breakeven: provider profit = revenue − capacity cost.  Serving
+  the same used demand needs ``1/g`` of the capacity, so the provider
+  profits more than under IaaS while
+  ``m > (P - C(1 - 1/g)) / ((1 - w) P)`` where ``C`` is the IaaS-era
+  capacity cost (expressed via the provider's baseline margin).
+
+The window between the two breakevens is where **both** parties win — the
+existence and width of that window is what benchmark E9 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PricingWindow", "pricing_window"]
+
+
+@dataclass(frozen=True)
+class PricingWindow:
+    """The multiplier range where provider profit and user savings coexist."""
+
+    #: below this the provider earns less profit than under IaaS
+    provider_breakeven: float
+    #: above this the user pays more than under IaaS
+    user_breakeven: float
+    waste_fraction: float
+    consolidation_gain: float
+    provider_margin: float
+
+    @property
+    def exists(self) -> bool:
+        return self.provider_breakeven < self.user_breakeven
+
+    @property
+    def width(self) -> float:
+        return max(self.user_breakeven - self.provider_breakeven, 0.0)
+
+    @property
+    def midpoint(self) -> float:
+        return (self.provider_breakeven + self.user_breakeven) / 2.0
+
+    def user_saving_at(self, multiplier: float) -> float:
+        """User's fractional bill reduction vs IaaS at ``multiplier``."""
+        return 1.0 - multiplier * (1.0 - self.waste_fraction)
+
+    def provider_profit_gain_at(self, multiplier: float) -> float:
+        """Provider's profit change vs IaaS (fraction of IaaS revenue)."""
+        cost = 1.0 - self.provider_margin  # capacity cost per IaaS revenue
+        iaas_profit = self.provider_margin
+        udc_revenue = multiplier * (1.0 - self.waste_fraction)
+        udc_cost = cost / self.consolidation_gain
+        return (udc_revenue - udc_cost) - iaas_profit
+
+
+def pricing_window(
+    waste_fraction: float,
+    consolidation_gain: float,
+    provider_margin: float = 0.3,
+) -> PricingWindow:
+    """Compute the win-win unit-price multiplier window.
+
+    Args:
+        waste_fraction: IaaS spend fraction wasted (C1's ~0.35).
+        consolidation_gain: utilization ratio UDC/IaaS (C6's ~2.0).
+        provider_margin: provider's IaaS profit margin (industry ~30%).
+    """
+    if not 0.0 <= waste_fraction < 1.0:
+        raise ValueError("waste_fraction must be in [0, 1)")
+    if consolidation_gain <= 0:
+        raise ValueError("consolidation_gain must be positive")
+    if not 0.0 <= provider_margin < 1.0:
+        raise ValueError("provider_margin must be in [0, 1)")
+
+    user_breakeven = 1.0 / (1.0 - waste_fraction)
+    capacity_cost = 1.0 - provider_margin
+    # Solve provider_profit_gain_at(m) == 0 for m.
+    provider_breakeven = (
+        provider_margin + capacity_cost / consolidation_gain
+    ) / (1.0 - waste_fraction)
+    return PricingWindow(
+        provider_breakeven=provider_breakeven,
+        user_breakeven=user_breakeven,
+        waste_fraction=waste_fraction,
+        consolidation_gain=consolidation_gain,
+        provider_margin=provider_margin,
+    )

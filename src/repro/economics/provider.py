@@ -1,0 +1,114 @@
+"""Provider-side profit accounting over real runtime activity (§2, §4).
+
+The pricing model (:mod:`repro.economics.pricing`) answers the question in
+the abstract; this module answers it over an *actual* run: given the
+tenant bills a :class:`~repro.core.runtime.UDCRuntime` collected and the
+device-hours the datacenter's pools were powered, what was the provider's
+revenue, capacity cost, and profit — and how does charging a unit-price
+multiplier move it?
+
+Capacity cost is charged per powered device-hour at a fraction of the
+device's rental price (the provider's cost of goods); consolidation's
+value appears directly as fewer powered device-hours for the same
+revenue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.report import RunResult
+from repro.hardware.topology import Datacenter
+
+__all__ = ["ProviderLedger", "account_run"]
+
+#: provider's cost of goods per unit-hour, as a fraction of the on-demand
+#: unit price (a ~30% gross margin at multiplier 1.0, industry-plausible)
+COST_OF_GOODS_FRACTION = 0.7
+
+
+@dataclass
+class ProviderLedger:
+    """Revenue/cost/profit for one accounting window."""
+
+    revenue: float
+    capacity_cost: float
+    powered_device_hours: float
+    tenant_count: int
+
+    @property
+    def profit(self) -> float:
+        return self.revenue - self.capacity_cost
+
+    @property
+    def margin(self) -> float:
+        return self.profit / self.revenue if self.revenue else 0.0
+
+    def at_multiplier(self, multiplier: float) -> "ProviderLedger":
+        """The same window if unit prices had been scaled by ``multiplier``
+        (capacity cost is the provider's own and does not scale)."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        return ProviderLedger(
+            revenue=self.revenue * multiplier,
+            capacity_cost=self.capacity_cost,
+            powered_device_hours=self.powered_device_hours,
+            tenant_count=self.tenant_count,
+        )
+
+
+def account_run(
+    datacenter: Datacenter,
+    results: Iterable[RunResult],
+    window_s: float,
+    powered_device_ids: Optional[Iterable[str]] = None,
+) -> ProviderLedger:
+    """Account one window of runtime activity.
+
+    Revenue is the sum of tenant bills.  Capacity cost charges every
+    *powered* device for the full window (powered devices burn money
+    whether busy or idle — which is exactly why consolidation pays), at
+    COST_OF_GOODS_FRACTION of its rental value.
+
+    ``powered_device_ids`` should be a snapshot taken during the run
+    (see :func:`powered_devices`); when omitted, the devices currently
+    holding allocations are used — correct only mid-run, since teardown
+    releases everything.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    results = list(results)
+    revenue = sum(r.total_cost for r in results)
+    if powered_device_ids is None:
+        powered_device_ids = powered_devices(datacenter)
+    powered = set(powered_device_ids)
+
+    powered_hours = 0.0
+    capacity_cost = 0.0
+    hours = window_s / 3600.0
+    for pool in datacenter.pools:
+        for device in pool.devices:
+            if device.device_id in powered:
+                powered_hours += hours
+                capacity_cost += (
+                    device.spec.capacity * device.spec.unit_price_hour
+                    * hours * COST_OF_GOODS_FRACTION
+                )
+    return ProviderLedger(
+        revenue=revenue,
+        capacity_cost=capacity_cost,
+        powered_device_hours=powered_hours,
+        tenant_count=len(results),
+    )
+
+
+def powered_devices(datacenter: Datacenter) -> List[str]:
+    """Snapshot of device ids currently holding allocations — call during
+    a run to build the powered set for :func:`account_run`."""
+    return [
+        device.device_id
+        for pool in datacenter.pools
+        for device in pool.devices
+        if device.allocations
+    ]

@@ -1,0 +1,69 @@
+"""Execution environments and security (paper §3.3).
+
+UDC lets each module name its execution environment and security
+requirements concretely — *"security features should not be specified in a
+declarative way"* — so that fulfillment is verifiable.  This package
+provides:
+
+* :mod:`~repro.execenv.isolation` — the paper's four isolation tiers
+  (strongest / strong / medium / weak) and the threat taxonomy each tier
+  covers;
+* :mod:`~repro.execenv.environments` — environment kinds (bare metal, VM,
+  microVM, unikernel, sandboxed container, container, SGX-like enclave,
+  SEV-like confidential VM) with startup-cost and runtime-overhead
+  profiles calibrated from the systems the paper cites (Firecracker,
+  unikernels, gVisor, SGX);
+* :mod:`~repro.execenv.attestation` — a simulated hardware root of trust:
+  measurement chains, signed quotes, and a verifier that checks quotes
+  without trusting the provider (§4);
+* :mod:`~repro.execenv.protection` — confidentiality / integrity / replay
+  protection for data leaving an environment;
+* :mod:`~repro.execenv.warmpool` — pre-started environment pools, the
+  mechanism behind vertical bundling's cold-start mitigation (E5).
+"""
+
+from repro.execenv.attestation import (
+    AttestationError,
+    HardwareRootOfTrust,
+    Measurement,
+    Quote,
+    Verifier,
+)
+from repro.execenv.environments import (
+    ENV_PROFILES,
+    EnvKind,
+    EnvProfile,
+    EnvState,
+    ExecutionEnvironment,
+    environments_for_level,
+)
+from repro.execenv.isolation import IsolationLevel, Threat, coverage_for
+from repro.execenv.protection import (
+    IntegrityError,
+    ProtectedBlob,
+    ProtectionPolicy,
+    SecureChannel,
+)
+from repro.execenv.warmpool import WarmPool
+
+__all__ = [
+    "ENV_PROFILES",
+    "AttestationError",
+    "EnvKind",
+    "EnvProfile",
+    "EnvState",
+    "ExecutionEnvironment",
+    "HardwareRootOfTrust",
+    "IntegrityError",
+    "IsolationLevel",
+    "Measurement",
+    "ProtectedBlob",
+    "ProtectionPolicy",
+    "Quote",
+    "SecureChannel",
+    "Threat",
+    "Verifier",
+    "WarmPool",
+    "coverage_for",
+    "environments_for_level",
+]

@@ -1,0 +1,281 @@
+"""Execution-environment kinds and their cost/capability profiles.
+
+Startup times and runtime overheads are calibrated to the published numbers
+for the systems the paper cites (§3.3): Firecracker microVMs boot in
+~125 ms, unikernels in tens of milliseconds, gVisor adds noticeable syscall
+overhead, SGX enclave creation takes seconds for large EPC sizes, and full
+VMs take tens of seconds.  Only the *relative* shape matters for the
+benchmarks (E4/E5); absolute values are documented per profile.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.execenv.isolation import IsolationLevel, Threat
+from repro.hardware.devices import DeviceType
+from repro.hardware.pools import Allocation
+
+__all__ = [
+    "ENV_PROFILES",
+    "EnvKind",
+    "EnvProfile",
+    "EnvState",
+    "ExecutionEnvironment",
+    "environments_for_level",
+]
+
+
+class EnvKind(enum.Enum):
+    """Concrete environment mechanisms named in §3.3."""
+
+    BARE_METAL = "bare-metal"             # dedicated hardware, no virtualization
+    SGX_ENCLAVE = "sgx-enclave"           # process-level TEE (CPU only)
+    SEV_VM = "sev-vm"                     # VM-level TEE (CPU only)
+    VM = "vm"                             # full virtual machine
+    MICRO_VM = "micro-vm"                 # Firecracker-style lightweight VM
+    UNIKERNEL = "unikernel"               # library OS image
+    SANDBOXED_CONTAINER = "sandboxed-container"  # gVisor-style
+    CONTAINER = "container"               # plain namespaced container
+
+
+@dataclass(frozen=True)
+class EnvProfile:
+    """Static cost/capability model of one environment kind.
+
+    Attributes:
+        cold_start_s: time from request to runnable with no warm instance.
+        warm_start_s: time when resuming a pre-started instance from a warm
+            pool (vertical bundling, Principle 3).
+        teardown_s: time to destroy/scrub the environment.
+        cpu_overhead: multiplier on compute time while inside the
+            environment (1.0 = native).
+        mem_overhead_gb: fixed memory footprint of the environment itself.
+        isolation: the tier this mechanism provides.
+        covers: threats defended against by this mechanism alone (single
+            tenancy can extend coverage at allocation time).
+        requires_device: device types this mechanism can host on (TEEs are
+            CPU-only today — the §3.3 challenge that UDC must combine TEEs
+            with GPUs/FPGAs).
+        attestable: whether launch produces a hardware-rooted measurement.
+    """
+
+    kind: EnvKind
+    cold_start_s: float
+    warm_start_s: float
+    teardown_s: float
+    cpu_overhead: float
+    mem_overhead_gb: float
+    isolation: IsolationLevel
+    covers: FrozenSet[Threat]
+    requires_device: FrozenSet[DeviceType]
+    attestable: bool
+
+
+_ANY_COMPUTE = frozenset(
+    {DeviceType.CPU, DeviceType.GPU, DeviceType.FPGA, DeviceType.TPU, DeviceType.ASIC}
+)
+_CPU_ONLY = frozenset({DeviceType.CPU})
+
+ENV_PROFILES: Dict[EnvKind, EnvProfile] = {
+    EnvKind.BARE_METAL: EnvProfile(
+        kind=EnvKind.BARE_METAL,
+        cold_start_s=90.0,     # full provision + scrub of a dedicated unit
+        warm_start_s=0.5,
+        teardown_s=30.0,
+        cpu_overhead=1.0,
+        mem_overhead_gb=0.0,
+        isolation=IsolationLevel.STRONG,
+        covers=frozenset({Threat.HW_SIDE_CHANNEL, Threat.CO_TENANT_ESCAPE}),
+        requires_device=_ANY_COMPUTE,
+        attestable=True,
+    ),
+    EnvKind.SGX_ENCLAVE: EnvProfile(
+        kind=EnvKind.SGX_ENCLAVE,
+        cold_start_s=2.0,      # EPC page initialization dominates
+        warm_start_s=0.05,
+        teardown_s=0.2,
+        cpu_overhead=1.35,     # EPC paging / transition costs
+        mem_overhead_gb=0.1,
+        isolation=IsolationLevel.STRONG,
+        covers=frozenset({Threat.SYSTEM_SOFTWARE, Threat.PHYSICAL}),
+        requires_device=_CPU_ONLY,
+        attestable=True,
+    ),
+    EnvKind.SEV_VM: EnvProfile(
+        kind=EnvKind.SEV_VM,
+        cold_start_s=40.0,     # full VM boot + memory encryption setup
+        warm_start_s=1.0,
+        teardown_s=5.0,
+        cpu_overhead=1.08,
+        mem_overhead_gb=0.5,
+        isolation=IsolationLevel.STRONG,
+        covers=frozenset({Threat.SYSTEM_SOFTWARE, Threat.PHYSICAL}),
+        requires_device=_CPU_ONLY,
+        attestable=True,
+    ),
+    EnvKind.VM: EnvProfile(
+        kind=EnvKind.VM,
+        cold_start_s=30.0,
+        warm_start_s=1.0,
+        teardown_s=5.0,
+        cpu_overhead=1.05,
+        mem_overhead_gb=0.5,
+        isolation=IsolationLevel.MEDIUM,
+        covers=frozenset({Threat.CO_TENANT_ESCAPE}),
+        requires_device=_ANY_COMPUTE,
+        attestable=False,
+    ),
+    EnvKind.MICRO_VM: EnvProfile(
+        kind=EnvKind.MICRO_VM,
+        cold_start_s=0.125,    # Firecracker's published boot time
+        warm_start_s=0.01,
+        teardown_s=0.05,
+        cpu_overhead=1.03,
+        mem_overhead_gb=0.05,
+        isolation=IsolationLevel.MEDIUM,
+        covers=frozenset({Threat.CO_TENANT_ESCAPE}),
+        requires_device=_CPU_ONLY,
+        attestable=False,
+    ),
+    EnvKind.UNIKERNEL: EnvProfile(
+        kind=EnvKind.UNIKERNEL,
+        cold_start_s=0.03,
+        warm_start_s=0.005,
+        teardown_s=0.01,
+        cpu_overhead=0.98,     # specialized library OS beats general-purpose
+        mem_overhead_gb=0.02,
+        isolation=IsolationLevel.MEDIUM,
+        covers=frozenset({Threat.CO_TENANT_ESCAPE}),
+        requires_device=_CPU_ONLY,
+        attestable=False,
+    ),
+    EnvKind.SANDBOXED_CONTAINER: EnvProfile(
+        kind=EnvKind.SANDBOXED_CONTAINER,
+        cold_start_s=1.0,      # gVisor sandbox + image setup
+        warm_start_s=0.05,
+        teardown_s=0.1,
+        cpu_overhead=1.15,     # intercepted syscalls
+        mem_overhead_gb=0.05,
+        isolation=IsolationLevel.MEDIUM,
+        covers=frozenset({Threat.CO_TENANT_ESCAPE}),
+        requires_device=_CPU_ONLY,
+        attestable=False,
+    ),
+    EnvKind.CONTAINER: EnvProfile(
+        kind=EnvKind.CONTAINER,
+        cold_start_s=0.5,      # image pull amortized; namespace setup
+        warm_start_s=0.02,
+        teardown_s=0.05,
+        cpu_overhead=1.0,
+        mem_overhead_gb=0.01,
+        isolation=IsolationLevel.WEAK,
+        covers=frozenset(),
+        requires_device=_ANY_COMPUTE,
+        attestable=False,
+    ),
+}
+
+
+def environments_for_level(
+    level: IsolationLevel, device_type: DeviceType
+) -> List[EnvProfile]:
+    """Mechanisms that can fulfill ``level`` on ``device_type``.
+
+    STRONGEST requires a TEE *and* single tenancy; since today's TEEs are
+    CPU-only (§3.3's challenge), STRONGEST on non-CPU devices falls back to
+    physically-isolated bare metal — the paper's proposed alternative
+    ("physically-isolated (disaggregated) device clusters ... occupied by
+    one tenant at a time").
+    """
+    if level == IsolationLevel.STRONGEST:
+        if device_type == DeviceType.CPU:
+            kinds = [EnvKind.SGX_ENCLAVE, EnvKind.SEV_VM]
+        else:
+            kinds = [EnvKind.BARE_METAL]
+    elif level == IsolationLevel.STRONG:
+        if device_type == DeviceType.CPU:
+            kinds = [EnvKind.SGX_ENCLAVE, EnvKind.SEV_VM, EnvKind.BARE_METAL]
+        else:
+            kinds = [EnvKind.BARE_METAL]
+    elif level == IsolationLevel.MEDIUM:
+        if device_type == DeviceType.CPU:
+            kinds = [EnvKind.UNIKERNEL, EnvKind.MICRO_VM, EnvKind.SANDBOXED_CONTAINER,
+                     EnvKind.VM]
+        else:
+            kinds = [EnvKind.VM]
+    elif level == IsolationLevel.WEAK:
+        kinds = [EnvKind.CONTAINER]
+    else:  # NONE: provider default is a plain container
+        kinds = [EnvKind.CONTAINER]
+    return [
+        ENV_PROFILES[k]
+        for k in kinds
+        if device_type in ENV_PROFILES[k].requires_device
+    ]
+
+
+class EnvState(enum.Enum):
+    COLD = "cold"
+    STARTING = "starting"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+_env_ids = itertools.count()
+
+
+@dataclass
+class ExecutionEnvironment:
+    """A launched environment instance bound to hardware allocations."""
+
+    profile: EnvProfile
+    tenant: str
+    allocations: List[Allocation] = field(default_factory=list)
+    single_tenant: bool = False
+    env_id: str = field(default="")
+    state: EnvState = EnvState.COLD
+    started_at: Optional[float] = None
+    #: set by attestation at launch when the profile is attestable
+    measurement: Optional[object] = None
+    #: True when taken from a warm pool (bundling) rather than cold-started
+    from_warm_pool: bool = False
+
+    def __post_init__(self):
+        if not self.env_id:
+            self.env_id = f"env-{self.profile.kind.value}-{next(_env_ids)}"
+
+    @property
+    def kind(self) -> EnvKind:
+        return self.profile.kind
+
+    @property
+    def effective_coverage(self) -> FrozenSet[Threat]:
+        """Mechanism coverage plus single-tenancy's side-channel coverage."""
+        covers = set(self.profile.covers)
+        if self.single_tenant:
+            covers.add(Threat.HW_SIDE_CHANNEL)
+            covers.add(Threat.CO_TENANT_ESCAPE)
+        return frozenset(covers)
+
+    @property
+    def effective_isolation(self) -> IsolationLevel:
+        """TEE + single tenancy composes to the strongest tier (§3.3)."""
+        tee = self.kind in (EnvKind.SGX_ENCLAVE, EnvKind.SEV_VM)
+        if tee and self.single_tenant:
+            return IsolationLevel.STRONGEST
+        return self.profile.isolation
+
+    def startup_time(self) -> float:
+        return (
+            self.profile.warm_start_s
+            if self.from_warm_pool
+            else self.profile.cold_start_s
+        )
+
+    def compute_time(self, native_seconds: float) -> float:
+        """Wall time for ``native_seconds`` of work inside this env."""
+        return native_seconds * self.profile.cpu_overhead

@@ -1,0 +1,86 @@
+"""Isolation tiers and the threat taxonomy (paper §3.3).
+
+The paper defines four tiers and is explicit about what each protects
+against and whether the *user* can verify it without trusting the provider:
+
+* **strongest** — single-tenant TEE: protects against system-software
+  attacks, physical attacks, *and* hardware side channels (single tenancy
+  removes co-resident attackers).  User-verifiable.
+* **strong** — TEE *or* single-tenant: protects against a subset of the
+  above.  User-verifiable.
+* **medium** — provider's choice of unikernel / lightweight VM / sandboxed
+  container.  Requires trusting the provider's system software.
+* **weak** — containers.  Requires trusting the provider.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+__all__ = ["IsolationLevel", "Threat", "coverage_for", "verifiable_by_user"]
+
+
+class Threat(enum.Enum):
+    """Attack classes from §3.3 and the side-channel literature it cites."""
+
+    SYSTEM_SOFTWARE = "system-software"     # malicious/compromised host OS or hypervisor
+    PHYSICAL = "physical"                   # bus snooping, cold-boot, DMA
+    HW_SIDE_CHANNEL = "hw-side-channel"     # co-resident cache/timing attacks
+    CO_TENANT_ESCAPE = "co-tenant-escape"   # container/VM escape from a co-tenant
+    NETWORK_SNOOPING = "network-snooping"   # data observed in flight
+    STORAGE_TAMPERING = "storage-tampering" # data modified/replayed at rest
+
+
+class IsolationLevel(enum.Enum):
+    """The paper's four tiers, plus NONE for the bare provider default."""
+
+    STRONGEST = "strongest"
+    STRONG = "strong"
+    MEDIUM = "medium"
+    WEAK = "weak"
+    NONE = "none"
+
+    @property
+    def rank(self) -> int:
+        """Higher is stricter; used by strictest-wins conflict resolution."""
+        return _RANK[self]
+
+    def at_least(self, other: "IsolationLevel") -> bool:
+        return self.rank >= other.rank
+
+
+_RANK = {
+    IsolationLevel.NONE: 0,
+    IsolationLevel.WEAK: 1,
+    IsolationLevel.MEDIUM: 2,
+    IsolationLevel.STRONG: 3,
+    IsolationLevel.STRONGEST: 4,
+}
+
+_COVERAGE = {
+    IsolationLevel.STRONGEST: frozenset(
+        {Threat.SYSTEM_SOFTWARE, Threat.PHYSICAL, Threat.HW_SIDE_CHANNEL,
+         Threat.CO_TENANT_ESCAPE}
+    ),
+    # strong = TEE (system software + physical) or single-tenant
+    # (side channels + escape); we report the TEE variant's coverage as the
+    # tier's guarantee since either satisfies "a subset".
+    IsolationLevel.STRONG: frozenset(
+        {Threat.SYSTEM_SOFTWARE, Threat.PHYSICAL}
+    ),
+    IsolationLevel.MEDIUM: frozenset({Threat.CO_TENANT_ESCAPE}),
+    IsolationLevel.WEAK: frozenset(),
+    IsolationLevel.NONE: frozenset(),
+}
+
+
+def coverage_for(level: IsolationLevel) -> FrozenSet[Threat]:
+    """Threats an environment at ``level`` defends against by construction."""
+    return _COVERAGE[level]
+
+
+def verifiable_by_user(level: IsolationLevel) -> bool:
+    """Whether fulfillment at this tier is attestable without trusting the
+    provider (§3.3: only the strongest/strong tiers are)."""
+    return level in (IsolationLevel.STRONGEST, IsolationLevel.STRONG)

@@ -1,0 +1,123 @@
+"""Warm pools of pre-started environments (vertical bundling, Principle 3).
+
+The paper's answer to secure-environment cold starts (§3.3) is Principle
+3's *vertical bundling*: the provider pre-assembles "self-sustained
+resource units" — a compute grain + an execution environment + the distsem
+library — and hands modules an already-warm unit instead of cold-starting
+one per module.
+
+:class:`WarmPool` is the mechanism: it holds pre-started
+:class:`~repro.execenv.environments.ExecutionEnvironment` shells keyed by
+(environment kind, single-tenancy).  Benchmark E5 toggles it on/off to
+measure how much cold-start latency bundling removes for a many-module
+application.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import DefaultDict, Dict, List, Tuple
+
+from repro.execenv.environments import ENV_PROFILES, EnvKind, ExecutionEnvironment
+
+__all__ = ["WarmPool", "WarmPoolStats"]
+
+PoolKey = Tuple[EnvKind, bool]  # (kind, single_tenant)
+
+
+@dataclass
+class WarmPoolStats:
+    """Hit accounting for the bundling ablation (E5)."""
+
+    hits: int = 0
+    misses: int = 0
+    prewarmed: int = 0
+    #: cold-start seconds avoided by hits
+    startup_seconds_saved: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class WarmPool:
+    """A cache of pre-started environment shells.
+
+    The pool stores *shells*: environments whose mechanism has booted but
+    which are not yet bound to a tenant's code or hardware allocations.
+    Acquiring from the pool re-binds the shell (at ``warm_start_s``) rather
+    than booting from scratch (``cold_start_s``).
+
+    ``target_depth`` is how many shells of each requested key the provider
+    keeps ready; the background refill is modeled as free provider work
+    (its cost shows up in the provider-economics model, not in tenant
+    latency — exactly the trade the paper describes).
+    """
+
+    def __init__(self, target_depth: int = 2, enabled: bool = True):
+        if target_depth < 0:
+            raise ValueError("target_depth must be >= 0")
+        self.target_depth = target_depth
+        self.enabled = enabled
+        self._shelves: DefaultDict[PoolKey, List[EnvKind]] = defaultdict(list)
+        self.stats = WarmPoolStats()
+        #: keys ever requested; refill keeps these stocked
+        self._known_keys: Dict[PoolKey, None] = {}
+
+    def prewarm(self, kind: EnvKind, single_tenant: bool, count: int = 1) -> None:
+        """Stock ``count`` shells of the given shape."""
+        key = (kind, single_tenant)
+        self._known_keys[key] = None
+        for _ in range(count):
+            self._shelves[key].append(kind)
+            self.stats.prewarmed += 1
+
+    def try_acquire(self, kind: EnvKind, single_tenant: bool) -> bool:
+        """Take a shell if available.  Returns True on a hit.
+
+        Single-tenant requests can never reuse a multi-tenant shell and
+        vice versa (the shell's tenancy is part of its hardware pinning).
+        """
+        key = (kind, single_tenant)
+        self._known_keys[key] = None
+        if not self.enabled:
+            self.stats.misses += 1
+            return False
+        shelf = self._shelves.get(key)
+        if shelf:
+            shelf.pop()
+            profile = ENV_PROFILES[kind]
+            self.stats.hits += 1
+            self.stats.startup_seconds_saved += (
+                profile.cold_start_s - profile.warm_start_s
+            )
+            return True
+        self.stats.misses += 1
+        return False
+
+    def refill(self) -> int:
+        """Restock every known key to ``target_depth``; returns shells added.
+
+        The runtime calls this between scheduling rounds, modelling the
+        provider's background pre-warming loop.
+        """
+        if not self.enabled:
+            return 0
+        added = 0
+        for key in self._known_keys:
+            shelf = self._shelves[key]
+            while len(shelf) < self.target_depth:
+                shelf.append(key[0])
+                self.stats.prewarmed += 1
+                added += 1
+        return added
+
+    def depth(self, kind: EnvKind, single_tenant: bool) -> int:
+        return len(self._shelves.get((kind, single_tenant), ()))
+
+    def bind(self, env: ExecutionEnvironment) -> ExecutionEnvironment:
+        """Mark ``env`` as having come from this pool (warm start timing)."""
+        env.from_warm_pool = True
+        return env

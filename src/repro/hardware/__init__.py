@@ -1,0 +1,50 @@
+"""Disaggregated hardware substrate.
+
+The paper's §3.2 identifies *hardware resource disaggregation* as the right
+substrate for UDC: traditional servers are split into network-attached,
+typed device pools, and fulfilling a user's resource aspect becomes exact
+allocation from the matching pool instead of a bin-packing problem.
+
+This package models that substrate:
+
+* :mod:`~repro.hardware.devices` — device taxonomy (CPU, GPU, FPGA, TPU,
+  ASIC, DRAM, NVM, SSD, HDD, SmartNIC, switch) with per-unit performance
+  and price attributes;
+* :mod:`~repro.hardware.pools` — typed resource pools with exact-amount
+  allocation and time-weighted utilization telemetry;
+* :mod:`~repro.hardware.topology` — racks/pods/datacenter builder;
+* :mod:`~repro.hardware.fabric` — latency/bandwidth network model between
+  locations, used for message and data-transfer timing;
+* :mod:`~repro.hardware.server` — traditional monolithic servers with a
+  bin-packing allocator (the baseline UDC is compared against);
+* :mod:`~repro.hardware.catalog` — an EC2-like instance catalog with the
+  real 2021 shapes/prices the paper's §1 example cites (p3.16xlarge etc.).
+"""
+
+from repro.hardware.catalog import InstanceCatalog, InstanceType, default_catalog
+from repro.hardware.devices import Device, DeviceClass, DeviceSpec, DeviceType
+from repro.hardware.fabric import Fabric, Location
+from repro.hardware.pools import Allocation, PoolSet, ResourcePool
+from repro.hardware.server import Server, ServerCluster, ServerSpec
+from repro.hardware.topology import Datacenter, DatacenterSpec, build_datacenter
+
+__all__ = [
+    "Allocation",
+    "Datacenter",
+    "DatacenterSpec",
+    "Device",
+    "DeviceClass",
+    "DeviceSpec",
+    "DeviceType",
+    "Fabric",
+    "InstanceCatalog",
+    "InstanceType",
+    "Location",
+    "PoolSet",
+    "ResourcePool",
+    "Server",
+    "ServerCluster",
+    "ServerSpec",
+    "build_datacenter",
+    "default_catalog",
+]

@@ -1,0 +1,236 @@
+"""Device taxonomy for the disaggregated datacenter.
+
+Each *device* is one network-attached unit of a single resource type — a
+CPU blade, a GPU board, a DRAM sled, an SSD shelf.  Devices expose a scalar
+``capacity`` in type-specific units (cores, GPUs, GB, ...) that the pool
+allocator carves into exact-amount :class:`~repro.hardware.pools.Allocation`
+slices — the heart of the paper's "allocate the exact amount from the
+corresponding resource pool" argument (§3.2).
+
+Performance attributes are calibrated to be *relatively* plausible (a GPU
+does ~40x the dense math of a CPU core; NVM is slower but denser than DRAM)
+— the benchmarks depend only on these relative shapes, never on absolute
+wall-clock realism.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["Device", "DeviceClass", "DeviceSpec", "DeviceType", "DEFAULT_SPECS"]
+
+
+class DeviceClass(enum.Enum):
+    """Coarse role of a device type; the pool set is organized by type,
+    but schedulers reason about classes (e.g. "any compute")."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    STORAGE = "storage"
+    NETWORK = "network"
+
+
+class DeviceType(enum.Enum):
+    """Concrete hardware kinds named in the paper (§1, §3.2, §3.3)."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    FPGA = "fpga"
+    TPU = "tpu"
+    ASIC = "asic"
+    DRAM = "dram"
+    NVM = "nvm"
+    SSD = "ssd"
+    HDD = "hdd"
+    SMARTNIC = "smartnic"
+    SWITCH = "switch"
+
+    @property
+    def device_class(self) -> DeviceClass:
+        return _DEVICE_CLASS[self]
+
+    @property
+    def unit(self) -> str:
+        """Human-readable allocation unit for this type."""
+        return _DEVICE_UNIT[self]
+
+
+_DEVICE_CLASS = {
+    DeviceType.CPU: DeviceClass.COMPUTE,
+    DeviceType.GPU: DeviceClass.COMPUTE,
+    DeviceType.FPGA: DeviceClass.COMPUTE,
+    DeviceType.TPU: DeviceClass.COMPUTE,
+    DeviceType.ASIC: DeviceClass.COMPUTE,
+    DeviceType.DRAM: DeviceClass.MEMORY,
+    DeviceType.NVM: DeviceClass.MEMORY,
+    DeviceType.SSD: DeviceClass.STORAGE,
+    DeviceType.HDD: DeviceClass.STORAGE,
+    DeviceType.SMARTNIC: DeviceClass.NETWORK,
+    DeviceType.SWITCH: DeviceClass.NETWORK,
+}
+
+_DEVICE_UNIT = {
+    DeviceType.CPU: "cores",
+    DeviceType.GPU: "gpus",
+    DeviceType.FPGA: "boards",
+    DeviceType.TPU: "chips",
+    DeviceType.ASIC: "chips",
+    DeviceType.DRAM: "GB",
+    DeviceType.NVM: "GB",
+    DeviceType.SSD: "GB",
+    DeviceType.HDD: "GB",
+    DeviceType.SMARTNIC: "ports",
+    DeviceType.SWITCH: "ports",
+}
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static characteristics of one device model.
+
+    Attributes:
+        device_type: what kind of hardware this is.
+        capacity: allocatable amount per device, in ``device_type.unit``.
+        compute_rate: abstract work units per second *per allocation unit*
+            (only meaningful for compute classes).
+        bandwidth_gbps: sequential access bandwidth per device (memory and
+            storage classes) or link bandwidth (network class).
+        access_latency_s: per-operation access latency (memory/storage).
+        unit_price_hour: on-demand price charged per allocation unit-hour;
+            the economics model (C10) scales this.
+        min_grain: smallest allocatable slice (e.g. 0.25 core).
+        attestable: whether the device carries a hardware root of trust
+            usable for remote attestation (§4).
+    """
+
+    device_type: DeviceType
+    capacity: float
+    compute_rate: float = 0.0
+    bandwidth_gbps: float = 0.0
+    access_latency_s: float = 0.0
+    unit_price_hour: float = 0.0
+    min_grain: float = 1.0
+    attestable: bool = False
+    model: str = ""
+
+    def __post_init__(self):
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.min_grain <= 0 or self.min_grain > self.capacity:
+            raise ValueError(f"invalid min_grain {self.min_grain}")
+
+
+#: Reference specs used by the default datacenter builder.  Rates are
+#: abstract "work units"; prices loosely track 2021 public-cloud unit
+#: economics (a vCPU-hour ~ $0.05, a V100-hour ~ $3).
+DEFAULT_SPECS: Dict[DeviceType, DeviceSpec] = {
+    DeviceType.CPU: DeviceSpec(
+        DeviceType.CPU, capacity=32, compute_rate=1.0, unit_price_hour=0.048,
+        min_grain=0.25, attestable=True, model="xeon-blade-32c",
+    ),
+    DeviceType.GPU: DeviceSpec(
+        DeviceType.GPU, capacity=8, compute_rate=40.0, unit_price_hour=3.06,
+        min_grain=1.0, attestable=False, model="v100-board-8g",
+    ),
+    DeviceType.FPGA: DeviceSpec(
+        DeviceType.FPGA, capacity=4, compute_rate=12.0, unit_price_hour=1.65,
+        min_grain=1.0, attestable=False, model="fpga-sled-4b",
+    ),
+    DeviceType.TPU: DeviceSpec(
+        DeviceType.TPU, capacity=4, compute_rate=60.0, unit_price_hour=4.50,
+        min_grain=1.0, attestable=False, model="tpu-sled-4c",
+    ),
+    DeviceType.ASIC: DeviceSpec(
+        DeviceType.ASIC, capacity=8, compute_rate=25.0, unit_price_hour=1.10,
+        min_grain=1.0, attestable=False, model="asic-sled-8c",
+    ),
+    DeviceType.DRAM: DeviceSpec(
+        DeviceType.DRAM, capacity=512, bandwidth_gbps=100.0,
+        access_latency_s=2e-7, unit_price_hour=0.005, min_grain=0.5,
+        attestable=False, model="dram-sled-512g",
+    ),
+    DeviceType.NVM: DeviceSpec(
+        DeviceType.NVM, capacity=2048, bandwidth_gbps=8.0,
+        access_latency_s=1e-6, unit_price_hour=0.0012, min_grain=1.0,
+        attestable=False, model="optane-sled-2t",
+    ),
+    DeviceType.SSD: DeviceSpec(
+        DeviceType.SSD, capacity=8192, bandwidth_gbps=3.0,
+        access_latency_s=8e-5, unit_price_hour=0.00014, min_grain=1.0,
+        attestable=False, model="nvme-shelf-8t",
+    ),
+    DeviceType.HDD: DeviceSpec(
+        DeviceType.HDD, capacity=32768, bandwidth_gbps=0.2,
+        access_latency_s=8e-3, unit_price_hour=0.00004, min_grain=1.0,
+        attestable=False, model="hdd-shelf-32t",
+    ),
+    DeviceType.SMARTNIC: DeviceSpec(
+        DeviceType.SMARTNIC, capacity=8, compute_rate=2.0,
+        bandwidth_gbps=100.0, unit_price_hour=0.02, min_grain=1.0,
+        attestable=False, model="smartnic-100g",
+    ),
+    DeviceType.SWITCH: DeviceSpec(
+        DeviceType.SWITCH, capacity=64, bandwidth_gbps=100.0,
+        unit_price_hour=0.001, min_grain=1.0, attestable=False,
+        model="tofino-64p",
+    ),
+}
+
+_device_ids = itertools.count()
+
+
+@dataclass
+class Device:
+    """A physical device instance placed at a location in the datacenter."""
+
+    spec: DeviceSpec
+    location: "object" = None  # Location; typed loosely to avoid an import cycle
+    device_id: str = field(default="")
+    #: True while the device has failed (failure injection, E14).
+    failed: bool = False
+    #: Per-allocation amounts currently held on this device.
+    allocations: Dict[str, float] = field(default_factory=dict)
+    #: True while the device is pinned to a single tenant (§3.3).
+    single_tenant_of: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.device_id:
+            self.device_id = f"{self.spec.device_type.value}-{next(_device_ids)}"
+
+    @property
+    def device_type(self) -> DeviceType:
+        return self.spec.device_type
+
+    @property
+    def used(self) -> float:
+        return sum(self.allocations.values())
+
+    @property
+    def free(self) -> float:
+        return self.spec.capacity - self.used
+
+    @property
+    def tenants(self) -> set:
+        """Tenant ids currently holding allocations (alloc ids are
+        ``tenant/...``)."""
+        return {alloc_id.split("/", 1)[0] for alloc_id in self.allocations}
+
+    def can_fit(self, amount: float, tenant: str, single_tenant: bool) -> bool:
+        """Whether ``amount`` for ``tenant`` can be placed here, honoring
+        single-tenant pinning in both directions."""
+        if self.failed or amount > self.free + 1e-9:
+            return False
+        if self.single_tenant_of is not None and self.single_tenant_of != tenant:
+            return False
+        if single_tenant and self.tenants - {tenant}:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Device({self.device_id}, used={self.used:g}/{self.spec.capacity:g} "
+            f"{self.device_type.unit})"
+        )

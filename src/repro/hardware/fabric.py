@@ -1,0 +1,227 @@
+"""Datacenter network fabric model.
+
+Disaggregation makes the network the backplane: every module-to-module
+message and every access from a compute device to a memory/storage device
+crosses the fabric.  The model is a standard three-tier latency hierarchy
+(same device < same rack < same pod < cross-pod) with per-transfer
+serialization time ``bytes / bandwidth``.
+
+The fabric also hosts *in-network programmability* (§3.4): a
+:class:`~repro.distsem.network_order.SwitchSequencer` can be attached to a
+switch location so that messages routed through it acquire a global
+sequence number in-flight (the NOPaxos-style design the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simulator.engine import Event, Simulator
+
+__all__ = ["Fabric", "FabricStats", "Location", "Message"]
+
+
+@dataclass(frozen=True, order=True)
+class Location:
+    """Position of a device in the topology: (pod, rack, slot)."""
+
+    pod: int
+    rack: int
+    slot: int = 0
+
+    def same_rack(self, other: "Location") -> bool:
+        return self.pod == other.pod and self.rack == other.rack
+
+    def same_pod(self, other: "Location") -> bool:
+        return self.pod == other.pod
+
+    def __str__(self) -> str:
+        return f"p{self.pod}r{self.rack}s{self.slot}"
+
+
+@dataclass
+class Message:
+    """A payload in flight on the fabric."""
+
+    src: Location
+    dst: Location
+    size_bytes: int
+    payload: object = None
+    #: filled by a switch sequencer if the message was routed through one
+    sequence: Optional[int] = None
+
+
+@dataclass
+class FabricStats:
+    """Aggregate traffic counters, consumed by the locality benchmark (E6)."""
+
+    messages: int = 0
+    bytes_total: int = 0
+    bytes_cross_rack: int = 0
+    bytes_cross_pod: int = 0
+    by_hop: Dict[str, int] = field(default_factory=dict)
+
+
+class Fabric:
+    """Latency/bandwidth model between :class:`Location` pairs.
+
+    Latency parameters default to plausible 2021 datacenter numbers
+    (intra-rack ~2us, cross-rack ~6us, cross-pod ~18us RTT/2); bandwidth is
+    per-NIC and shared only in the sense of serialization delay (no queueing
+    model — the claims under test do not depend on congestion).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        intra_rack_latency_s: float = 2e-6,
+        cross_rack_latency_s: float = 6e-6,
+        cross_pod_latency_s: float = 18e-6,
+        link_bandwidth_gbps: float = 100.0,
+    ):
+        self.sim = sim
+        self.intra_rack_latency_s = intra_rack_latency_s
+        self.cross_rack_latency_s = cross_rack_latency_s
+        self.cross_pod_latency_s = cross_pod_latency_s
+        self.link_bandwidth_gbps = link_bandwidth_gbps
+        self.stats = FabricStats()
+        #: sequencer hook keyed by switch location (see network_order)
+        self._sequencers: Dict[Location, Callable[[Message], None]] = {}
+
+    # -- timing model --------------------------------------------------------
+
+    def hop_kind(self, src: Location, dst: Location) -> str:
+        if src == dst:
+            return "local"
+        if src.same_rack(dst):
+            return "rack"
+        if src.same_pod(dst):
+            return "pod"
+        return "dc"
+
+    def latency(self, src: Location, dst: Location) -> float:
+        kind = self.hop_kind(src, dst)
+        if kind == "local":
+            return 0.0
+        if kind == "rack":
+            return self.intra_rack_latency_s
+        if kind == "pod":
+            return self.cross_rack_latency_s
+        return self.cross_pod_latency_s
+
+    def serialization_time(self, size_bytes: int) -> float:
+        bits = size_bytes * 8
+        return bits / (self.link_bandwidth_gbps * 1e9)
+
+    def transfer_time(self, src: Location, dst: Location, size_bytes: int) -> float:
+        """One-way delivery time for ``size_bytes`` from src to dst."""
+        if src == dst:
+            return 0.0
+        return self.latency(src, dst) + self.serialization_time(size_bytes)
+
+    # -- transfer API ----------------------------------------------------------
+
+    def send(
+        self,
+        src: Location,
+        dst: Location,
+        size_bytes: int,
+        payload: object = None,
+        via: Optional[Location] = None,
+    ) -> Event:
+        """Send a message; the returned event fires with the delivered
+        :class:`Message` after the modeled delay.
+
+        ``via`` optionally routes through an intermediate switch location
+        (used for in-network sequencing); the message then pays both hops
+        and any attached sequencer stamps it in flight.
+        """
+        message = Message(src=src, dst=dst, size_bytes=size_bytes, payload=payload)
+        if via is not None:
+            delay = self.transfer_time(src, via, size_bytes) + self.transfer_time(
+                via, dst, size_bytes
+            )
+            sequencer = self._sequencers.get(via)
+            if sequencer is not None:
+                sequencer(message)
+        else:
+            delay = self.transfer_time(src, dst, size_bytes)
+        self._record(message, via)
+        return self.sim.timeout(delay, value=message)
+
+    def attach_sequencer(
+        self, switch_location: Location, stamp: Callable[[Message], None]
+    ) -> None:
+        """Install an in-network sequencer at ``switch_location``."""
+        self._sequencers[switch_location] = stamp
+
+    def multicast_via(
+        self,
+        src: Location,
+        dsts: List[Location],
+        size_bytes: int,
+        payload: object = None,
+        via: Optional[Location] = None,
+    ) -> List[Event]:
+        """Ordered multicast: ONE stamp per logical operation.
+
+        The switch stamps the group send once and every copy carries the
+        same sequence number — this is the NOPaxos property that makes
+        in-network ordering work (per-copy stamping would give each
+        replica a different number for the same write).
+        """
+        if not dsts:
+            raise ValueError("multicast_via requires at least one destination")
+        group_sequence: Optional[int] = None
+        if via is not None:
+            sequencer = self._sequencers.get(via)
+            if sequencer is not None:
+                probe = Message(src=src, dst=dsts[0], size_bytes=size_bytes,
+                                payload=payload)
+                sequencer(probe)
+                group_sequence = probe.sequence
+        events = []
+        for dst in dsts:
+            message = Message(
+                src=src, dst=dst, size_bytes=size_bytes, payload=payload,
+                sequence=group_sequence,
+            )
+            if via is not None:
+                delay = self.transfer_time(src, via, size_bytes) \
+                    + self.transfer_time(via, dst, size_bytes)
+            else:
+                delay = self.transfer_time(src, dst, size_bytes)
+            self._record(message, via)
+            events.append(self.sim.timeout(delay, value=message))
+        return events
+
+    # -- accounting -------------------------------------------------------------
+
+    def _record(self, message: Message, via: Optional[Location]) -> None:
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_total += message.size_bytes
+        kind = self.hop_kind(message.src, message.dst)
+        stats.by_hop[kind] = stats.by_hop.get(kind, 0) + 1
+        if kind in ("pod", "dc"):
+            stats.bytes_cross_rack += message.size_bytes
+        if kind == "dc":
+            stats.bytes_cross_pod += message.size_bytes
+
+    def multicast(
+        self, src: Location, dsts: List[Location], size_bytes: int, payload=None
+    ) -> List[Event]:
+        """Convenience: independent sends to each destination."""
+        return [self.send(src, d, size_bytes, payload) for d in dsts]
+
+
+def transfer_plan_cost(
+    fabric: Fabric, moves: List[Tuple[Location, Location, int]]
+) -> float:
+    """Total serialized transfer time of a batch of (src, dst, bytes) moves.
+
+    Used by the scheduler to score candidate placements without actually
+    scheduling the transfers.
+    """
+    return sum(fabric.transfer_time(src, dst, size) for src, dst, size in moves)

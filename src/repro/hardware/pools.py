@@ -1,0 +1,296 @@
+"""Typed resource pools with exact-amount allocation.
+
+This module realizes the paper's central mechanism (§3.2): *"Fulfilling
+users' resource demands would then simply be allocating the exact amount
+from the corresponding resource pools (instead of a bin-packing problem
+with traditional servers)."*
+
+A :class:`ResourcePool` owns all devices of one :class:`DeviceType`.
+Allocation requests name an exact amount (possibly fractional, down to the
+device's ``min_grain``), a tenant, and placement constraints (preferred
+location for locality, single-tenant pinning for the security aspect).
+Pools keep a time-weighted utilization integral so the disaggregation
+benchmark (E2) can compare utilization against server bin-packing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.devices import Device, DeviceSpec, DeviceType
+
+__all__ = ["Allocation", "AllocationError", "PoolSet", "ResourcePool"]
+
+_alloc_ids = itertools.count()
+
+
+class AllocationError(Exception):
+    """Raised when a pool cannot satisfy a request."""
+
+
+@dataclass
+class Allocation:
+    """A live slice of one device granted to one tenant."""
+
+    alloc_id: str
+    device: Device
+    amount: float
+    tenant: str
+    single_tenant: bool = False
+    released: bool = False
+    created_at: float = 0.0
+
+    @property
+    def device_type(self) -> DeviceType:
+        return self.device.device_type
+
+    @property
+    def hourly_cost(self) -> float:
+        """On-demand cost of holding this allocation for one hour.
+
+        Single-tenant allocations are billed for the whole device — the
+        stranded remainder cannot be sold to anyone else (§3.3's "large
+        resource wastes" caveat), which E4 quantifies.
+        """
+        billed = self.device.spec.capacity if self.single_tenant else self.amount
+        return billed * self.device.spec.unit_price_hour
+
+
+class ResourcePool:
+    """All devices of one type, with allocation and utilization telemetry."""
+
+    def __init__(self, device_type: DeviceType, clock=None):
+        self.device_type = device_type
+        self.devices: List[Device] = []
+        self._allocations: Dict[str, Allocation] = {}
+        #: callable returning current time; wired to Simulator.now by the
+        #: datacenter builder.  Defaults to a frozen clock for unit tests.
+        self._clock = clock or (lambda: 0.0)
+        self._last_sample_time = 0.0
+        self._used_time_integral = 0.0  # ∫ used(t) dt
+        self.peak_used = 0.0
+
+    # -- construction ------------------------------------------------------
+
+    def add_device(self, device: Device) -> None:
+        if device.device_type != self.device_type:
+            raise ValueError(
+                f"device {device.device_id} is {device.device_type}, "
+                f"pool is {self.device_type}"
+            )
+        self.devices.append(device)
+
+    # -- capacity accounting -------------------------------------------------
+
+    @property
+    def total_capacity(self) -> float:
+        return sum(d.spec.capacity for d in self.devices if not d.failed)
+
+    @property
+    def total_used(self) -> float:
+        return sum(d.used for d in self.devices if not d.failed)
+
+    @property
+    def total_free(self) -> float:
+        return self.total_capacity - self.total_used
+
+    def utilization(self) -> float:
+        """Instantaneous fraction of live capacity in use."""
+        cap = self.total_capacity
+        return self.total_used / cap if cap else 0.0
+
+    def _sample(self) -> None:
+        now = self._clock()
+        dt = now - self._last_sample_time
+        if dt > 0:
+            self._used_time_integral += self.total_used * dt
+            self._last_sample_time = now
+
+    def mean_utilization(self) -> float:
+        """Time-weighted mean utilization since pool creation."""
+        self._sample()
+        elapsed = self._last_sample_time
+        cap = self.total_capacity
+        if elapsed <= 0 or cap <= 0:
+            return self.utilization()
+        return self._used_time_integral / (elapsed * cap)
+
+    # -- allocation ----------------------------------------------------------
+
+    def _candidates(
+        self, amount: float, tenant: str, single_tenant: bool,
+        preferred_location=None,
+    ) -> List[Device]:
+        fits = [d for d in self.devices if d.can_fit(amount, tenant, single_tenant)]
+        # Best-fit: smallest sufficient free capacity limits fragmentation.
+        # Locality preference dominates: devices at the preferred location
+        # sort first (the scheduler's co-location mechanism, E6).
+        def key(device: Device):
+            local = 0 if (preferred_location is not None
+                          and device.location == preferred_location) else 1
+            return (local, device.free, device.device_id)
+
+        fits.sort(key=key)
+        return fits
+
+    def allocate(
+        self,
+        amount: float,
+        tenant: str,
+        single_tenant: bool = False,
+        preferred_location=None,
+        device: Optional[Device] = None,
+    ) -> Allocation:
+        """Grant exactly ``amount`` units to ``tenant``.
+
+        Raises :class:`AllocationError` when no single device can hold the
+        request.  (Requests larger than one device must be split by the
+        caller — the scheduler does this — because an allocation models a
+        contiguous slice of one physical device.)
+        """
+        if amount <= 0:
+            raise AllocationError(f"amount must be positive, got {amount}")
+        spec = self._spec()
+        if spec is not None and amount < spec.min_grain - 1e-12:
+            # Round tiny requests up to the device grain, as real
+            # allocators do; never bill below the grain.
+            amount = spec.min_grain
+        if device is not None:
+            if not device.can_fit(amount, tenant, single_tenant):
+                raise AllocationError(
+                    f"device {device.device_id} cannot fit {amount:g} for {tenant}"
+                )
+            chosen = device
+        else:
+            candidates = self._candidates(
+                amount, tenant, single_tenant, preferred_location
+            )
+            if not candidates:
+                raise AllocationError(
+                    f"pool {self.device_type.value}: no device fits {amount:g} "
+                    f"{self.device_type.unit} for tenant {tenant!r} "
+                    f"(single_tenant={single_tenant}, free={self.total_free:g})"
+                )
+            chosen = candidates[0]
+
+        self._sample()
+        alloc = Allocation(
+            alloc_id=f"{tenant}/{self.device_type.value}-{next(_alloc_ids)}",
+            device=chosen,
+            amount=amount,
+            tenant=tenant,
+            single_tenant=single_tenant,
+            created_at=self._clock(),
+        )
+        chosen.allocations[alloc.alloc_id] = amount
+        if single_tenant:
+            chosen.single_tenant_of = tenant
+        self._allocations[alloc.alloc_id] = alloc
+        self.peak_used = max(self.peak_used, self.total_used)
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        if alloc.released:
+            return
+        self._sample()
+        alloc.released = True
+        alloc.device.allocations.pop(alloc.alloc_id, None)
+        self._allocations.pop(alloc.alloc_id, None)
+        if alloc.device.single_tenant_of == alloc.tenant and not any(
+            a.split("/", 1)[0] == alloc.tenant for a in alloc.device.allocations
+        ):
+            alloc.device.single_tenant_of = None
+
+    def resize(self, alloc: Allocation, new_amount: float) -> Allocation:
+        """Grow or shrink an allocation in place (the tuner's mechanism).
+
+        Growing beyond the device's free capacity raises
+        :class:`AllocationError`; the tuner then falls back to migration.
+        """
+        if alloc.released:
+            raise AllocationError("cannot resize a released allocation")
+        if new_amount <= 0:
+            raise AllocationError("new_amount must be positive")
+        spec = alloc.device.spec
+        new_amount = max(new_amount, spec.min_grain)
+        delta = new_amount - alloc.amount
+        if delta > alloc.device.free + 1e-9:
+            raise AllocationError(
+                f"cannot grow {alloc.alloc_id} by {delta:g}: device free is "
+                f"{alloc.device.free:g}"
+            )
+        self._sample()
+        alloc.amount = new_amount
+        alloc.device.allocations[alloc.alloc_id] = new_amount
+        self.peak_used = max(self.peak_used, self.total_used)
+        return alloc
+
+    def allocations_for(self, tenant: str) -> List[Allocation]:
+        return [a for a in self._allocations.values() if a.tenant == tenant]
+
+    def _spec(self) -> Optional[DeviceSpec]:
+        return self.devices[0].spec if self.devices else None
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourcePool({self.device_type.value}, devices={len(self.devices)}, "
+            f"used={self.total_used:g}/{self.total_capacity:g})"
+        )
+
+
+@dataclass
+class PoolSet:
+    """The full set of pools in one datacenter, keyed by device type."""
+
+    pools: Dict[DeviceType, ResourcePool] = field(default_factory=dict)
+
+    def pool(self, device_type: DeviceType) -> ResourcePool:
+        if device_type not in self.pools:
+            raise KeyError(f"datacenter has no {device_type.value} pool")
+        return self.pools[device_type]
+
+    def __contains__(self, device_type: DeviceType) -> bool:
+        return device_type in self.pools
+
+    def __iter__(self):
+        return iter(self.pools.values())
+
+    def hourly_cost(self, tenant: str) -> float:
+        """Current burn rate of all of ``tenant``'s live allocations."""
+        return sum(
+            alloc.hourly_cost
+            for pool in self.pools.values()
+            for alloc in pool.allocations_for(tenant)
+        )
+
+    def utilization_report(self) -> Dict[str, float]:
+        return {
+            dtype.value: pool.mean_utilization()
+            for dtype, pool in sorted(self.pools.items(), key=lambda kv: kv[0].value)
+        }
+
+
+def total_fragmentation(pool: ResourcePool) -> float:
+    """Fraction of free capacity stranded in slices below min_grain."""
+    spec = pool._spec()
+    if spec is None:
+        return 0.0
+    stranded = sum(
+        d.free for d in pool.devices
+        if not d.failed and 0 < d.free < spec.min_grain
+    )
+    free = pool.total_free
+    return stranded / free if free else 0.0
+
+
+def is_amount_valid(spec: DeviceSpec, amount: float) -> bool:
+    """Whether ``amount`` is a legal request against devices of ``spec``."""
+    return (
+        amount > 0
+        and amount <= spec.capacity
+        and not math.isnan(amount)
+        and not math.isinf(amount)
+    )

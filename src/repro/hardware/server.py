@@ -1,0 +1,194 @@
+"""Traditional monolithic servers and bin-packing allocation.
+
+This is the *baseline substrate* the paper argues against: resources come
+welded together into server boxes, so placing a workload is a
+multi-dimensional bin-packing problem and any dimension that fills first
+strands the others (a memory-heavy job leaves cores idle and vice versa).
+The disaggregation benchmark (E2) packs identical workload mixes onto
+servers here and onto pools in :mod:`repro.hardware.pools`, then compares
+utilization — the paper's §4 cites LegoOS's ~2x improvement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Placement", "Server", "ServerCluster", "ServerSpec", "WorkloadDemand"]
+
+_server_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Fixed resource bundle of one server model."""
+
+    cpus: float
+    mem_gb: float
+    gpus: float = 0.0
+    storage_gb: float = 0.0
+    name: str = "server"
+
+    def dimensions(self) -> Dict[str, float]:
+        return {
+            "cpus": self.cpus,
+            "mem_gb": self.mem_gb,
+            "gpus": self.gpus,
+            "storage_gb": self.storage_gb,
+        }
+
+
+@dataclass(frozen=True)
+class WorkloadDemand:
+    """A workload's exact multi-dimensional demand.
+
+    ``duty`` is the fraction of the provisioned demand the job actually
+    keeps busy over time (jobs provision for peak; Flexera-style waste
+    counts the idle remainder).  Packing always reserves the full demand;
+    billing models differ in whether they can reclaim the slack.
+    """
+
+    cpus: float = 0.0
+    mem_gb: float = 0.0
+    gpus: float = 0.0
+    storage_gb: float = 0.0
+    duty: float = 1.0
+    name: str = "job"
+
+    def __post_init__(self):
+        if not 0.0 < self.duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {self.duty}")
+
+    def dimensions(self) -> Dict[str, float]:
+        return {
+            "cpus": self.cpus,
+            "mem_gb": self.mem_gb,
+            "gpus": self.gpus,
+            "storage_gb": self.storage_gb,
+        }
+
+    def dominant_size(self, spec: ServerSpec) -> float:
+        """Largest demand fraction across dimensions (for FFD ordering)."""
+        fractions = []
+        for dim, need in self.dimensions().items():
+            cap = spec.dimensions()[dim]
+            if need > 0:
+                fractions.append(need / cap if cap else float("inf"))
+        return max(fractions) if fractions else 0.0
+
+
+@dataclass
+class Server:
+    """One server with residual capacity per dimension."""
+
+    spec: ServerSpec
+    server_id: str = field(default="")
+    residual: Dict[str, float] = field(default_factory=dict)
+    placed: List[WorkloadDemand] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.server_id:
+            self.server_id = f"{self.spec.name}-{next(_server_ids)}"
+        if not self.residual:
+            self.residual = dict(self.spec.dimensions())
+
+    def fits(self, demand: WorkloadDemand) -> bool:
+        return all(
+            self.residual[dim] + 1e-9 >= need
+            for dim, need in demand.dimensions().items()
+        )
+
+    def place(self, demand: WorkloadDemand) -> None:
+        if not self.fits(demand):
+            raise ValueError(f"{demand.name} does not fit on {self.server_id}")
+        for dim, need in demand.dimensions().items():
+            self.residual[dim] -= need
+        self.placed.append(demand)
+
+    def used(self, dim: str) -> float:
+        return self.spec.dimensions()[dim] - self.residual[dim]
+
+
+@dataclass
+class Placement:
+    """Result of packing a workload set onto a cluster."""
+
+    servers_used: int
+    assignments: List[Tuple[WorkloadDemand, Server]]
+    unplaced: List[WorkloadDemand]
+
+
+class ServerCluster:
+    """A homogeneous cluster with first-fit-decreasing bin packing.
+
+    FFD on the dominant dimension is the standard practical heuristic
+    (within 11/9 OPT for one dimension); using a decent baseline packer
+    keeps E2 honest — the utilization gap must come from disaggregation,
+    not from a strawman packing algorithm.
+    """
+
+    def __init__(self, spec: ServerSpec, max_servers: Optional[int] = None):
+        self.spec = spec
+        self.max_servers = max_servers
+        self.servers: List[Server] = []
+
+    def pack(self, demands: List[WorkloadDemand]) -> Placement:
+        """First-fit-decreasing placement; opens servers on demand."""
+        ordered = sorted(
+            demands, key=lambda d: d.dominant_size(self.spec), reverse=True
+        )
+        assignments: List[Tuple[WorkloadDemand, Server]] = []
+        unplaced: List[WorkloadDemand] = []
+        for demand in ordered:
+            if demand.dominant_size(self.spec) > 1.0:
+                unplaced.append(demand)  # cannot fit on any single server
+                continue
+            target = next((s for s in self.servers if s.fits(demand)), None)
+            if target is None:
+                if self.max_servers is not None and len(self.servers) >= self.max_servers:
+                    unplaced.append(demand)
+                    continue
+                target = Server(spec=self.spec)
+                self.servers.append(target)
+            target.place(demand)
+            assignments.append((demand, target))
+        return Placement(
+            servers_used=len(self.servers),
+            assignments=assignments,
+            unplaced=unplaced,
+        )
+
+    def utilization(self, dim: str) -> float:
+        """Mean utilization of one dimension across opened servers."""
+        if not self.servers:
+            return 0.0
+        cap = self.spec.dimensions()[dim] * len(self.servers)
+        if cap == 0:
+            return 0.0
+        used = sum(s.used(dim) for s in self.servers)
+        return used / cap
+
+    def overall_utilization(self) -> float:
+        """Mean across dimensions that the server actually provides."""
+        dims = [d for d, cap in self.spec.dimensions().items() if cap > 0]
+        utils = [self.utilization(d) for d in dims]
+        return sum(utils) / len(utils) if utils else 0.0
+
+    def demanded_utilization(self) -> float:
+        """Mean utilization over only the dimensions any placed job demands.
+
+        Excluding never-demanded dimensions (e.g. GPUs in a CPU-only mix)
+        avoids inflating the disaggregation win.
+        """
+        demanded = {
+            dim
+            for server in self.servers
+            for job in server.placed
+            for dim, need in job.dimensions().items()
+            if need > 0
+        }
+        dims = [d for d in demanded if self.spec.dimensions()[d] > 0]
+        if not dims:
+            return 0.0
+        return sum(self.utilization(d) for d in dims) / len(dims)

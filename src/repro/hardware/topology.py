@@ -1,0 +1,136 @@
+"""Datacenter builder: pods of racks of typed device sleds.
+
+:func:`build_datacenter` assembles a :class:`Datacenter` — the PoolSet, the
+Fabric, and location bookkeeping — from a declarative
+:class:`DatacenterSpec`.  Every benchmark and example builds its substrate
+through this function so topologies stay consistent across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceSpec, DeviceType
+from repro.hardware.fabric import Fabric, Location
+from repro.hardware.pools import PoolSet, ResourcePool
+from repro.simulator.engine import Simulator
+
+__all__ = ["Datacenter", "DatacenterSpec", "build_datacenter"]
+
+
+@dataclass
+class DatacenterSpec:
+    """Declarative shape of a disaggregated datacenter.
+
+    ``devices_per_rack`` maps a device type to how many sleds of that type
+    each rack carries.  By default racks are homogeneous; real fleets
+    specialize racks (GPU rows, storage rows), which ``rack_profiles``
+    expresses: a list of per-rack device maps assigned round-robin to the
+    racks of each pod (overriding ``devices_per_rack`` when non-empty).
+    """
+
+    pods: int = 1
+    racks_per_pod: int = 2
+    devices_per_rack: Dict[DeviceType, int] = field(
+        default_factory=lambda: {
+            DeviceType.CPU: 4,
+            DeviceType.GPU: 2,
+            DeviceType.DRAM: 2,
+            DeviceType.NVM: 1,
+            DeviceType.SSD: 1,
+            DeviceType.HDD: 1,
+        }
+    )
+    #: heterogeneous rack layouts, applied round-robin per pod
+    rack_profiles: List[Dict[DeviceType, int]] = field(default_factory=list)
+    #: per-type spec overrides; anything absent uses DEFAULT_SPECS
+    spec_overrides: Dict[DeviceType, DeviceSpec] = field(default_factory=dict)
+
+    def spec_for(self, device_type: DeviceType) -> DeviceSpec:
+        return self.spec_overrides.get(device_type, DEFAULT_SPECS[device_type])
+
+    def profile_for_rack(self, rack: int) -> Dict[DeviceType, int]:
+        if self.rack_profiles:
+            return self.rack_profiles[rack % len(self.rack_profiles)]
+        return self.devices_per_rack
+
+    def all_device_types(self) -> List[DeviceType]:
+        """Every type any rack carries (the pool set to create)."""
+        types: Dict[DeviceType, None] = {}
+        if self.rack_profiles:
+            for profile in self.rack_profiles:
+                for device_type in profile:
+                    types[device_type] = None
+        else:
+            for device_type in self.devices_per_rack:
+                types[device_type] = None
+        return list(types)
+
+
+@dataclass
+class Datacenter:
+    """A built datacenter: pools + fabric + the simulator that drives it."""
+
+    sim: Simulator
+    spec: DatacenterSpec
+    pools: PoolSet
+    fabric: Fabric
+    devices: List[Device] = field(default_factory=list)
+    #: one switch location per pod; in-network sequencers attach here
+    switch_locations: List[Location] = field(default_factory=list)
+
+    def pool(self, device_type: DeviceType) -> ResourcePool:
+        return self.pools.pool(device_type)
+
+    def devices_at(self, location: Location) -> List[Device]:
+        return [d for d in self.devices if d.location == location]
+
+    def rack_locations(self) -> List[Location]:
+        seen: Dict[tuple, Location] = {}
+        for device in self.devices:
+            loc: Location = device.location
+            seen.setdefault((loc.pod, loc.rack), Location(loc.pod, loc.rack, 0))
+        return [seen[key] for key in sorted(seen)]
+
+    def find_device(self, device_id: str) -> Optional[Device]:
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        return None
+
+
+def build_datacenter(
+    spec: Optional[DatacenterSpec] = None, sim: Optional[Simulator] = None
+) -> Datacenter:
+    """Construct pools, devices, and fabric per ``spec``.
+
+    Devices of each type are placed round-robin across slots within each
+    rack; every pod gets one switch location (rack index -1 by convention)
+    for in-network sequencing.
+    """
+    spec = spec or DatacenterSpec()
+    sim = sim or Simulator()
+    fabric = Fabric(sim)
+    pools = PoolSet()
+    datacenter = Datacenter(sim=sim, spec=spec, pools=pools, fabric=fabric)
+
+    for device_type in spec.all_device_types():
+        pool = ResourcePool(device_type, clock=lambda: sim.now)
+        pools.pools[device_type] = pool
+
+    for pod in range(spec.pods):
+        datacenter.switch_locations.append(Location(pod=pod, rack=-1, slot=0))
+        for rack in range(spec.racks_per_pod):
+            slot = 0
+            for device_type, count in spec.profile_for_rack(rack).items():
+                device_spec = spec.spec_for(device_type)
+                for _ in range(count):
+                    device = Device(
+                        spec=device_spec,
+                        location=Location(pod=pod, rack=rack, slot=slot),
+                    )
+                    slot += 1
+                    pools.pools[device_type].add_device(device)
+                    datacenter.devices.append(device)
+    return datacenter

@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation engine.
+
+This package is the substrate beneath every other subsystem in the
+reproduction: the disaggregated hardware model, the execution environments,
+the distributed-semantics protocols, and the UDC runtime all execute as
+processes on a single :class:`~repro.simulator.engine.Simulator`.
+
+The engine is intentionally small and fully deterministic:
+
+* a single event heap ordered by ``(time, sequence)``;
+* generator-based processes (`yield` an event to suspend);
+* interruptible processes (used for failure injection);
+* waitable resources (:class:`~repro.simulator.resources.Store`,
+  :class:`~repro.simulator.resources.Gate`,
+  :class:`~repro.simulator.resources.CapacityResource`);
+* named, seeded random streams (:class:`~repro.simulator.rng.RngRegistry`)
+  so that adding a new consumer of randomness never perturbs existing ones.
+"""
+
+from repro.simulator.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from repro.simulator.resources import CapacityResource, Gate, Store
+from repro.simulator.rng import RngRegistry
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CapacityResource",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

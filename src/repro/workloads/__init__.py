@@ -1,0 +1,35 @@
+"""Workloads: the paper's Figure-2 medical pipeline plus synthetic
+generators used by the benchmarks.
+
+* :mod:`~repro.workloads.medical` — the hospital application of Figure 2
+  with the exact per-module aspects of Table 1;
+* :mod:`~repro.workloads.inference` — event-triggered ML inference
+  arrivals (the serverless-GPU motivating case, §1);
+* :mod:`~repro.workloads.generators` — parameterized multi-dimensional
+  demand mixes for the waste/disaggregation benchmarks (E1/E2).
+"""
+
+from repro.workloads.cluster import ArrivingApp, ClusterTrace, generate_cluster_trace
+from repro.workloads.diurnal import diurnal_inference_trace, diurnal_rate
+from repro.workloads.generators import (
+    WorkloadMix,
+    heterogeneous_mix,
+    skewed_demands,
+)
+from repro.workloads.inference import InferenceTrace, poisson_inference_trace
+from repro.workloads.medical import build_medical_app, table1_definition
+
+__all__ = [
+    "ArrivingApp",
+    "ClusterTrace",
+    "InferenceTrace",
+    "diurnal_inference_trace",
+    "diurnal_rate",
+    "generate_cluster_trace",
+    "WorkloadMix",
+    "build_medical_app",
+    "heterogeneous_mix",
+    "poisson_inference_trace",
+    "skewed_demands",
+    "table1_definition",
+]

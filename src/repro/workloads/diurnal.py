@@ -1,0 +1,80 @@
+"""Diurnal (daily-cycle) inference traces.
+
+Production event-triggered services follow a day/night load curve, which
+is precisely what makes always-on capacity wasteful (the §1 economics):
+capacity sized for the afternoon peak idles all night.  This generator
+produces a non-homogeneous Poisson arrival process whose rate follows a
+sinusoidal day shape, via thinning (Lewis & Shedler), deterministic per
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from repro.simulator.rng import derive_seed
+from repro.workloads.inference import InferenceRequest, InferenceTrace
+
+__all__ = ["diurnal_rate", "diurnal_inference_trace"]
+
+DAY_S = 24 * 3600.0
+
+
+def diurnal_rate(
+    t_s: float,
+    peak_rate_hz: float,
+    trough_fraction: float = 0.1,
+    peak_hour: float = 14.0,
+) -> float:
+    """Instantaneous arrival rate at time-of-day ``t_s`` (seconds).
+
+    A raised cosine peaking at ``peak_hour`` (default mid-afternoon) and
+    bottoming at ``trough_fraction`` of the peak overnight.
+    """
+    if peak_rate_hz <= 0:
+        raise ValueError("peak_rate_hz must be positive")
+    if not 0.0 <= trough_fraction <= 1.0:
+        raise ValueError("trough_fraction must be in [0, 1]")
+    phase = 2 * math.pi * ((t_s / DAY_S) - peak_hour / 24.0)
+    shape = (1 + math.cos(phase)) / 2  # 1 at peak hour, 0 opposite
+    return peak_rate_hz * (trough_fraction + (1 - trough_fraction) * shape)
+
+
+def diurnal_inference_trace(
+    peak_rate_hz: float,
+    horizon_s: float = DAY_S,
+    work: float = 40.0,
+    input_bytes: int = 1 << 20,
+    trough_fraction: float = 0.1,
+    peak_hour: float = 14.0,
+    seed: int = 0,
+) -> InferenceTrace:
+    """Non-homogeneous Poisson arrivals following the daily curve.
+
+    Implementation: thinning against the constant majorant
+    ``peak_rate_hz`` — candidate arrivals at the peak rate are accepted
+    with probability ``rate(t)/peak``.
+    """
+    if horizon_s <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(derive_seed(seed, "diurnal-trace"))
+    trace = InferenceTrace(rate_hz=peak_rate_hz, horizon_s=horizon_s)
+    t = 0.0
+    request_id = 0
+    while True:
+        t += rng.expovariate(peak_rate_hz)
+        if t >= horizon_s:
+            break
+        accept_p = diurnal_rate(t, peak_rate_hz, trough_fraction,
+                                peak_hour) / peak_rate_hz
+        if rng.random() < accept_p:
+            trace.requests.append(
+                InferenceRequest(
+                    arrival_s=t,
+                    work=work * rng.uniform(0.8, 1.2),
+                    input_bytes=input_bytes,
+                    request_id=request_id,
+                )
+            )
+            request_id += 1
+    return trace

@@ -1,0 +1,123 @@
+"""Synthetic multi-dimensional workload mixes (benchmarks E1, E2).
+
+The paper's waste claim (C1, ~35%) and the disaggregation claim (C6, ~2x
+utilization) are both statements about workload mixes whose per-dimension
+demands do not match server/instance shapes.  These generators produce
+such mixes deterministically from a seed:
+
+* :func:`heterogeneous_mix` — a realistic blend of web, batch, ML, cache,
+  and analytics job shapes (drawn with jitter around archetypes);
+* :func:`skewed_demands` — a parameterized mix whose CPU:memory skew can
+  be swept, used to locate the crossover where disaggregation's advantage
+  appears.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.hardware.server import WorkloadDemand
+from repro.simulator.rng import derive_seed
+
+__all__ = ["WorkloadMix", "heterogeneous_mix", "skewed_demands", "ARCHETYPES"]
+
+#: (name, cpus, mem_gb, gpus, weight) — archetype job shapes with their
+#: relative frequency in the mix.  Shapes deliberately straddle the 1:2 /
+#: 1:4 / 1:8 vCPU:GB ratios of the c5/m5/r5 families so that no catalog
+#: instance matches exactly (the condition under which C1's waste arises).
+ARCHETYPES: List[Tuple[str, float, float, float, float]] = [
+    ("web", 2.0, 3.0, 0.0, 0.30),
+    ("api", 1.0, 6.0, 0.0, 0.20),
+    ("batch", 12.0, 20.0, 0.0, 0.15),
+    ("cache", 2.0, 48.0, 0.0, 0.12),
+    ("analytics", 20.0, 96.0, 0.0, 0.10),
+    ("ml-train", 6.0, 40.0, 4.0, 0.05),
+    ("ml-infer", 2.0, 12.0, 1.0, 0.05),
+    ("gpu-orchestrator", 4.0, 16.0, 8.0, 0.03),
+]
+
+
+@dataclass
+class WorkloadMix:
+    """A generated set of demands plus aggregate accounting."""
+
+    demands: List[WorkloadDemand] = field(default_factory=list)
+
+    def totals(self) -> Dict[str, float]:
+        return {
+            "cpus": sum(d.cpus for d in self.demands),
+            "mem_gb": sum(d.mem_gb for d in self.demands),
+            "gpus": sum(d.gpus for d in self.demands),
+        }
+
+    def __len__(self) -> int:
+        return len(self.demands)
+
+
+def heterogeneous_mix(
+    n_jobs: int,
+    seed: int = 0,
+    jitter: float = 0.25,
+    duty_range: Tuple[float, float] = (0.55, 0.95),
+) -> WorkloadMix:
+    """Draw ``n_jobs`` demands from the archetype distribution.
+
+    Each draw multiplies the archetype's dimensions by independent
+    ``U[1-jitter, 1+jitter]`` noise (GPUs stay integral) and assigns a
+    duty factor from ``duty_range`` — jobs provision for peak, so mean
+    usage sits well below the provisioned shape (the Flexera-style idle
+    component of the 35% waste claim).
+    """
+    if n_jobs < 0:
+        raise ValueError("n_jobs must be >= 0")
+    lo, hi = duty_range
+    if not 0.0 < lo <= hi <= 1.0:
+        raise ValueError(f"invalid duty_range {duty_range}")
+    rng = random.Random(derive_seed(seed, "heterogeneous-mix"))
+    names = [a[0] for a in ARCHETYPES]
+    weights = [a[4] for a in ARCHETYPES]
+    mix = WorkloadMix()
+    for index in range(n_jobs):
+        name = rng.choices(names, weights=weights, k=1)[0]
+        _n, cpus, mem, gpus, _w = next(a for a in ARCHETYPES if a[0] == name)
+        scale = lambda v: v * rng.uniform(1 - jitter, 1 + jitter)  # noqa: E731
+        mix.demands.append(
+            WorkloadDemand(
+                cpus=round(max(scale(cpus), 0.25), 2),
+                mem_gb=round(max(scale(mem), 0.5), 2),
+                gpus=float(gpus),  # GPUs come in whole units
+                duty=round(rng.uniform(lo, hi), 3),
+                name=f"{name}-{index}",
+            )
+        )
+    return mix
+
+
+def skewed_demands(
+    n_jobs: int,
+    cpu_heavy_fraction: float,
+    seed: int = 0,
+) -> WorkloadMix:
+    """A two-population mix for the disaggregation sweep (E2).
+
+    ``cpu_heavy_fraction`` of jobs are CPU-heavy (8 cores, 4 GB); the rest
+    are memory-heavy (1 core, 56 GB).  On monolithic servers the two
+    populations strand each other's spare dimension; pools serve both
+    exactly.
+    """
+    if not 0.0 <= cpu_heavy_fraction <= 1.0:
+        raise ValueError("cpu_heavy_fraction must be in [0, 1]")
+    rng = random.Random(derive_seed(seed, "skewed-mix"))
+    mix = WorkloadMix()
+    for index in range(n_jobs):
+        if rng.random() < cpu_heavy_fraction:
+            mix.demands.append(
+                WorkloadDemand(cpus=8.0, mem_gb=4.0, name=f"cpu-heavy-{index}")
+            )
+        else:
+            mix.demands.append(
+                WorkloadDemand(cpus=1.0, mem_gb=56.0, name=f"mem-heavy-{index}")
+            )
+    return mix

@@ -1,0 +1,94 @@
+"""Event-triggered ML inference traces (benchmark E3).
+
+§1's motivating gap: *"many ML inference tasks are event-triggered and
+could benefit from serverless computing and GPU acceleration.  Despite the
+high demand for such applications, no cloud provider has yet supported GPU
+in their serverless computing offerings."*
+
+:func:`poisson_inference_trace` generates the arrival process: sporadic
+inference requests (Poisson, optionally bursty) each carrying a model work
+amount sized so that GPU execution is ~an order of magnitude faster than
+CPU — the published CNN-inference shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simulator.rng import derive_seed
+
+__all__ = ["InferenceRequest", "InferenceTrace", "poisson_inference_trace"]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One event-triggered inference invocation."""
+
+    arrival_s: float
+    #: abstract model work (same units as TaskModule.work)
+    work: float
+    input_bytes: int
+    request_id: int
+
+
+@dataclass
+class InferenceTrace:
+    """An arrival trace plus its generation parameters."""
+
+    requests: List[InferenceRequest] = field(default_factory=list)
+    rate_hz: float = 0.0
+    horizon_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def mean_interarrival_s(self) -> float:
+        if len(self.requests) < 2:
+            return 0.0
+        gaps = [
+            b.arrival_s - a.arrival_s
+            for a, b in zip(self.requests, self.requests[1:])
+        ]
+        return sum(gaps) / len(gaps)
+
+
+def poisson_inference_trace(
+    rate_hz: float,
+    horizon_s: float,
+    work: float = 40.0,
+    input_bytes: int = 1 << 20,
+    burstiness: float = 0.0,
+    seed: int = 0,
+) -> InferenceTrace:
+    """Poisson arrivals at ``rate_hz`` over ``horizon_s``.
+
+    ``burstiness`` in [0, 1) mixes in a second, 10x-faster arrival mode
+    (doubly stochastic), modeling the event-triggered spikes that make
+    always-on GPU VMs wasteful and serverless attractive.
+    """
+    if rate_hz <= 0 or horizon_s <= 0:
+        raise ValueError("rate and horizon must be positive")
+    if not 0.0 <= burstiness < 1.0:
+        raise ValueError("burstiness must be in [0, 1)")
+    rng = random.Random(derive_seed(seed, "inference-trace"))
+    trace = InferenceTrace(rate_hz=rate_hz, horizon_s=horizon_s)
+    t = 0.0
+    request_id = 0
+    while True:
+        rate = rate_hz * (10.0 if rng.random() < burstiness else 1.0)
+        t += rng.expovariate(rate)
+        if t >= horizon_s:
+            break
+        trace.requests.append(
+            InferenceRequest(
+                arrival_s=t,
+                work=work * rng.uniform(0.8, 1.2),
+                input_bytes=input_bytes,
+                request_id=request_id,
+            )
+        )
+        request_id += 1
+    return trace

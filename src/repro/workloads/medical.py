@@ -1,0 +1,205 @@
+"""The paper's motivating example: medical information processing.
+
+Figure 2's application, module for module:
+
+* **Storage** — S1 patient medical records, S2 consent forms, S3 the
+  medical image arriving in real time, S4 anonymized records/images.
+* **Diagnosis path** — A1 pre-processing (resize/greyscale), A2 object
+  detection (CNN inference), A3 record retrieval + NLP (BERT) over S1,
+  A4 automated diagnosis combining A2 and A3; the diagnosis is written
+  back to S1.
+* **Analytics path** — B1 consent filtering + anonymization (reads S1 and
+  S2, writes S4), B2 third-party analytics over S4.
+
+Locality relationships from §3.1's own examples: A1 and A2 are co-located
+on one hardware unit; A3 has an affinity for S1.
+
+:func:`table1_definition` is a cell-for-cell transcription of Table 1 into
+the declarative spec language.  :func:`build_medical_app` returns the DAG
+with small real computations attached so end-to-end runs produce an
+actual (toy) diagnosis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+from repro.appmodel.annotations import AppBuilder
+from repro.appmodel.dag import ModuleDAG
+from repro.hardware.devices import DeviceType
+
+__all__ = ["build_medical_app", "table1_definition"]
+
+MB = 1 << 20
+
+
+def table1_definition() -> Dict:
+    """Table 1 of the paper, one entry per cell.
+
+    Resource column uses the shorthand strings exactly as printed
+    ("Fastest", "GPU", "Cheapest", "SSD", "DRAM"); the exec-env and
+    distributed columns expand to the structured form.
+    """
+    return {
+        # A1: Fastest | Single-tenant (or SGX enclave if CPU) | No replication
+        "A1": {
+            "resource": "fastest",
+            "execenv": {"isolation": "strong"},
+            "distributed": {"replication": 1},
+        },
+        # A2: GPU | Single-tenant | No rep, Checkpoint
+        "A2": {
+            "resource": {"device": "gpu", "amount": 1},
+            "execenv": {"isolation": "strong", "single_tenant": True},
+            "distributed": {"replication": 1, "checkpoint": True},
+        },
+        # A3: GPU | Single-tenant | No rep, Checkpoint
+        "A3": {
+            "resource": {"device": "gpu", "amount": 1},
+            "execenv": {"isolation": "strong", "single_tenant": True},
+            "distributed": {"replication": 1, "checkpoint": True},
+        },
+        # A4: CPU | Single-tenant & SGX enclave | Rep 2x, Checkpoint
+        "A4": {
+            "resource": {"device": "cpu", "amount": 2},
+            "execenv": {"env": "sgx-enclave", "single_tenant": True},
+            "distributed": {"replication": 2, "checkpoint": True},
+        },
+        # B1: Cheapest | Single-tenant (or SGX enclave if CPU) | No replication
+        "B1": {
+            "resource": "cheapest",
+            "execenv": {"isolation": "strong"},
+            "distributed": {"replication": 1},
+        },
+        # B2: Cheapest | Containers | No rep, Checkpoint
+        "B2": {
+            "resource": "cheapest",
+            "execenv": {"isolation": "weak"},
+            "distributed": {"replication": 1, "checkpoint": True},
+        },
+        # S1: SSD | Encryption & integrity | Replicate 3x, Sequential
+        "S1": {
+            "resource": "ssd",
+            "execenv": {"protection": ["encrypt", "integrity"]},
+            "distributed": {"replication": 3, "consistency": "sequential"},
+        },
+        # S2: Cheapest | Encryption & integrity | Replicate 2x, Reader pref
+        "S2": {
+            "resource": "cheapest",
+            "execenv": {"protection": ["encrypt", "integrity"]},
+            "distributed": {"replication": 2, "preference": "reader"},
+        },
+        # S3: DRAM | Encryption & integrity | Replicate 2x
+        "S3": {
+            "resource": "dram",
+            "execenv": {"protection": ["encrypt", "integrity"]},
+            "distributed": {"replication": 2},
+        },
+        # S4: Cheapest | Integrity protection | No replication, Release
+        "S4": {
+            "resource": "cheapest",
+            "execenv": {"protection": ["integrity"]},
+            "distributed": {"replication": 1, "consistency": "release"},
+        },
+    }
+
+
+def _preprocess(ctx: Dict) -> Dict:
+    """A1: resize + greyscale the incoming image (toy: halve the pixels)."""
+    image = ctx.get("input") or {"pixels": list(range(64)), "patient": "p-0"}
+    return {
+        "pixels": image["pixels"][::2],
+        "patient": image["patient"],
+    }
+
+
+def _cnn_inference(ctx: Dict) -> Dict:
+    """A2: object detection (toy: deterministic hash-derived findings)."""
+    image = ctx["A1"]
+    digest = hashlib.sha256(bytes(p % 256 for p in image["pixels"])).hexdigest()
+    findings = ["nodule" if int(digest[0], 16) % 2 else "clear",
+                f"confidence-0.{int(digest[1:3], 16) % 90 + 10}"]
+    return {"patient": image["patient"], "objects": findings}
+
+
+def _nlp_inference(ctx: Dict) -> Dict:
+    """A3: retrieve the record and summarize prior diagnoses (toy)."""
+    patient = (ctx.get("input") or {}).get("patient", "p-0")
+    history = f"record({patient}): prior={hashlib.sha256(patient.encode()).hexdigest()[:6]}"
+    return {"patient": patient, "history_summary": history}
+
+
+def _diagnose(ctx: Dict) -> Dict:
+    """A4: fuse detection and NLP into the automated diagnosis."""
+    detection, nlp = ctx["A2"], ctx["A3"]
+    return {
+        "patient": detection["patient"],
+        "diagnosis": f"{detection['objects'][0]} given {nlp['history_summary']}",
+    }
+
+
+def _anonymize(ctx: Dict) -> Dict:
+    """B1: consent-filter and anonymize records for research."""
+    consented = (ctx.get("input") or {}).get("consented", True)
+    if not consented:
+        return {"records": []}
+    return {"records": [{"id": hashlib.sha256(b"p-0").hexdigest()[:8],
+                         "payload": "anonymized"}]}
+
+
+def _analytics(ctx: Dict) -> Dict:
+    """B2: third-party analytics over the anonymized set (toy count)."""
+    upstream = ctx.get("B1") or {"records": []}
+    return {"cohort_size": len(upstream["records"])}
+
+
+def build_medical_app(image_mb: float = 8.0) -> Tuple[ModuleDAG, Dict]:
+    """Construct the Figure-2 application and its Table-1 definition.
+
+    ``image_mb`` sizes the medical image flowing down the diagnosis path
+    (a CT slice is a few MB).
+    """
+    app = AppBuilder("medical-information-processing")
+
+    a1 = app.task(name="A1", work=0.5,
+                  devices={DeviceType.CPU, DeviceType.GPU},
+                  output_bytes=int(image_mb * MB / 2),
+                  state_bytes=2 * MB, max_parallelism=2)(_preprocess)
+    a2 = app.task(name="A2", work=40.0, devices={DeviceType.GPU},
+                  output_bytes=64 * 1024, state_bytes=32 * MB)(_cnn_inference)
+    a3 = app.task(name="A3", work=30.0, devices={DeviceType.GPU},
+                  output_bytes=64 * 1024, state_bytes=24 * MB)(_nlp_inference)
+    a4 = app.task(name="A4", work=2.0, devices={DeviceType.CPU},
+                  output_bytes=16 * 1024, state_bytes=1 * MB,
+                  max_parallelism=2)(_diagnose)
+    b1 = app.task(name="B1", work=4.0, devices={DeviceType.CPU},
+                  output_bytes=128 * MB, state_bytes=4 * MB)(_anonymize)
+    b2 = app.task(name="B2", work=20.0,
+                  devices={DeviceType.CPU, DeviceType.GPU},
+                  output_bytes=1 * MB, state_bytes=8 * MB)(_analytics)
+
+    s1 = app.data("S1", size_gb=50.0, record_bytes=64 * 1024)
+    s2 = app.data("S2", size_gb=2.0, record_bytes=4 * 1024)
+    s3 = app.data("S3", size_gb=1.0, record_bytes=int(image_mb * MB), hot=True)
+    s4 = app.data("S4", size_gb=20.0, record_bytes=64 * 1024)
+
+    # Diagnosis path.
+    app.reads(a1, s3, bytes_per_run=int(image_mb * MB))
+    app.flows(a1, a2, bytes_=int(image_mb * MB / 2))
+    app.reads(a3, s1, bytes_per_run=4 * MB)
+    app.flows(a2, a4, bytes_=64 * 1024)
+    app.flows(a3, a4, bytes_=64 * 1024)
+    app.writes(a4, s1, bytes_per_run=64 * 1024)
+
+    # Analytics path.
+    app.reads(b1, s2, bytes_per_run=1 * MB)
+    app.reads(b1, s1, bytes_per_run=64 * MB)
+    app.writes(b1, s4, bytes_per_run=128 * MB)
+    app.reads(b2, s4, bytes_per_run=128 * MB)
+
+    # Locality relationships from the paper's own §3.1 examples.
+    app.colocate(a1, a2)
+
+    dag = app.build()
+    return dag, table1_definition()

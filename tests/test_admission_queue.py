@@ -1,0 +1,114 @@
+"""Tests for admission queueing under capacity exhaustion."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.core.scheduler import SchedulerError
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+#: a tiny datacenter: one rack, 2 GPU boards of 8 = 16 GPUs total
+TINY = DatacenterSpec(
+    pods=1, racks_per_pod=1,
+    devices_per_rack={DeviceType.CPU: 2, DeviceType.GPU: 2,
+                      DeviceType.DRAM: 1, DeviceType.SSD: 1},
+)
+
+
+def gpu_job(name, gpus=8, work=80.0):
+    app = AppBuilder(name)
+
+    @app.task(name="train", work=work, devices={DeviceType.GPU})
+    def train(ctx):
+        return name
+
+    return app.build(), {"train": {"resource": {"device": "gpu",
+                                                "amount": gpus}}}
+
+
+def test_default_behavior_still_raises():
+    runtime = UDCRuntime(build_datacenter(TINY))
+    dag1, spec1 = gpu_job("first", gpus=16)
+    runtime.submit(dag1, spec1, tenant="a")
+    dag2, spec2 = gpu_job("second", gpus=16)
+    with pytest.raises(SchedulerError):
+        runtime.submit(dag2, spec2, tenant="b")
+
+
+def test_queued_submission_admitted_when_capacity_frees():
+    runtime = UDCRuntime(build_datacenter(TINY))
+    dag1, spec1 = gpu_job("first", gpus=16, work=80.0)
+    first = runtime.submit(dag1, spec1, tenant="a")
+    dag2, spec2 = gpu_job("second", gpus=16, work=40.0)
+    second = runtime.submit(dag2, spec2, tenant="b", queue_if_full=True)
+    assert second.status == "queued"
+
+    results = {r.tenant: r for r in runtime.drain()}
+    assert second.status == "done"
+    assert results["b"].outputs["train"] == "second"
+    # Second waited for first's release: it started after first finished.
+    assert second.submitted_at >= first.finished_at
+    assert second.queue_wait_s > 0
+    assert runtime.telemetry.events_of("admission-queued")
+    assert runtime.telemetry.events_of("admission-admitted")
+
+
+def test_queue_is_fifo():
+    runtime = UDCRuntime(build_datacenter(TINY))
+    dag0, spec0 = gpu_job("holder", gpus=16, work=50.0)
+    runtime.submit(dag0, spec0, tenant="holder")
+    queued = []
+    for index in range(2):
+        dag, spec = gpu_job(f"waiter{index}", gpus=16, work=10.0)
+        queued.append(runtime.submit(dag, spec, tenant=f"w{index}",
+                                     queue_if_full=True))
+    runtime.drain()
+    assert queued[0].submitted_at < queued[1].submitted_at
+
+
+def test_never_fitting_submission_marked_unplaceable():
+    runtime = UDCRuntime(build_datacenter(TINY))
+    dag, spec = gpu_job("too-big", gpus=64)  # 64 > 16 total
+    submission = runtime.submit(dag, spec, tenant="x", queue_if_full=True)
+    results = runtime.drain()
+    assert submission.status == "unplaceable"
+    assert results[0].total_failures == 0
+    assert results[0].outputs == {}
+    assert runtime.telemetry.events_of("admission-unplaceable")
+
+
+def test_rollback_leaves_no_partial_allocations():
+    """A submission whose data places but tasks don't must roll back."""
+    runtime = UDCRuntime(build_datacenter(TINY))
+    app = AppBuilder("partial")
+
+    @app.task(name="train", work=10.0, devices={DeviceType.GPU})
+    def train(ctx):
+        return None
+
+    store = app.data("d", size_gb=5)
+    app.writes("train", store)
+    spec = {"train": {"resource": {"device": "gpu", "amount": 64}},
+            "d": {"resource": "ssd"}}
+    with pytest.raises(SchedulerError):
+        runtime.submit(app.build(), spec, tenant="x")
+    for pool in runtime.datacenter.pools:
+        assert pool.total_used == 0.0
+    assert not runtime._owner_of
+
+
+def test_queued_and_running_mix_all_complete():
+    runtime = UDCRuntime(build_datacenter(TINY))
+    submissions = []
+    for index in range(4):
+        dag, spec = gpu_job(f"j{index}", gpus=12, work=20.0)
+        submissions.append(
+            runtime.submit(dag, spec, tenant=f"t{index}", queue_if_full=True)
+        )
+    results = runtime.drain()
+    assert all(s.status == "done" for s in submissions)
+    # Serialized by capacity: each start waits for its predecessor.
+    starts = [s.submitted_at for s in submissions]
+    assert starts == sorted(starts)
+    assert len({round(s, 6) for s in starts}) == 4

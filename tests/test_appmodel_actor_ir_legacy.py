@@ -1,0 +1,278 @@
+"""Tests for the actor framework, the IR compiler, and legacy partitioning."""
+
+import networkx as nx
+import pytest
+
+from repro.appmodel.actor import ActorSystem
+from repro.appmodel.annotations import AppBuilder
+from repro.appmodel.ir import compile_dag
+from repro.appmodel.legacy import (
+    cut_weight,
+    partition_program,
+    random_partition,
+)
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Fabric, Location
+from repro.simulator import Simulator
+
+
+# ------------------------------------------------------------ actors
+
+
+def test_actor_processes_messages_in_order():
+    sim = Simulator()
+    system = ActorSystem(sim)
+
+    def collect(actor, message):
+        actor.state.setdefault("seen", []).append(message)
+
+    ref = system.spawn("collector", collect)
+    for index in range(5):
+        ref.tell(index)
+    sim.run(until=1)
+    assert system.actor("collector").state["seen"] == [0, 1, 2, 3, 4]
+
+
+def test_actor_no_shared_state():
+    """Payloads are deep-copied: sender-side mutation cannot leak."""
+    sim = Simulator()
+    system = ActorSystem(sim)
+
+    def keep(actor, message):
+        actor.state["msg"] = message
+
+    ref = system.spawn("keeper", keep)
+    payload = {"items": [1, 2]}
+    ref.tell(payload)
+    payload["items"].append(3)  # mutate after send
+    sim.run(until=1)
+    assert system.actor("keeper").state["msg"] == {"items": [1, 2]}
+
+
+def test_actor_to_actor_messaging():
+    sim = Simulator()
+    system = ActorSystem(sim)
+
+    def ponger(actor, message):
+        if message == "ping":
+            actor.tell(system.actor("pinger").ref, "pong")
+
+    def pinger(actor, message):
+        actor.state["got"] = message
+
+    pong_ref = system.spawn("ponger", ponger)
+    system.spawn("pinger", pinger)
+    pong_ref.tell("ping")
+    sim.run(until=1)
+    assert system.actor("pinger").state["got"] == "pong"
+
+
+def test_actor_timed_work_via_generator():
+    sim = Simulator()
+    system = ActorSystem(sim)
+
+    def worker(actor, message):
+        def job():
+            yield sim.timeout(5.0)
+            actor.state["done_at"] = sim.now
+
+        return job()
+
+    ref = system.spawn("worker", worker)
+    ref.tell("go")
+    sim.run()
+    assert system.actor("worker").state["done_at"] == 5.0
+
+
+def test_fabric_delay_applies_between_located_actors():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    system = ActorSystem(sim, fabric=fabric)
+    arrival = {}
+
+    def receiver(actor, message):
+        arrival["t"] = sim.now
+
+    def sender(actor, message):
+        actor.tell(system.actor("receiver").ref, "payload")
+
+    system.spawn("receiver", receiver, location=Location(0, 1, 0))
+    send_ref = system.spawn("sender", sender, location=Location(0, 0, 0))
+    send_ref.tell("go")
+    sim.run()
+    assert arrival["t"] > 0.0
+
+
+def test_journal_and_replay():
+    sim = Simulator()
+    system = ActorSystem(sim)
+
+    def counter(actor, message):
+        actor.state["count"] = actor.state.get("count", 0) + message
+
+    ref = system.spawn("counter", counter)
+    for value in (1, 2, 3):
+        ref.tell(value)
+    sim.run(until=1)
+    assert system.actor("counter").state["count"] == 6
+
+    # Kill and respawn from the journal: state reconverges.
+    system.respawn_from_journal("counter", counter)
+    sim.run(until=2)
+    assert system.actor("counter").state["count"] == 6
+    assert len(system.replay_for("counter")) == 3
+
+
+def test_unknown_recipient_raises():
+    system = ActorSystem(Simulator())
+    with pytest.raises(KeyError):
+        system._deliver("x", "ghost", "msg")
+
+
+def test_duplicate_actor_name_rejected():
+    system = ActorSystem(Simulator())
+    system.spawn("a", lambda actor, message: None)
+    with pytest.raises(ValueError):
+        system.spawn("a", lambda actor, message: None)
+
+
+def test_graceful_stop_returns_processed_count():
+    sim = Simulator()
+    system = ActorSystem(sim)
+    ref = system.spawn("w", lambda actor, message: None)
+    ref.tell("one")
+    ref.tell("two")
+    system.stop("w")
+    process = system.actor("w")._process
+    assert sim.run(until_event=process) == 2
+
+
+# ------------------------------------------------------------ IR
+
+
+def make_app():
+    app = AppBuilder("demo")
+
+    @app.task(work=2.0, devices={DeviceType.CPU, DeviceType.GPU})
+    def prep(ctx):
+        return None
+
+    @app.task(work=8.0, devices={DeviceType.GPU})
+    def infer(ctx):
+        return None
+
+    store = app.data("store", size_gb=4)
+    app.flows(prep, infer, bytes_=2048)
+    app.reads(infer, store, bytes_per_run=4096)
+    app.colocate(prep, infer)
+    return app.build()
+
+
+def test_compile_dag_shapes():
+    program = compile_dag(make_app())
+    assert set(program.modules) == {"prep", "infer", "store"}
+    infer = program.module("infer")
+    assert infer.kind == "task"
+    assert infer.device_candidates == ("gpu",)
+    assert infer.colocate_with == ("prep",)
+    assert infer.inputs == ("prep", "store")
+    assert infer.affinities == (("store", 4096),)
+    store = program.module("store")
+    assert store.kind == "data"
+    assert store.runtime == "none"
+
+
+def test_ir_interface_consistency():
+    program = compile_dag(make_app())
+    assert program.interface_errors() == []
+
+
+def test_ir_detects_dangling_interface():
+    program = compile_dag(make_app())
+    broken = program.modules["infer"]
+    object.__setattr__(broken, "inputs", ("ghost",))
+    assert any("ghost" in e for e in program.interface_errors())
+
+
+def test_per_module_language():
+    program = compile_dag(make_app(), per_module_language={"prep": "java"})
+    assert program.module("prep").runtime == "jvm-11"
+    assert program.module("infer").runtime == "cpython-3.9"
+
+
+def test_unknown_language_rejected():
+    with pytest.raises(ValueError, match="unknown language"):
+        compile_dag(make_app(), language="cobol")
+
+
+def test_ir_serializes_to_plain_dicts():
+    import json
+
+    payload = json.dumps(compile_dag(make_app()).to_dict())
+    assert "infer" in payload
+
+
+# ------------------------------------------------------------ legacy partitioning
+
+
+def clustered_graph(clusters=4, size=8, internal=10.0, external=1.0):
+    """Dense clusters joined by weak links: ground truth for the cutter."""
+    graph = nx.Graph()
+    for c in range(clusters):
+        nodes = [f"c{c}n{i}" for i in range(size)]
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1:]:
+                graph.add_edge(u, v, weight=internal)
+        if c > 0:
+            graph.add_edge(f"c{c - 1}n0", f"c{c}n0", weight=external)
+    return graph
+
+
+def test_partition_recovers_clusters():
+    graph = clustered_graph()
+    report = partition_program(graph, 4)
+    assert len(report.segments) == 4
+    # Only the weak inter-cluster links should be cut.
+    assert report.cut_fraction < 0.05
+
+
+def test_partition_beats_random():
+    graph = clustered_graph()
+    kl = partition_program(graph, 4)
+    rnd = random_partition(graph, 4, seed=1)
+    assert kl.cut_weight < rnd.cut_weight
+
+
+def test_hints_never_split():
+    graph = clustered_graph(clusters=2)
+    hint = {"c0n0", "c1n0"}  # force two cluster anchors together
+    report = partition_program(graph, 2, developer_hints=[hint])
+    seg = report.segment_of("c0n0")
+    assert report.segment_of("c1n0") == seg
+
+
+def test_single_segment_no_cut():
+    report = partition_program(clustered_graph(), 1)
+    assert report.cut_weight == 0.0
+    assert report.cut_fraction == 0.0
+
+
+def test_cut_weight_helper():
+    graph = nx.Graph()
+    graph.add_edge("a", "b", weight=3.0)
+    graph.add_edge("b", "c", weight=5.0)
+    assert cut_weight(graph, [{"a"}, {"b", "c"}]) == 3.0
+    assert cut_weight(graph, [{"a", "b", "c"}]) == 0.0
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        partition_program(nx.Graph(), 0)
+
+
+def test_directed_input_accepted():
+    digraph = nx.DiGraph()
+    digraph.add_edge("a", "b", weight=1.0)
+    digraph.add_edge("b", "c", weight=1.0)
+    report = partition_program(digraph, 2)
+    assert sum(len(s) for s in report.segments) == 3

@@ -1,0 +1,213 @@
+"""Tests for the IaaS/FaaS/coarse baselines and the economics models."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.baselines.coarse import CoarseOrchestrator
+from repro.baselines.iaas import IaasCloud, udc_exact_hourly_cost
+from repro.baselines.serverless import (
+    FaasPlatform,
+    always_on_gpu_vm_cost,
+)
+from repro.economics.cost import compare_costs
+from repro.economics.devops_matrix import (
+    decoupled_cost,
+    matrix_cost,
+    sweep_growth,
+)
+from repro.economics.pricing import pricing_window
+from repro.hardware.catalog import default_catalog
+from repro.hardware.server import WorkloadDemand
+from repro.workloads.inference import poisson_inference_trace
+
+
+# ------------------------------------------------------------ IaaS baseline
+
+
+def test_provision_picks_cheapest_fit():
+    cloud = IaasCloud(default_catalog())
+    allocation = cloud.provision(WorkloadDemand(cpus=2, mem_gb=4))
+    assert allocation.instance.name == "c5.large"
+    assert allocation.waste_fraction == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gpu_job_waste_matches_paper_example():
+    """§1: 8-GPU job with few vCPUs pays for 64 vCPUs + 488 GB."""
+    cloud = IaasCloud(default_catalog())
+    allocation = cloud.provision(WorkloadDemand(cpus=4, mem_gb=16, gpus=8))
+    assert allocation.instance.name == "p3.16xlarge"
+    # 60 of 64 vCPUs and 472 of 488 GB are paid for but unused.
+    assert allocation.instance.vcpus - allocation.demand.cpus == 60
+    assert allocation.waste_fraction > 0.10
+
+
+def test_duty_increases_waste():
+    cloud = IaasCloud(default_catalog())
+    full = cloud.provision(WorkloadDemand(cpus=2, mem_gb=4, duty=1.0))
+    idle = cloud.provision(WorkloadDemand(cpus=2, mem_gb=4, duty=0.5))
+    assert idle.waste_fraction > full.waste_fraction
+
+
+def test_unplaceable_tracked():
+    cloud = IaasCloud(default_catalog())
+    assert cloud.provision(WorkloadDemand(gpus=64)) is None
+    assert len(cloud.unplaceable) == 1
+
+
+def test_udc_exact_cost_below_iaas():
+    demands = [WorkloadDemand(cpus=3, mem_gb=5, duty=0.7, name=f"j{i}")
+               for i in range(10)]
+    cloud = IaasCloud(default_catalog()).provision_all(demands)
+    assert udc_exact_hourly_cost(demands) < cloud.total_hourly_cost
+    assert udc_exact_hourly_cost(demands, tuned=False) \
+        > udc_exact_hourly_cost(demands, tuned=True)
+
+
+def test_instance_histogram():
+    cloud = IaasCloud(default_catalog())
+    cloud.provision(WorkloadDemand(cpus=2, mem_gb=4))
+    cloud.provision(WorkloadDemand(cpus=2, mem_gb=4))
+    assert cloud.instance_histogram() == {"c5.large": 2}
+
+
+# ------------------------------------------------------------ serverless
+
+
+def test_gpu_functions_much_faster():
+    trace = poisson_inference_trace(rate_hz=0.05, horizon_s=1800, seed=3)
+    cpu = FaasPlatform(gpu=False).run_trace(trace)
+    gpu = FaasPlatform(gpu=True).run_trace(trace)
+    assert gpu.mean_latency_s < cpu.mean_latency_s / 5
+
+
+def test_sparse_trace_mostly_cold_starts():
+    trace = poisson_inference_trace(rate_hz=0.001, horizon_s=7200, seed=3)
+    result = FaasPlatform(gpu=False, keepalive_s=60).run_trace(trace)
+    assert result.cold_start_fraction > 0.8
+
+
+def test_dense_trace_mostly_warm():
+    trace = poisson_inference_trace(rate_hz=2.0, horizon_s=600, seed=3)
+    result = FaasPlatform(gpu=False).run_trace(trace)
+    assert result.cold_start_fraction < 0.2
+
+
+def test_serverless_gpu_cheaper_than_always_on_vm_when_sparse():
+    """The paper's economic motivation for GPU serverless."""
+    horizon = 3600.0
+    trace = poisson_inference_trace(rate_hz=0.01, horizon_s=horizon, seed=3)
+    serverless = FaasPlatform(gpu=True).run_trace(trace)
+    assert serverless.total_cost < always_on_gpu_vm_cost(horizon) / 10
+
+
+def test_percentiles_monotone():
+    trace = poisson_inference_trace(rate_hz=0.05, horizon_s=1800, seed=3)
+    result = FaasPlatform(gpu=False).run_trace(trace)
+    assert result.percentile_latency_s(50) <= result.percentile_latency_s(99)
+
+
+def test_billing_components():
+    trace = poisson_inference_trace(rate_hz=0.05, horizon_s=600, seed=3)
+    result = FaasPlatform(gpu=True).run_trace(trace)
+    assert result.compute_cost > 0
+    assert result.request_fees == pytest.approx(
+        result.invocations * 0.20 / 1e6)
+
+
+# ------------------------------------------------------------ coarse orchestrator
+
+
+def coarse_app():
+    app = AppBuilder("svc")
+    for name in ("a", "b", "c", "d"):
+        @app.task(name=name, work=1.0)
+        def tsk(ctx):
+            return None
+    return app.build()
+
+
+def test_pod_replication_drags_neighbors():
+    dag = coarse_app()
+    orchestrator = CoarseOrchestrator(modules_per_pod=2)
+    pods = orchestrator.deploy(dag, replication_demand={"a": 3})
+    pod_of_a = next(p for p in pods if "a" in p.modules)
+    assert pod_of_a.replicas == 3
+    assert len(pod_of_a.modules) == 2  # the neighbor replicates too
+
+
+def test_coarse_costs_more_than_fine():
+    dag = coarse_app()
+    demand = {"a": 3}
+    orchestrator = CoarseOrchestrator(modules_per_pod=4)
+    pods = orchestrator.deploy(dag, demand)
+    coarse = CoarseOrchestrator.total_units(pods)
+    fine = CoarseOrchestrator.fine_grained_units(dag, demand)
+    assert coarse["cpu"] > fine["cpu"]
+
+
+def test_pod_size_validation():
+    with pytest.raises(ValueError):
+        CoarseOrchestrator(modules_per_pod=0)
+
+
+# ------------------------------------------------------------ economics
+
+
+def test_matrix_superlinear_vs_decoupled_linear():
+    assert matrix_cost(10, 10) + matrix_cost(30, 30) \
+        > 2 * matrix_cost(20, 20) - 1e9  # sanity: well defined
+    # The cross term is exactly bilinear: isolate it by inclusion-
+    # exclusion and check it quadruples when both dimensions double.
+    def cross(s, f):
+        return (matrix_cost(s, f) - matrix_cost(s, 0)
+                - matrix_cost(0, f) + matrix_cost(0, 0))
+
+    assert cross(20, 20) == pytest.approx(4 * cross(10, 10))
+    # decoupled is exactly linear
+    assert decoupled_cost(20, 20) - decoupled_cost(10, 10) == \
+        pytest.approx(decoupled_cost(30, 30) - decoupled_cost(20, 20))
+
+
+def test_growth_crossover_happens_early():
+    scenario = sweep_growth(horizon_years=10)
+    assert 0 <= scenario.crossover_year <= 3
+    assert scenario.matrix[-1] > scenario.decoupled[-1] * 2
+
+
+def test_matrix_validation():
+    with pytest.raises(ValueError):
+        matrix_cost(-1, 5)
+    with pytest.raises(ValueError):
+        decoupled_cost(5, -1)
+
+
+def test_pricing_window_exists_at_paper_parameters():
+    window = pricing_window(waste_fraction=0.35, consolidation_gain=2.0)
+    assert window.exists
+    assert window.provider_breakeven < 1.2
+    assert window.user_breakeven == pytest.approx(1 / 0.65)
+    mid = window.midpoint
+    assert window.user_saving_at(mid) > 0
+    assert window.provider_profit_gain_at(mid) > 0
+
+
+def test_pricing_window_closes_without_consolidation_or_waste():
+    no_gain = pricing_window(waste_fraction=0.0, consolidation_gain=1.0)
+    assert not no_gain.exists or no_gain.width == pytest.approx(0.0)
+
+
+def test_pricing_validation():
+    with pytest.raises(ValueError):
+        pricing_window(1.5, 2.0)
+    with pytest.raises(ValueError):
+        pricing_window(0.3, 0.0)
+    with pytest.raises(ValueError):
+        pricing_window(0.3, 2.0, provider_margin=1.0)
+
+
+def test_compare_costs_helpers():
+    comparison = compare_costs("iaas", 100.0, "udc", 60.0)
+    assert comparison.ratio == pytest.approx(100 / 60)
+    assert comparison.saving_fraction == pytest.approx(0.4)
+    with pytest.raises(ValueError):
+        compare_costs("a", -1, "b", 1)

@@ -1,0 +1,204 @@
+"""Tests for aspect types, the declarative spec parser, and defaults."""
+
+import pytest
+
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.aspects import (
+    AspectBundle,
+    DistributedAspect,
+    ExecEnvAspect,
+    ResourceAspect,
+    ResourceGoal,
+)
+from repro.core.defaults import provider_defaults
+from repro.core.spec import SpecError, parse_definition
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.recovery import RecoveryStrategy
+from repro.execenv.environments import EnvKind
+from repro.execenv.isolation import IsolationLevel
+from repro.hardware.devices import DeviceType
+
+
+# ------------------------------------------------------------ aspect invariants
+
+
+def test_resource_aspect_device_xor_goal():
+    with pytest.raises(ValueError):
+        ResourceAspect(device=DeviceType.GPU, goal=ResourceGoal.FASTEST)
+
+
+def test_resource_aspect_amount_positive():
+    with pytest.raises(ValueError):
+        ResourceAspect(amount=0)
+    with pytest.raises(ValueError):
+        ResourceAspect(mem_gb=-1)
+
+
+def test_resource_media_must_be_storage_or_memory():
+    with pytest.raises(ValueError):
+        ResourceAspect(media=DeviceType.GPU)
+    ResourceAspect(media=DeviceType.SSD)  # ok
+    ResourceAspect(media=DeviceType.DRAM)  # ok
+
+
+def test_execenv_isolation_xor_kind():
+    with pytest.raises(ValueError):
+        ExecEnvAspect(isolation=IsolationLevel.STRONG, env_kind=EnvKind.VM)
+
+
+def test_execenv_effective_isolation_from_kind():
+    aspect = ExecEnvAspect(env_kind=EnvKind.SGX_ENCLAVE, single_tenant=True)
+    assert aspect.effective_isolation == IsolationLevel.STRONGEST
+    aspect = ExecEnvAspect(env_kind=EnvKind.SGX_ENCLAVE)
+    assert aspect.effective_isolation == IsolationLevel.STRONG
+    aspect = ExecEnvAspect(env_kind=EnvKind.CONTAINER)
+    assert aspect.effective_isolation == IsolationLevel.WEAK
+
+
+def test_distributed_checkpoint_implies_restore_strategy():
+    aspect = DistributedAspect(checkpoint=True)
+    assert aspect.recovery == RecoveryStrategy.CHECKPOINT_RESTORE
+
+
+def test_distributed_interval_validation():
+    with pytest.raises(ValueError):
+        DistributedAspect(checkpoint_interval=0.0)
+    with pytest.raises(ValueError):
+        DistributedAspect(checkpoint_interval=1.5)
+
+
+def test_bundle_with_defaults_fills_only_missing():
+    declared = AspectBundle(resource=ResourceAspect(device=DeviceType.GPU))
+    defaults = provider_defaults(TaskModule(name="t"))
+    merged = declared.with_defaults(defaults)
+    assert merged.resource.device == DeviceType.GPU   # kept
+    assert merged.execenv is defaults.execenv          # filled
+    assert merged.distributed is defaults.distributed  # filled
+
+
+def test_override_consistency_preserves_other_fields():
+    bundle = AspectBundle(
+        distributed=DistributedAspect(
+            consistency=ConsistencyLevel.RELEASE, checkpoint=True
+        )
+    )
+    updated = bundle.override_consistency(ConsistencyLevel.SEQUENTIAL)
+    assert updated.distributed.consistency == ConsistencyLevel.SEQUENTIAL
+    assert updated.distributed.checkpoint
+
+
+# ------------------------------------------------------------ provider defaults
+
+
+def test_task_defaults_are_todays_cloud():
+    bundle = provider_defaults(TaskModule(name="t"))
+    assert bundle.resource.goal == ResourceGoal.CHEAPEST
+    assert bundle.execenv.isolation == IsolationLevel.WEAK
+    assert bundle.distributed.replication.factor == 1
+    assert bundle.distributed.consistency == ConsistencyLevel.EVENTUAL
+    assert not bundle.execenv.protection.any_enabled
+
+
+def test_data_defaults():
+    bundle = provider_defaults(DataModule(name="d"))
+    assert bundle.distributed.recovery == RecoveryStrategy.NONE
+
+
+def test_defaults_unknown_type_rejected():
+    with pytest.raises(TypeError):
+        provider_defaults(object())
+
+
+# ------------------------------------------------------------ spec parsing
+
+
+def test_parse_full_definition():
+    definition = parse_definition({
+        "A2": {
+            "resource": {"device": "gpu", "amount": 2, "mem_gb": 8},
+            "execenv": {"isolation": "strong", "single_tenant": True,
+                        "protection": ["encrypt", "integrity"]},
+            "distributed": {"replication": 2, "consistency": "sequential",
+                            "preference": "reader", "checkpoint": True,
+                            "failure_domain": "diag"},
+        },
+    })
+    bundle = definition.bundle_for("A2")
+    assert bundle.resource.device == DeviceType.GPU
+    assert bundle.resource.amount == 2
+    assert bundle.resource.mem_gb == 8
+    assert bundle.execenv.isolation == IsolationLevel.STRONG
+    assert bundle.execenv.single_tenant
+    assert bundle.execenv.protection.encrypt
+    assert not bundle.execenv.protection.replay_protect
+    assert bundle.distributed.replication.factor == 2
+    assert bundle.distributed.consistency == ConsistencyLevel.SEQUENTIAL
+    assert bundle.distributed.preference == OpPreference.READER
+    assert bundle.distributed.failure_domain == "diag"
+
+
+def test_parse_table1_shorthands():
+    definition = parse_definition({
+        "A1": {"resource": "fastest"},
+        "B1": {"resource": "cheapest"},
+        "A2": {"resource": "gpu"},
+        "S1": {"resource": "ssd"},
+        "S3": {"resource": "dram"},
+    })
+    assert definition.bundle_for("A1").resource.goal == ResourceGoal.FASTEST
+    assert definition.bundle_for("B1").resource.goal == ResourceGoal.CHEAPEST
+    assert definition.bundle_for("A2").resource.device == DeviceType.GPU
+    assert definition.bundle_for("S1").resource.media == DeviceType.SSD
+    assert definition.bundle_for("S3").resource.media == DeviceType.DRAM
+
+
+def test_parse_undeclared_module_gets_empty_bundle():
+    definition = parse_definition({})
+    bundle = definition.bundle_for("ghost")
+    assert bundle.resource is None
+    assert bundle.execenv is None
+    assert bundle.distributed is None
+
+
+def test_parse_collects_all_problems():
+    with pytest.raises(SpecError) as excinfo:
+        parse_definition({
+            "A": {"resource": {"device": "warp-drive"}},
+            "B": {"execenv": {"isolation": "unbreakable"}},
+            "C": {"distributed": {"consistency": "psychic"}},
+        })
+    problems = excinfo.value.problems
+    assert len(problems) == 3
+    assert any("A.resource" in p for p in problems)
+    assert any("B.execenv" in p for p in problems)
+    assert any("C.distributed" in p for p in problems)
+
+
+def test_parse_unknown_aspect_name_rejected():
+    with pytest.raises(SpecError, match="unknown aspect"):
+        parse_definition({"A": {"resources": "gpu"}})
+
+
+def test_parse_unknown_protection_flag_rejected():
+    with pytest.raises(SpecError, match="protection"):
+        parse_definition({"A": {"execenv": {"protection": ["stealth"]}}})
+
+
+def test_parse_data_consistency_expectations():
+    definition = parse_definition({
+        "T": {"distributed": {"data_consistency": {"S1": "sequential"}}},
+    })
+    dist = definition.bundle_for("T").distributed
+    assert dist.data_consistency == {"S1": ConsistencyLevel.SEQUENTIAL}
+
+
+def test_parse_non_mapping_rejected():
+    with pytest.raises(SpecError):
+        parse_definition(["not", "a", "mapping"])  # type: ignore[arg-type]
+    with pytest.raises(SpecError):
+        parse_definition({"A": "gpu"})
+
+
+def test_parse_bad_shorthand_rejected():
+    with pytest.raises(SpecError, match="shorthand"):
+        parse_definition({"A": {"resource": "quantum"}})

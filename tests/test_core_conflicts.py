@@ -1,0 +1,125 @@
+"""Tests for cross-module consistency-conflict detection (§3.4)."""
+
+import pytest
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.conflicts import (
+    ConflictError,
+    ConflictPolicy,
+    detect_conflicts,
+    resolve_conflicts,
+)
+from repro.core.spec import parse_definition
+from repro.distsem.consistency import ConsistencyLevel
+
+
+def sharing_dag():
+    """Two tasks sharing one data module — the paper's example."""
+    dag = ModuleDAG(name="share")
+    dag.add_module(TaskModule(name="T1"))
+    dag.add_module(TaskModule(name="T2"))
+    dag.add_module(DataModule(name="D"))
+    dag.add_edge("D", "T1")
+    dag.add_edge("D", "T2")
+    return dag
+
+
+def conflicting_definition():
+    """T1 wants sequential, T2 wants release — the paper's exact case."""
+    return parse_definition({
+        "T1": {"distributed": {"data_consistency": {"D": "sequential"}}},
+        "T2": {"distributed": {"data_consistency": {"D": "release"}}},
+    })
+
+
+def test_detects_paper_example():
+    conflicts = detect_conflicts(sharing_dag(), conflicting_definition())
+    assert len(conflicts) == 1
+    conflict = conflicts[0]
+    assert conflict.data_module == "D"
+    declared = dict(conflict.declarations)
+    assert declared["T1"] == ConsistencyLevel.SEQUENTIAL
+    assert declared["T2"] == ConsistencyLevel.RELEASE
+    assert conflict.strictest == ConsistencyLevel.SEQUENTIAL
+
+
+def test_no_conflict_when_levels_agree():
+    definition = parse_definition({
+        "T1": {"distributed": {"data_consistency": {"D": "sequential"}}},
+        "T2": {"distributed": {"data_consistency": {"D": "sequential"}}},
+    })
+    assert detect_conflicts(sharing_dag(), definition) == []
+
+
+def test_no_conflict_with_single_declaration():
+    definition = parse_definition({
+        "T1": {"distributed": {"data_consistency": {"D": "release"}}},
+    })
+    assert detect_conflicts(sharing_dag(), definition) == []
+
+
+def test_data_modules_own_declaration_participates():
+    definition = parse_definition({
+        "D": {"distributed": {"consistency": "eventual"}},
+        "T1": {"distributed": {"data_consistency": {"D": "sequential"}}},
+    })
+    conflicts = detect_conflicts(sharing_dag(), definition)
+    assert len(conflicts) == 1
+    assert conflicts[0].strictest == ConsistencyLevel.SEQUENTIAL
+
+
+def test_strictest_policy_rewrites_data_module():
+    resolution = resolve_conflicts(
+        sharing_dag(), conflicting_definition(), ConflictPolicy.STRICTEST
+    )
+    assert resolution.resolved_levels == {"D": ConsistencyLevel.SEQUENTIAL}
+    rewritten = resolution.definition.bundle_for("D").distributed
+    assert rewritten.consistency == ConsistencyLevel.SEQUENTIAL
+
+
+def test_error_policy_raises_with_diagnostics():
+    with pytest.raises(ConflictError) as excinfo:
+        resolve_conflicts(
+            sharing_dag(), conflicting_definition(), ConflictPolicy.ERROR
+        )
+    assert "D" in str(excinfo.value)
+    assert excinfo.value.conflicts[0].data_module == "D"
+
+
+def test_original_definition_not_mutated():
+    definition = conflicting_definition()
+    resolve_conflicts(sharing_dag(), definition, ConflictPolicy.STRICTEST)
+    assert definition.bundle_for("D").distributed is None
+
+
+def test_writer_side_declarations_also_checked():
+    dag = ModuleDAG(name="w")
+    dag.add_module(TaskModule(name="W"))
+    dag.add_module(TaskModule(name="R"))
+    dag.add_module(DataModule(name="D"))
+    dag.add_edge("W", "D")   # writer
+    dag.add_edge("D", "R")   # reader
+    definition = parse_definition({
+        "W": {"distributed": {"data_consistency": {"D": "eventual"}}},
+        "R": {"distributed": {"data_consistency": {"D": "sequential"}}},
+    })
+    conflicts = detect_conflicts(dag, definition)
+    assert len(conflicts) == 1
+
+
+def test_multiple_data_modules_reported_independently():
+    dag = sharing_dag()
+    dag.add_module(DataModule(name="E"))
+    dag.add_edge("E", "T1")
+    dag.add_edge("E", "T2")
+    definition = parse_definition({
+        "T1": {"distributed": {"data_consistency": {
+            "D": "sequential", "E": "eventual"}}},
+        "T2": {"distributed": {"data_consistency": {
+            "D": "release", "E": "release"}}},
+    })
+    conflicts = detect_conflicts(dag, definition)
+    assert {c.data_module for c in conflicts} == {"D", "E"}
+    resolution = resolve_conflicts(dag, definition)
+    assert resolution.resolved_levels["E"] == ConsistencyLevel.RELEASE

@@ -1,0 +1,283 @@
+"""Tests for the placement scheduler."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.aspects import (
+    AspectBundle,
+    DistributedAspect,
+    ExecEnvAspect,
+    ResourceAspect,
+    ResourceGoal,
+)
+from repro.core.bundle import BundleManager
+from repro.core.defaults import provider_defaults
+from repro.core.objects import UDCObject
+from repro.core.scheduler import SchedulerError, UdcScheduler
+from repro.distsem.replication import ReplicationPolicy
+from repro.execenv.environments import EnvKind
+from repro.execenv.isolation import IsolationLevel
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+
+def make_scheduler(racks=4, use_locality=True, spec=None):
+    dc = build_datacenter(spec or DatacenterSpec(pods=1, racks_per_pod=racks))
+    return dc, UdcScheduler(dc, BundleManager(), use_locality=use_locality)
+
+
+def make_object(module, tenant="t", **aspects):
+    bundle = AspectBundle(**aspects).with_defaults(provider_defaults(module))
+    return UDCObject(module=module, aspects=bundle, tenant=tenant)
+
+
+def empty_dag():
+    from repro.appmodel.dag import ModuleDAG
+
+    return ModuleDAG(name="empty")
+
+
+# ------------------------------------------------------------ device selection
+
+
+def test_explicit_device_wins():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    obj = make_object(task, resource=ResourceAspect(device=DeviceType.GPU))
+    placement = scheduler.place_tasks(
+        {"t": obj}, _dag_with(task)
+    )["t"]
+    assert placement.device_type == DeviceType.GPU
+
+
+def test_explicit_device_outside_candidates_rejected():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t", device_candidates=frozenset({DeviceType.CPU}))
+    obj = make_object(task, resource=ResourceAspect(device=DeviceType.GPU))
+    with pytest.raises(SchedulerError, match="candidate set"):
+        scheduler.place_tasks({"t": obj}, _dag_with(task))
+
+
+def test_fastest_goal_picks_highest_rate():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    obj = make_object(task, resource=ResourceAspect(goal=ResourceGoal.FASTEST))
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    assert placement.device_type == DeviceType.GPU  # 40x rate
+
+
+def test_cheapest_goal_picks_best_price_per_work():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    obj = make_object(task, resource=ResourceAspect(goal=ResourceGoal.CHEAPEST))
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    # CPU: 0.048/1 = 0.048 per work-rate; GPU: 3.06/40 = 0.0765
+    assert placement.device_type == DeviceType.CPU
+
+
+def _dag_with(*modules, edges=(), colocate=()):
+    from repro.appmodel.dag import ModuleDAG
+
+    dag = ModuleDAG(name="test")
+    for module in modules:
+        dag.add_module(module)
+    for src, dst, nbytes in edges:
+        dag.add_edge(src, dst, bytes_transferred=nbytes)
+    if colocate:
+        dag.colocate(*colocate)
+    return dag
+
+
+# ------------------------------------------------------------ environments
+
+
+def test_isolation_tier_resolved_to_mechanism():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t")
+    obj = make_object(
+        task, execenv=ExecEnvAspect(isolation=IsolationLevel.MEDIUM)
+    )
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    # Provider picks the fastest-starting MEDIUM mechanism on CPU.
+    assert placement.unit.environment.kind == EnvKind.UNIKERNEL
+
+
+def test_concrete_env_kind_honored():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t")
+    obj = make_object(
+        task,
+        execenv=ExecEnvAspect(env_kind=EnvKind.SGX_ENCLAVE, single_tenant=True),
+    )
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    env = placement.unit.environment
+    assert env.kind == EnvKind.SGX_ENCLAVE
+    assert env.single_tenant
+    assert env.effective_isolation == IsolationLevel.STRONGEST
+
+
+def test_strongest_implies_single_tenant():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t")
+    obj = make_object(
+        task, execenv=ExecEnvAspect(isolation=IsolationLevel.STRONGEST)
+    )
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    assert placement.unit.environment.single_tenant
+    assert placement.unit.compute.device.single_tenant_of == "t"
+
+
+def test_memory_aspect_allocates_dram():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t")
+    obj = make_object(task, resource=ResourceAspect(amount=1, mem_gb=16))
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    assert placement.unit.memory is not None
+    assert placement.unit.memory.device_type == DeviceType.DRAM
+    assert placement.unit.memory.amount == 16
+
+
+# ------------------------------------------------------------ co-location
+
+
+def test_group_members_share_one_device():
+    dc, scheduler = make_scheduler()
+    t1 = TaskModule(name="t1", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    t2 = TaskModule(name="t2", device_candidates=frozenset({DeviceType.GPU}))
+    dag = _dag_with(t1, t2, edges=[("t1", "t2", 100)], colocate=("t1", "t2"))
+    objects = {"t1": make_object(t1), "t2": make_object(t2)}
+    placements = scheduler.place_tasks(objects, dag)
+    assert (placements["t1"].unit.compute.device
+            is placements["t2"].unit.compute.device)
+    assert placements["t1"].device_type == DeviceType.GPU
+
+
+def test_group_too_big_for_any_device_rejected():
+    dc, scheduler = make_scheduler()
+    t1 = TaskModule(name="t1", device_candidates=frozenset({DeviceType.GPU}))
+    t2 = TaskModule(name="t2", device_candidates=frozenset({DeviceType.GPU}))
+    dag = _dag_with(t1, t2, colocate=("t1", "t2"))
+    objects = {
+        "t1": make_object(t1, resource=ResourceAspect(device=DeviceType.GPU,
+                                                      amount=6)),
+        "t2": make_object(t2, resource=ResourceAspect(device=DeviceType.GPU,
+                                                      amount=6)),
+    }
+    with pytest.raises(SchedulerError, match="no single"):
+        scheduler.place_tasks(objects, dag)  # 12 > 8 per GPU board
+
+
+def test_group_conflicting_pins_rejected():
+    dc, scheduler = make_scheduler()
+    t1 = TaskModule(name="t1", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    t2 = TaskModule(name="t2", device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    dag = _dag_with(t1, t2, colocate=("t1", "t2"))
+    objects = {
+        "t1": make_object(t1, resource=ResourceAspect(device=DeviceType.CPU)),
+        "t2": make_object(t2, resource=ResourceAspect(device=DeviceType.GPU)),
+    }
+    with pytest.raises(SchedulerError, match="conflicting device pins"):
+        scheduler.place_tasks(objects, dag)
+
+
+# ------------------------------------------------------------ locality
+
+
+def test_locality_places_consumer_near_data():
+    dc, scheduler = make_scheduler(racks=6)
+    data = DataModule(name="d", size_gb=10)
+    task = TaskModule(name="t")
+    dag = _dag_with(task, data, edges=[("d", "t", 100 << 20)])
+    dag.affine("t", "d", weight_bytes=100 << 20)
+
+    data_obj = make_object(
+        data,
+        resource=ResourceAspect(media=DeviceType.SSD),
+        distributed=DistributedAspect(replication=ReplicationPolicy(1)),
+    )
+    scheduler.place_data(data_obj)
+    data_rack = (data_obj.location.pod, data_obj.location.rack)
+
+    task_obj = make_object(task)
+    placement = scheduler.place_tasks(
+        {"t": task_obj, "d": data_obj}, dag
+    )["t"]
+    task_loc = placement.unit.location
+    assert (task_loc.pod, task_loc.rack) == data_rack
+
+
+def test_locality_disabled_ignores_affinity():
+    # With locality off, placement ignores data position (best-fit order).
+    dc, scheduler = make_scheduler(racks=6, use_locality=False)
+    task = TaskModule(name="t")
+    dag = _dag_with(task)
+    obj = make_object(task)
+    placement = scheduler.place_tasks({"t": obj}, dag)["t"]
+    assert placement.unit is not None  # just places somewhere valid
+
+
+# ------------------------------------------------------------ data placement
+
+
+def test_data_explicit_media_honored():
+    dc, scheduler = make_scheduler()
+    data = DataModule(name="d", size_gb=5)
+    obj = make_object(data, resource=ResourceAspect(media=DeviceType.DRAM))
+    result = scheduler.place_data(obj)
+    assert all(a.device_type == DeviceType.DRAM for a in result.allocations)
+
+
+def test_hot_data_prefers_memory_class():
+    dc, scheduler = make_scheduler()
+    hot = make_object(DataModule(name="hot", size_gb=5, hot=True))
+    cold = make_object(DataModule(name="cold", size_gb=5, hot=False))
+    assert scheduler.place_data(hot).allocations[0].device_type \
+        == DeviceType.DRAM
+    assert scheduler.place_data(cold).allocations[0].device_type \
+        == DeviceType.HDD
+
+
+def test_data_replication_factor_allocated():
+    dc, scheduler = make_scheduler()
+    obj = make_object(
+        DataModule(name="d", size_gb=5),
+        resource=ResourceAspect(media=DeviceType.SSD),
+        distributed=DistributedAspect(replication=ReplicationPolicy(3)),
+    )
+    result = scheduler.place_data(obj)
+    assert len(result.allocations) == 3
+    assert len(obj.allocations) == 3
+
+
+def test_data_too_big_for_any_medium_rejected():
+    dc, scheduler = make_scheduler(
+        spec=DatacenterSpec(devices_per_rack={DeviceType.CPU: 1,
+                                              DeviceType.DRAM: 1})
+    )
+    obj = make_object(DataModule(name="d", size_gb=10_000))
+    with pytest.raises(SchedulerError, match="no medium"):
+        scheduler.place_data(obj)
+
+
+# ------------------------------------------------------------ standbys
+
+
+def test_task_replication_allocates_standbys():
+    dc, scheduler = make_scheduler()
+    task = TaskModule(name="t")
+    obj = make_object(
+        task,
+        distributed=DistributedAspect(replication=ReplicationPolicy(2)),
+    )
+    placement = scheduler.place_tasks({"t": obj}, _dag_with(task))["t"]
+    # primary compute + one standby
+    computes = [a for a in obj.allocations if a.device_type == DeviceType.CPU]
+    assert len(computes) == 2
+    assert computes[0].device is not computes[1].device

@@ -1,0 +1,177 @@
+"""Tests for telemetry, the fine tuner, and the dry-run profiler."""
+
+import pytest
+
+from repro.appmodel.module import TaskModule
+from repro.core.profiler import DryRunProfiler
+from repro.core.telemetry import Telemetry
+from repro.core.tuner import FineTuner
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+
+# ------------------------------------------------------------ telemetry
+
+
+def test_sample_and_mean():
+    telemetry = Telemetry()
+    telemetry.sample(0.0, "m", 0.5, 4.0)
+    telemetry.sample(1.0, "m", 0.7, 4.0)
+    assert telemetry.mean_utilization("m") == pytest.approx(0.6)
+    assert telemetry.mean_utilization("other") is None
+
+
+def test_sample_validation():
+    telemetry = Telemetry()
+    with pytest.raises(ValueError):
+        telemetry.sample(0.0, "m", 1.5, 4.0)
+
+
+def test_events_and_counts():
+    telemetry = Telemetry()
+    telemetry.event(0.0, "m", "migrate")
+    telemetry.event(1.0, "m", "migrate")
+    telemetry.event(2.0, "n", "failure")
+    assert telemetry.counts() == {"migrate": 2, "failure": 1}
+    assert len(telemetry.events_of("migrate")) == 2
+
+
+# ------------------------------------------------------------ tuner
+
+
+def make_tuner(enabled=True):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2))
+    telemetry = Telemetry()
+    return dc, telemetry, FineTuner(datacenter=dc, telemetry=telemetry,
+                                    enabled=enabled)
+
+
+def test_shrink_on_low_utilization():
+    dc, telemetry, tuner = make_tuner()
+    alloc = dc.pool(DeviceType.CPU).allocate(8, "t")
+    telemetry.sample(0.0, "m", 0.25, 8.0)  # only 2 of 8 cores busy
+    action = tuner.review_allocation("m", alloc, declared_amount=8)
+    assert action is not None and action.kind == "shrink"
+    assert alloc.amount == 2.0
+    assert tuner.total_units_saved() == pytest.approx(6.0)
+
+
+def test_shrink_snaps_to_grain():
+    dc, telemetry, tuner = make_tuner()
+    alloc = dc.pool(DeviceType.CPU).allocate(1, "t")
+    telemetry.sample(0.0, "m", 0.1, 1.0)   # wants 0.1 core
+    action = tuner.review_allocation("m", alloc, declared_amount=1)
+    assert alloc.amount == 0.25             # CPU grain
+
+
+def test_grow_when_pinned_at_ceiling():
+    dc, telemetry, tuner = make_tuner()
+    alloc = dc.pool(DeviceType.CPU).allocate(2, "t")
+    telemetry.sample(0.0, "m", 1.0, 2.0)
+    action = tuner.review_allocation("m", alloc, declared_amount=8)
+    assert action is not None and action.kind == "grow"
+    assert alloc.amount == 4.0              # doubles toward declared
+
+
+def test_no_action_inside_band():
+    dc, telemetry, tuner = make_tuner()
+    alloc = dc.pool(DeviceType.CPU).allocate(4, "t")
+    telemetry.sample(0.0, "m", 0.8, 4.0)
+    assert tuner.review_allocation("m", alloc, declared_amount=4) is None
+
+
+def test_no_action_without_samples():
+    dc, telemetry, tuner = make_tuner()
+    alloc = dc.pool(DeviceType.CPU).allocate(4, "t")
+    assert tuner.review_allocation("m", alloc, declared_amount=4) is None
+
+
+def test_disabled_tuner_never_acts():
+    dc, telemetry, tuner = make_tuner(enabled=False)
+    alloc = dc.pool(DeviceType.CPU).allocate(8, "t")
+    telemetry.sample(0.0, "m", 0.1, 8.0)
+    assert tuner.review_allocation("m", alloc, declared_amount=8) is None
+    assert alloc.amount == 8
+
+
+def test_migrate_moves_to_healthy_device():
+    dc, telemetry, tuner = make_tuner()
+    pool = dc.pool(DeviceType.CPU)
+    alloc = pool.allocate(4, "t")
+    alloc.device.failed = True
+    replacement = tuner.migrate("m", alloc, "t")
+    assert replacement is not None
+    assert not replacement.device.failed
+    assert replacement.amount == 4
+    assert alloc.released
+
+
+def test_migrate_exhausted_pool_returns_none():
+    dc, telemetry, tuner = make_tuner()
+    pool = dc.pool(DeviceType.CPU)
+    alloc = pool.allocate(4, "t")
+    for device in pool.devices:
+        device.failed = True
+    assert tuner.migrate("m", alloc, "t") is None
+
+
+# ------------------------------------------------------------ profiler
+
+
+def test_profile_covers_candidates_and_amounts():
+    task = TaskModule(name="t", work=40.0, device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    result = DryRunProfiler().profile(task)
+    types = {e.device_type for e in result.entries}
+    assert types == {DeviceType.CPU, DeviceType.GPU}
+    assert len(result.entries) == 6  # 2 types x 3 amounts
+
+
+def test_fastest_is_gpu_cheapest_is_cpu():
+    task = TaskModule(name="t", work=40.0, device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    result = DryRunProfiler().profile(task)
+    assert result.fastest().device_type == DeviceType.GPU
+    assert result.cheapest().device_type == DeviceType.CPU
+
+
+def test_profile_exposes_overallocation():
+    task = TaskModule(name="t", work=40.0, max_parallelism=1)
+    result = DryRunProfiler().profile(task, amounts=[1.0, 4.0])
+    one = next(e for e in result.entries if e.amount == 1.0)
+    four = next(e for e in result.entries if e.amount == 4.0)
+    assert one.wall_seconds == four.wall_seconds   # no speedup
+    assert four.cost > one.cost                     # but more expensive
+    assert four.utilization == pytest.approx(0.25)
+
+
+def test_recommend_meets_latency_target():
+    task = TaskModule(name="t", work=40.0, device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    profiler = DryRunProfiler()
+    # 40 work on CPU@1 = 40 s; on GPU@1 = 1 s.
+    aspect = profiler.recommend(task, latency_target_s=2.0)
+    assert aspect.device == DeviceType.GPU
+    relaxed = profiler.recommend(task, latency_target_s=3600.0)
+    assert relaxed.device == DeviceType.CPU
+
+
+def test_recommend_without_target_is_cheapest():
+    task = TaskModule(name="t", work=40.0, device_candidates=frozenset(
+        {DeviceType.CPU, DeviceType.GPU}))
+    aspect = DryRunProfiler().recommend(task)
+    assert aspect.device == DeviceType.CPU
+
+
+def test_unprofilable_task_rejected():
+    # FPGA spec exists, so fabricate a task with no rate by passing a
+    # custom spec table with zero-rate entries.
+    from repro.hardware.devices import DEFAULT_SPECS, DeviceSpec
+
+    task = TaskModule(name="t", device_candidates=frozenset({DeviceType.CPU}))
+    crippled = dict(DEFAULT_SPECS)
+    crippled[DeviceType.CPU] = DeviceSpec(
+        DeviceType.CPU, capacity=32, compute_rate=0.0, min_grain=0.25
+    )
+    with pytest.raises(ValueError, match="no profilable"):
+        DryRunProfiler(specs=crippled).profile(task)

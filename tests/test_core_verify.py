@@ -1,0 +1,110 @@
+"""Tests for fulfillment verification (the paper's §4 attestation story)."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.core.verify import verify_run
+from repro.execenv.attestation import Verifier
+from repro.execenv.environments import EnvKind
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+
+def secure_app():
+    app = AppBuilder("secure")
+
+    @app.task(name="worker", work=1.0)
+    def worker(ctx):
+        return 1
+
+    return app.build()
+
+
+DEFINITION = {
+    "worker": {
+        "resource": {"device": "cpu", "amount": 2},
+        "execenv": {"env": "sgx-enclave", "single_tenant": True},
+    }
+}
+
+
+def run_app(dishonest_env=None):
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2)))
+    result = runtime.run(secure_app(), DEFINITION, dishonest_env=dishonest_env)
+    verifier = Verifier(runtime.root_of_trust)
+    report = verify_run(result.objects, result.records, verifier)
+    return result, report
+
+
+def test_honest_provider_passes():
+    _result, report = run_app()
+    assert report.ok
+    assert not report.violated
+
+
+def test_env_kind_attested_when_honest():
+    _result, report = run_app()
+    env_checks = [c for c in report.checks if c.prop == "env_kind"]
+    assert env_checks and env_checks[0].status == "attested"
+
+
+def test_single_tenancy_attested():
+    _result, report = run_app()
+    st = [c for c in report.checks if c.prop == "single_tenant"]
+    assert st and st[0].status == "attested"
+
+
+def test_resource_amount_only_trusted():
+    """The paper's limitation: amounts cannot be attested."""
+    _result, report = run_app()
+    amount_checks = [c for c in report.checks if c.prop == "amount"]
+    assert amount_checks
+    assert amount_checks[0].status == "trusted"
+    assert not amount_checks[0].user_verifiable
+
+
+def test_dishonest_env_swap_detected():
+    """Provider promises SGX but launches a container: the claim matches
+    the promise, but the hardware quote measures the truth."""
+    _result, report = run_app(dishonest_env={"worker": EnvKind.CONTAINER})
+    env_checks = [c for c in report.checks if c.prop == "env_kind"]
+    assert env_checks[0].status == "violated"
+    assert not report.ok
+
+
+def test_verification_without_verifier_trusts_claims():
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2)))
+    result = runtime.run(secure_app(), DEFINITION)
+    report = verify_run(result.objects, result.records, verifier=None)
+    assert report.ok
+    assert not report.attested  # nothing verifiable without quotes
+    assert report.trusted
+
+
+def test_data_aspects_reported_trusted():
+    app = AppBuilder("data-app")
+
+    @app.task(name="t", work=1.0)
+    def t(ctx):
+        return None
+
+    store = app.data("d", size_gb=1)
+    app.writes("t", store)
+    dag = app.build()
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4)))
+    result = runtime.run(dag, {
+        "d": {"distributed": {"replication": 2, "consistency": "sequential"}},
+    })
+    report = verify_run(result.objects, result.records,
+                        Verifier(runtime.root_of_trust))
+    rep_checks = [c for c in report.checks if c.prop == "replication"]
+    con_checks = [c for c in report.checks if c.prop == "consistency"]
+    assert rep_checks[0].status == "trusted"
+    assert rep_checks[0].provided == "2"
+    assert con_checks[0].status == "trusted"
+
+
+def test_per_module_filter():
+    _result, report = run_app()
+    assert report.for_module("worker")
+    assert not report.for_module("ghost")

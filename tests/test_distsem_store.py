@@ -1,0 +1,296 @@
+"""Tests for the replicated store and its consistency protocols."""
+
+import pytest
+
+from repro.distsem.consistency import ConsistencyLevel, OpPreference, strictest
+from repro.distsem.network_order import SwitchSequencer
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+
+def make_store(consistency=ConsistencyLevel.SEQUENTIAL,
+               preference=OpPreference.NONE, factor=3, racks=4,
+               sequencer=False, media=DeviceType.SSD):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=racks))
+    placer = ReplicaPlacer(dc.pool(media))
+    placement = placer.place(10, "t", ReplicationPolicy(factor=factor))
+    seq = SwitchSequencer(dc.fabric, dc.switch_locations[0]) if sequencer else None
+    store = ReplicatedStore(
+        dc.sim, dc.fabric, "S", placement, consistency, preference, sequencer=seq
+    )
+    return dc, store
+
+
+def run(dc, generator):
+    process = dc.sim.process(generator)
+    return dc.sim.run(until_event=process)
+
+
+CLIENT = Location(0, 0, 99)
+
+
+# ------------------------------------------------------------ consistency levels
+
+
+def test_consistency_rank_and_strictest():
+    assert strictest(ConsistencyLevel.RELEASE, ConsistencyLevel.SEQUENTIAL) \
+        == ConsistencyLevel.SEQUENTIAL
+    assert strictest(ConsistencyLevel.EVENTUAL, ConsistencyLevel.RELEASE) \
+        == ConsistencyLevel.RELEASE
+    assert ConsistencyLevel.SEQUENTIAL.at_least(ConsistencyLevel.EVENTUAL)
+
+
+# ------------------------------------------------------------ replica placement
+
+
+def test_placement_spreads_racks():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placer = ReplicaPlacer(dc.pool(DeviceType.SSD))
+    placement = placer.place(10, "t", ReplicationPolicy(factor=3))
+    racks = {(l.pod, l.rack) for l in placement.locations}
+    assert len(racks) == 3
+    assert not placement.anti_affinity_degraded
+
+
+def test_placement_degrades_when_racks_exhausted():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2))
+    placer = ReplicaPlacer(dc.pool(DeviceType.SSD))
+    placement = placer.place(10, "t", ReplicationPolicy(factor=3))
+    assert len(placement.allocations) == 3
+    assert placement.anti_affinity_degraded
+
+
+def test_placement_rolls_back_on_failure():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=1))
+    pool = dc.pool(DeviceType.SSD)
+    placer = ReplicaPlacer(pool)
+    from repro.hardware.pools import AllocationError
+
+    with pytest.raises(AllocationError):
+        placer.place(9000, "t", ReplicationPolicy(factor=2))  # 2nd won't fit
+    assert pool.total_used == 0  # first replica rolled back
+
+
+def test_replication_policy_validation_and_quorum():
+    with pytest.raises(ValueError):
+        ReplicationPolicy(factor=0)
+    assert ReplicationPolicy(factor=3).write_quorum == 2
+    assert ReplicationPolicy(factor=5).write_quorum == 3
+    merged = ReplicationPolicy(2).strictest(ReplicationPolicy(3))
+    assert merged.factor == 3
+
+
+# ------------------------------------------------------------ sequential writes
+
+
+def test_sequential_write_reaches_all_replicas():
+    dc, store = make_store()
+    run(dc, store.write(CLIENT, "k", b"v1", 1000))
+    for replica in store.replicas:
+        assert replica.data["k"][1] == b"v1"
+        assert replica.applied_version["k"] == 1
+
+
+def test_sequential_read_after_write_never_stale():
+    dc, store = make_store()
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "k", b"v1", 1000))
+        yield dc.sim.process(store.write(CLIENT, "k", b"v2", 1000))
+        value, stats = yield dc.sim.process(store.read(CLIENT, "k"))
+        return value, stats
+
+    value, stats = run(dc, scenario())
+    assert value == b"v2"
+    assert stats.staleness == 0
+
+
+def test_sequential_write_latency_includes_backup_acks():
+    dc1, store1 = make_store(factor=1)
+    dc3, store3 = make_store(factor=3)
+    s1 = run(dc1, store1.write(CLIENT, "k", b"v", 1000))
+    s3 = run(dc3, store3.write(CLIENT, "k", b"v", 1000))
+    assert s3.latency_s > s1.latency_s
+    assert s3.messages > s1.messages
+
+
+def test_sequenced_write_applies_in_order_on_all_replicas():
+    dc, store = make_store(sequencer=True)
+
+    def scenario():
+        for index in range(5):
+            yield dc.sim.process(
+                store.write(CLIENT, "k", f"v{index}".encode(), 500)
+            )
+
+    run(dc, scenario())
+    for replica in store.replicas:
+        assert replica.data["k"][1] == b"v4"
+        assert replica.next_sequence == 5
+        assert not replica.reorder_buffer
+
+
+def test_sequenced_write_has_no_replica_to_replica_traffic():
+    dc, store = make_store(sequencer=True)
+    stats = run(dc, store.write(CLIENT, "k", b"v", 1000))
+    # 1 send per replica (via switch) + 1 reply per replica
+    assert stats.messages == 2 * len(store.replicas)
+
+
+# ------------------------------------------------------------ release consistency
+
+
+def test_release_buffers_until_release():
+    dc, store = make_store(consistency=ConsistencyLevel.RELEASE)
+    run(dc, store.write(CLIENT, "k", b"v1", 1000))
+    assert store.primary.data["k"][1] == b"v1"
+    for backup in store.backups:
+        assert "k" not in backup.data   # not yet propagated
+    run(dc, store.release(CLIENT))
+    for backup in store.backups:
+        assert backup.data["k"][1] == b"v1"
+
+
+def test_release_batches_multiple_writes():
+    dc, store = make_store(consistency=ConsistencyLevel.RELEASE)
+
+    def scenario():
+        for index in range(4):
+            yield dc.sim.process(store.write(CLIENT, f"k{index}", b"v", 500))
+        stats = yield dc.sim.process(store.release(CLIENT))
+        return stats
+
+    stats = run(dc, scenario())
+    # one batch message per backup, not one per write
+    assert stats.messages == 2 * len(store.backups) + 1
+    for backup in store.backups:
+        assert len(backup.data) == 4
+
+
+def test_release_read_on_backup_can_be_stale():
+    dc, store = make_store(
+        consistency=ConsistencyLevel.RELEASE, preference=OpPreference.READER
+    )
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "k", b"new", 1000))
+        # Read from a backup's rack before release.
+        backup_client = store.backups[0].location
+        value, stats = yield dc.sim.process(store.read(backup_client, "k"))
+        return value, stats
+
+    value, stats = run(dc, scenario())
+    assert value is None            # backup hasn't seen the write
+    assert stats.staleness == 1
+
+
+# ------------------------------------------------------------ eventual consistency
+
+
+def test_eventual_write_acks_before_propagation():
+    dc, store = make_store(consistency=ConsistencyLevel.EVENTUAL)
+    stats = run(dc, store.write(CLIENT, "k", b"v", 1000))
+    seq_dc, seq_store = make_store(consistency=ConsistencyLevel.SEQUENTIAL)
+    seq_stats = run(seq_dc, seq_store.write(CLIENT, "k", b"v", 1000))
+    assert stats.latency_s < seq_stats.latency_s
+
+
+def test_eventual_converges_after_quiescence():
+    dc, store = make_store(consistency=ConsistencyLevel.EVENTUAL)
+    run(dc, store.write(CLIENT, "k", b"v", 1000))
+    dc.sim.run()  # drain background anti-entropy
+    for replica in store.replicas:
+        assert replica.data["k"][1] == b"v"
+
+
+# ------------------------------------------------------------ reader preference
+
+
+def test_reader_preference_reads_nearest():
+    dc, store = make_store(preference=OpPreference.READER)
+    run(dc, store.write(CLIENT, "k", b"v", 1000))
+    near_client = store.replicas[1].location
+    value, stats = run(dc, store.read(near_client, "k"))
+    assert stats.served_by == store.replicas[1].device.device_id
+
+
+def test_default_sequential_reads_primary():
+    dc, store = make_store()
+    run(dc, store.write(CLIENT, "k", b"v", 1000))
+    value, stats = run(dc, store.read(CLIENT, "k"))
+    assert stats.served_by == store.primary.device.device_id
+
+
+# ------------------------------------------------------------ failures & misc
+
+
+def test_write_skips_failed_backup():
+    dc, store = make_store()
+    store.backups[0].device.failed = True
+    stats = run(dc, store.write(CLIENT, "k", b"v", 1000))
+    live_backups = [b for b in store.backups if not b.device.failed]
+    assert all("k" in b.data for b in live_backups)
+
+
+def test_read_fails_over_from_failed_primary():
+    dc, store = make_store()
+    run(dc, store.write(CLIENT, "k", b"v", 1000))
+    store.primary.device.failed = True
+    value, stats = run(dc, store.read(CLIENT, "k"))
+    assert value == b"v"
+    assert stats.served_by != store.primary.device.device_id
+
+
+def test_all_replicas_failed_raises():
+    dc, store = make_store(factor=1)
+    store.primary.device.failed = True
+    with pytest.raises(Exception, match="all replicas failed"):
+        store.nearest_replica(CLIENT)
+
+
+def test_bulk_read_and_write_account_stats():
+    dc, store = make_store()
+
+    def scenario():
+        yield dc.sim.process(store.bulk_write(CLIENT, 1 << 20))
+        stats = yield dc.sim.process(store.bulk_read(CLIENT, 1 << 20))
+        return stats
+
+    stats = run(dc, scenario())
+    assert stats.op == "bulk-read"
+    assert stats.bytes_moved > 1 << 20
+    totals = store.totals()
+    assert totals["writes"] == 1 and totals["reads"] == 0
+
+
+def test_totals_aggregation():
+    dc, store = make_store()
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "a", b"1", 100))
+        yield dc.sim.process(store.read(CLIENT, "a"))
+
+    run(dc, scenario())
+    totals = store.totals()
+    assert totals["writes"] == 1
+    assert totals["reads"] == 1
+    assert totals["messages"] > 0
+    assert totals["stale_reads"] == 0
+
+
+def test_empty_placement_rejected():
+    dc = build_datacenter()
+    from repro.distsem.replication import PlacementResult
+
+    with pytest.raises(ValueError):
+        ReplicatedStore(dc.sim, dc.fabric, "S", PlacementResult(allocations=[]))
+
+
+def test_media_time_slower_on_hdd_than_dram():
+    _dc_a, dram_store = make_store(media=DeviceType.DRAM, factor=1, racks=2)
+    _dc_b, hdd_store = make_store(media=DeviceType.HDD, factor=1, racks=2)
+    size = 1 << 20
+    assert dram_store.primary.media_time(size) < hdd_store.primary.media_time(size)

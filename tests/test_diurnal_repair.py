@@ -1,0 +1,136 @@
+"""Tests for the diurnal trace generator and device repair flows."""
+
+import pytest
+
+from repro.baselines.serverless import FaasPlatform, always_on_gpu_vm_cost
+from repro.workloads.diurnal import (
+    DAY_S,
+    diurnal_inference_trace,
+    diurnal_rate,
+)
+
+
+# ------------------------------------------------------------ diurnal curve
+
+
+def test_rate_peaks_at_peak_hour():
+    peak = diurnal_rate(14 * 3600.0, peak_rate_hz=1.0, peak_hour=14.0)
+    trough = diurnal_rate(2 * 3600.0, peak_rate_hz=1.0, peak_hour=14.0)
+    assert peak == pytest.approx(1.0)
+    assert trough < 0.2
+
+
+def test_rate_respects_trough_floor():
+    floor = diurnal_rate(2 * 3600.0, 1.0, trough_fraction=0.3,
+                         peak_hour=14.0)
+    assert floor >= 0.3
+
+
+def test_rate_validation():
+    with pytest.raises(ValueError):
+        diurnal_rate(0.0, 0.0)
+    with pytest.raises(ValueError):
+        diurnal_rate(0.0, 1.0, trough_fraction=2.0)
+
+
+def test_trace_concentrates_daytime():
+    trace = diurnal_inference_trace(peak_rate_hz=0.05, seed=3)
+    day = sum(1 for r in trace.requests
+              if 10 * 3600 <= r.arrival_s <= 18 * 3600)
+    night = sum(1 for r in trace.requests
+                if r.arrival_s <= 4 * 3600 or r.arrival_s >= 22 * 3600)
+    assert day > 3 * night
+
+
+def test_trace_deterministic_and_sorted():
+    a = diurnal_inference_trace(peak_rate_hz=0.05, seed=9)
+    b = diurnal_inference_trace(peak_rate_hz=0.05, seed=9)
+    assert [r.arrival_s for r in a.requests] == \
+        [r.arrival_s for r in b.requests]
+    arrivals = [r.arrival_s for r in a.requests]
+    assert arrivals == sorted(arrivals)
+
+
+def test_diurnal_serverless_beats_peak_provisioned_vm():
+    """The §1 economics with a realistic day shape: capacity sized for
+    the afternoon peak idles all night; per-invocation GPU billing wins
+    by a wide margin."""
+    trace = diurnal_inference_trace(peak_rate_hz=0.02, seed=5)
+    serverless = FaasPlatform(gpu=True).run_trace(trace)
+    vm = always_on_gpu_vm_cost(DAY_S)
+    assert serverless.total_cost < vm / 10
+    assert serverless.mean_latency_s < 2.0
+
+
+# ------------------------------------------------------------ device repair
+
+
+def test_repaired_device_hosts_new_allocations():
+    from repro.distsem.failures import FailureInjector
+    from repro.hardware.devices import DeviceType
+    from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=1))
+    injector = FailureInjector(dc.sim)
+    pool = dc.pool(DeviceType.CPU)
+    domain = injector.domain("rack0")
+    for device in pool.devices:
+        domain.devices.append(device)
+    injector.fail_at(1.0, "rack0", repair_after=5.0)
+    dc.sim.run(until=2.0)
+    assert pool.total_capacity == 0  # everything dark
+    dc.sim.run()
+    assert pool.total_capacity > 0
+    allocation = pool.allocate(1, "t")
+    assert not allocation.device.failed
+
+
+def test_repair_restores_runtime_capacity_for_queued_work():
+    """A transient rack outage delays queued work instead of killing it."""
+    from repro.appmodel.annotations import AppBuilder
+    from repro.core.runtime import UDCRuntime
+    from repro.hardware.devices import DeviceType
+    from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+    spec = DatacenterSpec(
+        pods=1, racks_per_pod=1,
+        devices_per_rack={DeviceType.CPU: 1, DeviceType.GPU: 1,
+                          DeviceType.DRAM: 1, DeviceType.SSD: 1},
+    )
+    runtime = UDCRuntime(build_datacenter(spec))
+
+    app = AppBuilder("survivor")
+
+    @app.task(name="work", work=30.0)
+    def work(ctx):
+        return "survived"
+
+    # The module's own domain fails transiently mid-run and repairs.
+    result = runtime.run(
+        app.build(),
+        {"work": {"distributed": {"checkpoint": True,
+                                  "checkpoint_interval": 0.2}}},
+        failure_plan=[(10.0, "fd:work")],
+    )
+    # Single-device pool: migration has nowhere to go until repair...
+    # with no repair scheduled the module exhausts the pool and fails.
+    assert result.outputs.get("work") is None
+
+    runtime2 = UDCRuntime(build_datacenter(spec))
+    app2 = AppBuilder("survivor2")
+
+    @app2.task(name="work", work=30.0)
+    def work2(ctx):
+        return "survived"
+
+    runtime2.injector.fail_at(10.0, "fd:work", repair_after=5.0)
+    submission = runtime2.submit(
+        app2.build(),
+        {"work": {"distributed": {"checkpoint": True,
+                                  "checkpoint_interval": 0.2}}},
+    )
+    results = runtime2.drain()
+    # ... but with repair the device returns; note the failed attempt
+    # already released its allocation, so the retry loop can reclaim
+    # the repaired device via the tuner's migrate path.
+    assert results[0].row("work").failures >= 1

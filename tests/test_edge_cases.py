@@ -1,0 +1,189 @@
+"""Edge-case coverage: branches the main suites don't reach."""
+
+import pytest
+
+from repro.appmodel.actor import _estimate_size
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.core.timeline import ascii_gantt
+from repro.execenv.attestation import HardwareRootOfTrust, Verifier
+from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceType
+from repro.hardware.pools import (
+    ResourcePool,
+    is_amount_valid,
+    total_fragmentation,
+)
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.simulator import Simulator
+
+
+# ------------------------------------------------------------ engine
+
+
+def test_anyof_failure_propagates():
+    sim = Simulator()
+
+    def failing():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def waiter():
+        try:
+            yield sim.any_of([sim.process(failing()), sim.timeout(10.0)])
+        except ValueError:
+            return "caught"
+
+    process = sim.process(waiter())
+    assert sim.run(until_event=process) == "caught"
+
+
+def test_allof_with_prefailed_event():
+    sim = Simulator()
+    bad = sim.event()
+    bad.fail(RuntimeError("early"))
+    sim.run(until=0.1)  # process the failure
+
+    def waiter():
+        try:
+            yield sim.all_of([bad, sim.timeout(1.0)])
+        except RuntimeError:
+            return "caught"
+
+    process = sim.process(waiter())
+    assert sim.run(until_event=process) == "caught"
+
+
+# ------------------------------------------------------------ pools helpers
+
+
+def test_is_amount_valid():
+    spec = DEFAULT_SPECS[DeviceType.CPU]
+    assert is_amount_valid(spec, 1.0)
+    assert not is_amount_valid(spec, 0.0)
+    assert not is_amount_valid(spec, spec.capacity + 1)
+    assert not is_amount_valid(spec, float("nan"))
+    assert not is_amount_valid(spec, float("inf"))
+
+
+def test_total_fragmentation():
+    pool = ResourcePool(DeviceType.CPU)
+    device = Device(spec=DEFAULT_SPECS[DeviceType.CPU])
+    pool.add_device(device)
+    assert total_fragmentation(pool) == 0.0
+    # Leave a sliver below min_grain (0.25): allocate 31.9 of 32.
+    pool.allocate(31.9, "t")
+    assert total_fragmentation(pool) == pytest.approx(1.0)
+    empty = ResourcePool(DeviceType.CPU)
+    assert total_fragmentation(empty) == 0.0
+
+
+# ------------------------------------------------------------ attestation
+
+
+def test_verifier_can_verify():
+    verifier = Verifier(HardwareRootOfTrust())
+    assert verifier.can_verify("env_kind")
+    assert not verifier.can_verify("amount")
+
+
+# ------------------------------------------------------------ actors
+
+
+def test_estimate_size_branches():
+    assert _estimate_size(b"x" * 100) == 100
+    assert _estimate_size("hi") == 64           # floor
+    assert _estimate_size({"a": 1, "b": 2}) == 128
+    assert _estimate_size([b"x" * 100, b"y" * 100]) == 200
+    assert _estimate_size(42) == 256
+
+
+# ------------------------------------------------------------ spec shorthand
+
+
+def test_protection_accepts_single_string():
+    from repro.core.spec import parse_definition
+
+    parsed = parse_definition({"m": {"execenv": {"protection": "encrypt"}}})
+    assert parsed.bundle_for("m").execenv.protection.encrypt
+
+
+# ------------------------------------------------------------ scheduler media
+
+
+def test_data_placement_skips_absent_pools():
+    """A datacenter without DRAM still hosts hot data (falls through the
+    media preference order to what exists)."""
+    spec = DatacenterSpec(
+        pods=1, racks_per_pod=2,
+        devices_per_rack={DeviceType.CPU: 2, DeviceType.SSD: 1},
+    )
+    runtime = UDCRuntime(build_datacenter(spec))
+    app = AppBuilder("hotonly")
+    app.data("cache", size_gb=2, hot=True)
+    result = runtime.run(app.build(), None)
+    assert result.row("cache").device == "ssd"
+
+
+# ------------------------------------------------------------ runtime misc
+
+
+def test_run_until_advances_clock_past_completion():
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=2)))
+    app = AppBuilder("quick")
+
+    @app.task(name="t", work=1.0)
+    def t(ctx):
+        return 1
+
+    runtime.run(app.build(), None, until=500.0)
+    assert runtime.sim.now == 500.0
+
+
+def test_object_hourly_cost_sums_live_allocations():
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=2)))
+    app = AppBuilder("coster")
+    app.data("d", size_gb=4)
+    submission = runtime.submit(app.build(),
+                                {"d": {"resource": "ssd"}},
+                                persistent=True)
+    runtime.drain()
+    obj = submission.objects["d"]
+    expected = 4 * DEFAULT_SPECS[DeviceType.SSD].unit_price_hour
+    assert obj.hourly_cost() == pytest.approx(expected)
+    runtime.decommission(submission)
+    assert obj.hourly_cost() == 0.0
+
+
+def test_gantt_handles_empty_and_data_only_runs():
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=2)))
+    app = AppBuilder("data-only")
+    app.data("d", size_gb=1)
+    result = runtime.run(app.build(), None)
+    assert ascii_gantt(result) == "(no task spans)"
+
+
+# ------------------------------------------------------------ loader dedup
+
+
+def test_loader_deduplicates_colocation_groups():
+    from repro.appmodel.ir import compile_dag
+    from repro.appmodel.loader import load_program
+
+    app = AppBuilder("grouped")
+
+    @app.task(name="a", work=1.0)
+    def a(ctx):
+        return None
+
+    @app.task(name="b", work=1.0)
+    def b(ctx):
+        return None
+
+    app.colocate("a", "b")
+    loaded = load_program(compile_dag(app.build()).to_dict())
+    # Both members list the group in IR; loader keeps ONE group.
+    assert len(loaded.colocate_groups) == 1
+    assert loaded.colocate_groups[0] == {"a", "b"}

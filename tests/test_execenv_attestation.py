@@ -1,0 +1,216 @@
+"""Tests for remote attestation and data protection."""
+
+import dataclasses
+
+import pytest
+
+from repro.execenv.attestation import (
+    ATTESTABLE_PROPERTIES,
+    AttestationError,
+    HardwareRootOfTrust,
+    Measurement,
+    Verifier,
+)
+from repro.execenv.protection import (
+    IntegrityError,
+    ProtectionPolicy,
+    SecureChannel,
+)
+from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceType
+
+
+def make_rot_and_device():
+    device = Device(spec=DEFAULT_SPECS[DeviceType.CPU])
+    rot = HardwareRootOfTrust()
+    rot.provision(device)
+    return rot, device
+
+
+def make_measurement(**overrides):
+    base = dict(
+        env_kind="sgx-enclave", code_hash="abcd", tenant="hospital",
+        single_tenant=True, device_model="xeon-blade-32c",
+    )
+    base.update(overrides)
+    return Measurement(**base)
+
+
+def test_quote_verifies_for_matching_expectation():
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement(), b"nonce")
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    verifier.verify(
+        quote,
+        {"env_kind": "sgx-enclave", "single_tenant": "True"},
+        b"nonce",
+    )  # no exception
+
+
+def test_mismatched_property_detected():
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement(env_kind="container"))
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    with pytest.raises(AttestationError, match="measured env_kind"):
+        verifier.verify(quote, {"env_kind": "sgx-enclave"})
+
+
+def test_forged_signature_detected():
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement())
+    forged = dataclasses.replace(quote, signature=b"\x00" * 32)
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    with pytest.raises(AttestationError, match="signature"):
+        verifier.verify(forged, {})
+
+
+def test_swapped_measurement_invalidates_signature():
+    """A provider cannot re-bind an honest quote to a different claim."""
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement(env_kind="container"))
+    relabeled = dataclasses.replace(
+        quote, measurement=make_measurement(env_kind="sgx-enclave")
+    )
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    with pytest.raises(AttestationError, match="signature"):
+        verifier.verify(relabeled, {"env_kind": "sgx-enclave"})
+
+
+def test_nonce_mismatch_detected():
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement(), b"old")
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    with pytest.raises(AttestationError, match="nonce"):
+        verifier.verify(quote, {}, b"new")
+
+
+def test_untrusted_device_rejected():
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement())
+    verifier = Verifier(rot)  # never trusted the device
+    with pytest.raises(AttestationError, match="untrusted"):
+        verifier.verify(quote, {})
+
+
+def test_unprovisioned_device_cannot_quote():
+    device = Device(spec=DEFAULT_SPECS[DeviceType.CPU])
+    rot = HardwareRootOfTrust()
+    with pytest.raises(AttestationError, match="not provisioned"):
+        rot.quote(device, make_measurement())
+
+
+def test_resource_amount_not_attestable():
+    """The paper's C13 limitation, enforced structurally."""
+    rot, device = make_rot_and_device()
+    quote = rot.quote(device, make_measurement())
+    verifier = Verifier(rot)
+    verifier.trust_device(device)
+    with pytest.raises(AttestationError, match="not covered"):
+        verifier.verify(quote, {"amount": "8"})
+    assert "amount" not in ATTESTABLE_PROPERTIES
+    assert "replication" not in ATTESTABLE_PROPERTIES
+    assert "env_kind" in ATTESTABLE_PROPERTIES
+
+
+def test_measurement_digest_order_sensitive():
+    a = make_measurement(extra=(("k1", "v1"), ("k2", "v2")))
+    b = make_measurement(extra=(("k2", "v2"), ("k1", "v1")))
+    assert a.digest() != b.digest()
+
+
+def test_distinct_devices_distinct_keys():
+    rot = HardwareRootOfTrust()
+    d1 = Device(spec=DEFAULT_SPECS[DeviceType.CPU])
+    d2 = Device(spec=DEFAULT_SPECS[DeviceType.CPU])
+    rot.provision(d1)
+    rot.provision(d2)
+    q1 = rot.quote(d1, make_measurement())
+    q2 = rot.quote(d2, make_measurement())
+    assert q1.signature != q2.signature
+
+
+# ------------------------------------------------------------ protection
+
+
+FULL = ProtectionPolicy(encrypt=True, integrity=True, replay_protect=True)
+
+
+def test_roundtrip_full_protection():
+    channel = SecureChannel(b"secret", FULL, "ch")
+    blob = channel.protect(b"patient record")
+    assert channel.unprotect(blob) == b"patient record"
+
+
+def test_ciphertext_differs_from_plaintext():
+    channel = SecureChannel(b"secret", FULL, "ch")
+    blob = channel.protect(b"patient record")
+    assert blob.body != b"patient record"
+    assert blob.encrypted
+
+
+def test_no_encrypt_leaves_plaintext():
+    channel = SecureChannel(b"secret", ProtectionPolicy(integrity=True), "ch")
+    blob = channel.protect(b"data")
+    assert blob.body == b"data"
+    assert blob.mac is not None
+
+
+def test_bitflip_detected():
+    channel = SecureChannel(b"secret", FULL, "ch")
+    blob = channel.protect(b"data-to-tamper")
+    tampered = dataclasses.replace(
+        blob, body=bytes([blob.body[0] ^ 1]) + blob.body[1:]
+    )
+    with pytest.raises(IntegrityError, match="tampered"):
+        channel.unprotect(tampered)
+
+
+def test_replay_detected():
+    sender = SecureChannel(b"secret", FULL, "ch")
+    receiver = SecureChannel(b"secret", FULL, "ch")
+    first = sender.protect(b"one")
+    second = sender.protect(b"two")
+    receiver.unprotect(first)
+    receiver.unprotect(second)
+    with pytest.raises(IntegrityError, match="replay"):
+        receiver.unprotect(first)
+
+
+def test_missing_mac_rejected():
+    channel = SecureChannel(b"secret", ProtectionPolicy(integrity=True), "ch")
+    blob = channel.protect(b"data")
+    stripped = dataclasses.replace(blob, mac=None)
+    with pytest.raises(IntegrityError, match="missing"):
+        channel.unprotect(stripped)
+
+
+def test_wrong_key_garbles_or_fails():
+    sender = SecureChannel(b"secret-A", ProtectionPolicy(encrypt=True), "ch")
+    receiver = SecureChannel(b"secret-B", ProtectionPolicy(encrypt=True), "ch")
+    blob = sender.protect(b"confidential")
+    assert receiver.unprotect(blob) != b"confidential"
+
+
+def test_policy_cost_scales_with_size_and_flags():
+    small = FULL.cpu_seconds(1_000)
+    large = FULL.cpu_seconds(1_000_000)
+    assert large > small
+    assert ProtectionPolicy().cpu_seconds(1_000_000) == 0.0
+    assert ProtectionPolicy(encrypt=True).cpu_seconds(10**6) < FULL.cpu_seconds(10**6)
+
+
+def test_policy_strictest_is_union():
+    merged = ProtectionPolicy(encrypt=True).strictest(
+        ProtectionPolicy(integrity=True)
+    )
+    assert merged.encrypt and merged.integrity and not merged.replay_protect
+
+
+def test_blob_size_includes_overheads():
+    channel = SecureChannel(b"s", FULL, "ch")
+    blob = channel.protect(b"x" * 100)
+    assert blob.size_bytes == 100 + 32 + 8

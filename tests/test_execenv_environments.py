@@ -1,0 +1,175 @@
+"""Tests for isolation tiers, environment profiles, and warm pools."""
+
+import pytest
+
+from repro.execenv.environments import (
+    ENV_PROFILES,
+    EnvKind,
+    ExecutionEnvironment,
+    environments_for_level,
+)
+from repro.execenv.isolation import (
+    IsolationLevel,
+    Threat,
+    coverage_for,
+    verifiable_by_user,
+)
+from repro.execenv.warmpool import WarmPool
+from repro.hardware.devices import DeviceType
+
+
+# ------------------------------------------------------------ isolation tiers
+
+
+def test_isolation_rank_order():
+    levels = [IsolationLevel.NONE, IsolationLevel.WEAK, IsolationLevel.MEDIUM,
+              IsolationLevel.STRONG, IsolationLevel.STRONGEST]
+    ranks = [l.rank for l in levels]
+    assert ranks == sorted(ranks)
+    assert IsolationLevel.STRONGEST.at_least(IsolationLevel.WEAK)
+    assert not IsolationLevel.WEAK.at_least(IsolationLevel.STRONG)
+
+
+def test_strongest_covers_side_channels():
+    assert Threat.HW_SIDE_CHANNEL in coverage_for(IsolationLevel.STRONGEST)
+    assert Threat.HW_SIDE_CHANNEL not in coverage_for(IsolationLevel.STRONG)
+
+
+def test_only_top_tiers_user_verifiable():
+    assert verifiable_by_user(IsolationLevel.STRONGEST)
+    assert verifiable_by_user(IsolationLevel.STRONG)
+    assert not verifiable_by_user(IsolationLevel.MEDIUM)
+    assert not verifiable_by_user(IsolationLevel.WEAK)
+
+
+# ------------------------------------------------------------ env profiles
+
+
+def test_all_kinds_have_profiles():
+    assert set(ENV_PROFILES) == set(EnvKind)
+
+
+def test_startup_cost_ordering_matches_literature():
+    """unikernel < microVM < container < gVisor < SGX < VM < SEV < bare metal."""
+    order = [
+        EnvKind.UNIKERNEL, EnvKind.MICRO_VM, EnvKind.CONTAINER,
+        EnvKind.SANDBOXED_CONTAINER, EnvKind.SGX_ENCLAVE, EnvKind.VM,
+        EnvKind.SEV_VM, EnvKind.BARE_METAL,
+    ]
+    starts = [ENV_PROFILES[k].cold_start_s for k in order]
+    assert starts == sorted(starts)
+
+
+def test_warm_start_always_cheaper_than_cold():
+    for profile in ENV_PROFILES.values():
+        assert profile.warm_start_s < profile.cold_start_s
+
+
+def test_tees_are_cpu_only():
+    for kind in (EnvKind.SGX_ENCLAVE, EnvKind.SEV_VM):
+        assert ENV_PROFILES[kind].requires_device == frozenset({DeviceType.CPU})
+
+
+def test_strongest_on_cpu_offers_tees():
+    kinds = {p.kind for p in environments_for_level(
+        IsolationLevel.STRONGEST, DeviceType.CPU)}
+    assert EnvKind.SGX_ENCLAVE in kinds
+
+
+def test_strongest_on_gpu_falls_back_to_bare_metal():
+    """§3.3: TEEs don't exist on GPUs; physically isolated bare metal is
+    the paper's proposed alternative."""
+    profiles = environments_for_level(IsolationLevel.STRONGEST, DeviceType.GPU)
+    assert [p.kind for p in profiles] == [EnvKind.BARE_METAL]
+
+
+def test_weak_is_container_everywhere():
+    for device in (DeviceType.CPU, DeviceType.GPU):
+        profiles = environments_for_level(IsolationLevel.WEAK, device)
+        assert [p.kind for p in profiles] == [EnvKind.CONTAINER]
+
+
+def test_medium_on_cpu_offers_choices():
+    kinds = {p.kind for p in environments_for_level(
+        IsolationLevel.MEDIUM, DeviceType.CPU)}
+    assert EnvKind.UNIKERNEL in kinds and EnvKind.MICRO_VM in kinds
+
+
+# ------------------------------------------------------------ env instances
+
+
+def make_env(kind=EnvKind.SGX_ENCLAVE, single=False):
+    return ExecutionEnvironment(
+        profile=ENV_PROFILES[kind], tenant="t", single_tenant=single
+    )
+
+
+def test_tee_plus_single_tenant_is_strongest():
+    assert make_env(single=True).effective_isolation == IsolationLevel.STRONGEST
+    assert make_env(single=False).effective_isolation == IsolationLevel.STRONG
+
+
+def test_single_tenancy_extends_coverage():
+    env = make_env(single=True)
+    assert Threat.HW_SIDE_CHANNEL in env.effective_coverage
+    assert Threat.HW_SIDE_CHANNEL not in make_env(single=False).effective_coverage
+
+
+def test_compute_time_applies_overhead():
+    env = make_env()  # SGX: 1.35x
+    assert env.compute_time(10.0) == pytest.approx(13.5)
+
+
+def test_warm_env_starts_fast():
+    env = make_env()
+    assert env.startup_time() == ENV_PROFILES[EnvKind.SGX_ENCLAVE].cold_start_s
+    env.from_warm_pool = True
+    assert env.startup_time() == ENV_PROFILES[EnvKind.SGX_ENCLAVE].warm_start_s
+
+
+# ------------------------------------------------------------ warm pool
+
+
+def test_warmpool_hit_and_miss():
+    pool = WarmPool()
+    pool.prewarm(EnvKind.SGX_ENCLAVE, False, count=1)
+    assert pool.try_acquire(EnvKind.SGX_ENCLAVE, False)
+    assert not pool.try_acquire(EnvKind.SGX_ENCLAVE, False)
+    assert pool.stats.hits == 1 and pool.stats.misses == 1
+    assert pool.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_warmpool_tenancy_keys_distinct():
+    pool = WarmPool()
+    pool.prewarm(EnvKind.VM, single_tenant=False, count=1)
+    assert not pool.try_acquire(EnvKind.VM, single_tenant=True)
+
+
+def test_warmpool_disabled_always_misses():
+    pool = WarmPool(enabled=False)
+    pool.prewarm(EnvKind.VM, False, count=5)
+    assert not pool.try_acquire(EnvKind.VM, False)
+
+
+def test_warmpool_refill_restocks_known_keys():
+    pool = WarmPool(target_depth=2)
+    pool.try_acquire(EnvKind.MICRO_VM, False)  # miss registers the key
+    added = pool.refill()
+    assert added == 2
+    assert pool.depth(EnvKind.MICRO_VM, False) == 2
+    assert pool.try_acquire(EnvKind.MICRO_VM, False)
+
+
+def test_warmpool_savings_accounting():
+    pool = WarmPool()
+    pool.prewarm(EnvKind.BARE_METAL, True, count=1)
+    pool.try_acquire(EnvKind.BARE_METAL, True)
+    profile = ENV_PROFILES[EnvKind.BARE_METAL]
+    assert pool.stats.startup_seconds_saved == pytest.approx(
+        profile.cold_start_s - profile.warm_start_s
+    )
+
+
+def test_warmpool_negative_depth_rejected():
+    with pytest.raises(ValueError):
+        WarmPool(target_depth=-1)

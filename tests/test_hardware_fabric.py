@@ -1,0 +1,147 @@
+"""Tests for the fabric latency/bandwidth model and topology builder."""
+
+import pytest
+
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Fabric, Location, transfer_plan_cost
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.simulator import Simulator
+
+
+def make_fabric():
+    return Fabric(Simulator())
+
+
+def test_latency_hierarchy():
+    fabric = make_fabric()
+    a = Location(0, 0, 0)
+    same_rack = Location(0, 0, 1)
+    other_rack = Location(0, 1, 0)
+    other_pod = Location(1, 0, 0)
+    assert fabric.latency(a, a) == 0.0
+    assert fabric.latency(a, same_rack) < fabric.latency(a, other_rack)
+    assert fabric.latency(a, other_rack) < fabric.latency(a, other_pod)
+
+
+def test_hop_kinds():
+    fabric = make_fabric()
+    a = Location(0, 0, 0)
+    assert fabric.hop_kind(a, a) == "local"
+    assert fabric.hop_kind(a, Location(0, 0, 5)) == "rack"
+    assert fabric.hop_kind(a, Location(0, 3, 0)) == "pod"
+    assert fabric.hop_kind(a, Location(2, 0, 0)) == "dc"
+
+
+def test_transfer_time_includes_serialization():
+    fabric = make_fabric()
+    src, dst = Location(0, 0, 0), Location(0, 0, 1)
+    small = fabric.transfer_time(src, dst, 1000)
+    large = fabric.transfer_time(src, dst, 10_000_000)
+    assert large > small
+    # 10 MB at 100 Gbps = 0.8 ms of serialization
+    assert large == pytest.approx(fabric.intra_rack_latency_s + 8e-4)
+
+
+def test_local_transfer_free():
+    fabric = make_fabric()
+    loc = Location(0, 0, 0)
+    assert fabric.transfer_time(loc, loc, 10**9) == 0.0
+
+
+def test_send_delivers_after_delay():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    event = fabric.send(Location(0, 0, 0), Location(0, 1, 0), 1_000_000)
+    sim.run()
+    message = event.value
+    assert message.size_bytes == 1_000_000
+    assert sim.now == pytest.approx(fabric.transfer_time(
+        Location(0, 0, 0), Location(0, 1, 0), 1_000_000))
+
+
+def test_stats_accumulate():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    fabric.send(Location(0, 0, 0), Location(0, 0, 1), 100)       # rack
+    fabric.send(Location(0, 0, 0), Location(0, 1, 0), 200)       # pod
+    fabric.send(Location(0, 0, 0), Location(1, 0, 0), 400)       # dc
+    sim.run()
+    assert fabric.stats.messages == 3
+    assert fabric.stats.bytes_total == 700
+    assert fabric.stats.bytes_cross_rack == 600
+    assert fabric.stats.bytes_cross_pod == 400
+    assert fabric.stats.by_hop == {"rack": 1, "pod": 1, "dc": 1}
+
+
+def test_via_pays_both_hops_and_stamps():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    switch = Location(0, -1, 0)
+    stamped = []
+    fabric.attach_sequencer(switch, lambda m: stamped.append(m))
+    src, dst = Location(0, 0, 0), Location(0, 1, 0)
+    direct = fabric.transfer_time(src, dst, 1000)
+    event = fabric.send(src, dst, 1000, via=switch)
+    sim.run()
+    assert sim.now > direct  # two hops cost more than one
+    assert stamped and stamped[0] is event.value
+
+
+def test_multicast_counts_each_destination():
+    sim = Simulator()
+    fabric = Fabric(sim)
+    events = fabric.multicast(
+        Location(0, 0, 0), [Location(0, 1, 0), Location(0, 2, 0)], 100
+    )
+    sim.run()
+    assert len(events) == 2
+    assert fabric.stats.messages == 2
+
+
+def test_transfer_plan_cost_sums():
+    fabric = make_fabric()
+    a, b = Location(0, 0, 0), Location(0, 1, 0)
+    moves = [(a, b, 1000), (b, a, 1000)]
+    assert transfer_plan_cost(fabric, moves) == pytest.approx(
+        2 * fabric.transfer_time(a, b, 1000)
+    )
+
+
+# ------------------------------------------------------------- topology
+
+
+def test_build_datacenter_counts():
+    spec = DatacenterSpec(pods=2, racks_per_pod=3)
+    dc = build_datacenter(spec)
+    per_rack = sum(spec.devices_per_rack.values())
+    assert len(dc.devices) == 2 * 3 * per_rack
+    assert len(dc.switch_locations) == 2
+    assert len(dc.rack_locations()) == 6
+
+
+def test_pools_wired_to_sim_clock():
+    dc = build_datacenter()
+    pool = dc.pool(DeviceType.CPU)
+    alloc = pool.allocate(16, "t")
+    dc.sim.timeout(100.0)
+    dc.sim.run()
+    assert pool.mean_utilization() > 0
+
+
+def test_find_device():
+    dc = build_datacenter()
+    device = dc.devices[0]
+    assert dc.find_device(device.device_id) is device
+    assert dc.find_device("nope") is None
+
+
+def test_devices_at_location():
+    dc = build_datacenter()
+    loc = dc.devices[0].location
+    assert dc.devices[0] in dc.devices_at(loc)
+
+
+def test_unknown_pool_raises():
+    dc = build_datacenter(DatacenterSpec(devices_per_rack={DeviceType.CPU: 1}))
+    with pytest.raises(KeyError):
+        dc.pool(DeviceType.TPU)

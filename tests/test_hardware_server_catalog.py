@@ -1,0 +1,136 @@
+"""Tests for monolithic servers, bin packing, and the instance catalog."""
+
+import pytest
+
+from repro.hardware.catalog import UNIT_PRICES, default_catalog
+from repro.hardware.server import (
+    Server,
+    ServerCluster,
+    ServerSpec,
+    WorkloadDemand,
+)
+
+SPEC = ServerSpec(cpus=32, mem_gb=128, gpus=0, name="std")
+
+
+def test_server_place_and_residual():
+    server = Server(spec=SPEC)
+    server.place(WorkloadDemand(cpus=8, mem_gb=32))
+    assert server.residual["cpus"] == 24
+    assert server.used("mem_gb") == 32
+
+
+def test_server_rejects_overflow():
+    server = Server(spec=SPEC)
+    with pytest.raises(ValueError):
+        server.place(WorkloadDemand(cpus=64))
+
+
+def test_ffd_packs_tightly():
+    cluster = ServerCluster(SPEC)
+    demands = [WorkloadDemand(cpus=16, mem_gb=64, name=f"j{i}") for i in range(4)]
+    placement = cluster.pack(demands)
+    assert placement.servers_used == 2
+    assert not placement.unplaced
+
+
+def test_oversized_job_unplaced():
+    cluster = ServerCluster(SPEC)
+    placement = cluster.pack([WorkloadDemand(cpus=100)])
+    assert placement.unplaced and placement.servers_used == 0
+
+
+def test_max_servers_cap():
+    cluster = ServerCluster(SPEC, max_servers=1)
+    demands = [WorkloadDemand(cpus=32) for _ in range(2)]
+    placement = cluster.pack(demands)
+    assert placement.servers_used == 1
+    assert len(placement.unplaced) == 1
+
+
+def test_skew_strands_capacity():
+    """CPU-heavy jobs fill cores and strand memory on monolithic servers."""
+    cluster = ServerCluster(SPEC)
+    cluster.pack([WorkloadDemand(cpus=8, mem_gb=4, name=f"c{i}") for i in range(8)])
+    assert cluster.utilization("cpus") == pytest.approx(1.0)
+    # 8 jobs x 4 GB = 32 GB across two 128 GB servers
+    assert cluster.utilization("mem_gb") == pytest.approx(32 / 256)
+    assert cluster.demanded_utilization() < 0.7
+
+
+def test_demanded_utilization_ignores_undemanded_dims():
+    spec = ServerSpec(cpus=32, mem_gb=128, gpus=8)
+    cluster = ServerCluster(spec)
+    cluster.pack([WorkloadDemand(cpus=32, mem_gb=128)])
+    # GPUs were never demanded: excluded from the metric.
+    assert cluster.demanded_utilization() == pytest.approx(1.0)
+
+
+def test_duty_validation():
+    with pytest.raises(ValueError):
+        WorkloadDemand(cpus=1, duty=0.0)
+    with pytest.raises(ValueError):
+        WorkloadDemand(cpus=1, duty=1.5)
+
+
+# ---------------------------------------------------------------- catalog
+
+
+def test_catalog_cheapest_fit_basic():
+    catalog = default_catalog()
+    choice = catalog.cheapest_fit(WorkloadDemand(cpus=2, mem_gb=4))
+    assert choice.name == "c5.large"
+
+
+def test_paper_example_8_gpus_forces_p3_16xlarge():
+    """§1: an 8-GPU job must rent p3.16xlarge (64 vCPUs) even needing few."""
+    catalog = default_catalog()
+    choice = catalog.cheapest_fit(WorkloadDemand(cpus=4, mem_gb=16, gpus=8))
+    assert choice.name == "p3.16xlarge"
+    assert choice.vcpus == 64
+
+
+def test_unfittable_demand_returns_none():
+    catalog = default_catalog()
+    assert catalog.cheapest_fit(WorkloadDemand(gpus=16)) is None
+
+
+def test_unit_prices_reconstruct_p3_prices():
+    """The unit decomposition must reproduce the real p3 prices closely."""
+    catalog = default_catalog()
+    for name in ("p3.2xlarge", "p3.8xlarge", "p3.16xlarge"):
+        instance = catalog.get(name)
+        reconstructed = (
+            instance.vcpus * UNIT_PRICES["vcpu"]
+            + instance.mem_gb * UNIT_PRICES["mem_gb"]
+            + instance.gpus * UNIT_PRICES["gpu"]
+        )
+        assert reconstructed == pytest.approx(instance.price_hour, rel=0.01)
+
+
+def test_exact_cost_below_instance_price():
+    """Per-unit billing never exceeds the covering instance's price."""
+    catalog = default_catalog()
+    demand = WorkloadDemand(cpus=4, mem_gb=16, gpus=8)
+    instance = catalog.cheapest_fit(demand)
+    assert catalog.exact_cost(demand) < instance.price_hour
+
+
+def test_waste_fraction_zero_for_perfect_match():
+    catalog = default_catalog()
+    instance = catalog.get("c5.large")
+    demand = WorkloadDemand(cpus=2, mem_gb=4)
+    assert instance.waste_fraction(demand, UNIT_PRICES) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_catalog_sorted_by_price():
+    catalog = default_catalog()
+    prices = [i.price_hour for i in catalog]
+    assert prices == sorted(prices)
+
+
+def test_empty_catalog_rejected():
+    from repro.hardware.catalog import InstanceCatalog
+
+    with pytest.raises(ValueError):
+        InstanceCatalog([])

@@ -1,0 +1,110 @@
+"""Tests for heterogeneous rack profiles (specialized GPU/storage rows)."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+#: compute rows, GPU rows, storage rows — a realistic specialized fleet
+PROFILES = [
+    {DeviceType.CPU: 6, DeviceType.DRAM: 2},
+    {DeviceType.GPU: 4, DeviceType.CPU: 2},
+    {DeviceType.SSD: 3, DeviceType.HDD: 2, DeviceType.NVM: 1},
+]
+
+
+def hetero_dc(pods=1, racks=6):
+    return build_datacenter(
+        DatacenterSpec(pods=pods, racks_per_pod=racks,
+                       rack_profiles=PROFILES)
+    )
+
+
+def test_profiles_assigned_round_robin():
+    dc = hetero_dc(racks=6)
+    # Rack 0/3: compute; rack 1/4: GPU; rack 2/5: storage.
+    for rack in (0, 3):
+        types = {d.device_type for d in dc.devices
+                 if d.location.rack == rack}
+        assert types == {DeviceType.CPU, DeviceType.DRAM}
+    for rack in (1, 4):
+        types = {d.device_type for d in dc.devices
+                 if d.location.rack == rack}
+        assert types == {DeviceType.GPU, DeviceType.CPU}
+    for rack in (2, 5):
+        types = {d.device_type for d in dc.devices
+                 if d.location.rack == rack}
+        assert types == {DeviceType.SSD, DeviceType.HDD, DeviceType.NVM}
+
+
+def test_pool_set_covers_union_of_profiles():
+    dc = hetero_dc()
+    for device_type in (DeviceType.CPU, DeviceType.GPU, DeviceType.DRAM,
+                        DeviceType.SSD, DeviceType.HDD, DeviceType.NVM):
+        assert device_type in dc.pools
+
+
+def test_homogeneous_default_unchanged():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2))
+    rack0 = {d.device_type for d in dc.devices if d.location.rack == 0}
+    rack1 = {d.device_type for d in dc.devices if d.location.rack == 1}
+    assert rack0 == rack1
+
+
+def test_app_runs_on_specialized_fleet():
+    app = AppBuilder("hetero")
+
+    @app.task(name="crunch", work=5.0, devices={DeviceType.GPU})
+    def crunch(ctx):
+        return "done"
+
+    archive = app.data("archive", size_gb=10)
+    app.writes("crunch", archive, bytes_per_run=1 << 20)
+    dag = app.build()
+    runtime = UDCRuntime(hetero_dc())
+    result = runtime.run(dag, {
+        "crunch": {"resource": {"device": "gpu", "amount": 2}},
+        "archive": {"resource": "ssd",
+                    "distributed": {"replication": 2}},
+    })
+    assert result.outputs["crunch"] == "done"
+    crunch_rack = result.objects["crunch"].location.rack
+    assert crunch_rack in (1, 4)  # placed on a GPU row
+    for alloc in result.objects["archive"].allocations:
+        assert alloc.device.location.rack in (2, 5)  # storage rows
+
+
+def test_replica_anti_affinity_across_storage_rows():
+    """With only two storage rows, a 2x replica set lands on both."""
+    app = AppBuilder("spread")
+    app.data("d", size_gb=5)
+    runtime = UDCRuntime(hetero_dc())
+    result = runtime.run(app.build(), {
+        "d": {"resource": "ssd", "distributed": {"replication": 2}},
+    })
+    racks = {a.device.location.rack
+             for a in result.objects["d"].allocations}
+    assert racks == {2, 5}
+
+
+def test_locality_pulls_compute_toward_gpu_row_with_data():
+    """A GPU task reading SSD data cannot co-rack with it (different
+    rows); the scheduler still places it on the nearest GPU row and the
+    transfer happens — specialization is a constraint locality must
+    respect, not break."""
+    app = AppBuilder("cross-row")
+
+    @app.task(name="train", work=5.0, devices={DeviceType.GPU})
+    def train(ctx):
+        return None
+
+    dataset = app.data("dataset", size_gb=20)
+    app.reads("train", dataset, bytes_per_run=64 << 20)
+    runtime = UDCRuntime(hetero_dc())
+    result = runtime.run(app.build(), {
+        "dataset": {"resource": "ssd"},
+    })
+    assert result.total_failures == 0
+    assert result.objects["train"].location.rack in (1, 4)

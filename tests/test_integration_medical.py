@@ -1,0 +1,160 @@
+"""End-to-end integration tests: Figure 2 + Table 1 on the full stack."""
+
+import pytest
+
+from repro.core.runtime import UDCRuntime
+from repro.core.verify import verify_run
+from repro.execenv.attestation import Verifier
+from repro.execenv.warmpool import WarmPool
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.workloads.medical import build_medical_app, table1_definition
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+INPUTS = {
+    "A1": {"pixels": list(range(128)), "patient": "p-7"},
+    "A3": {"patient": "p-7"},
+    "B1": {"consented": True},
+}
+
+
+@pytest.fixture(scope="module")
+def medical_run():
+    dag, definition = build_medical_app()
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(dag, definition, tenant="hospital", inputs=INPUTS)
+    return runtime, result
+
+
+def test_all_modules_complete(medical_run):
+    _runtime, result = medical_run
+    assert set(result.outputs) == {"A1", "A2", "A3", "A4", "B1", "B2"}
+    assert result.total_failures == 0
+
+
+def test_diagnosis_produced(medical_run):
+    _runtime, result = medical_run
+    diagnosis = result.outputs["A4"]
+    assert diagnosis["patient"] == "p-7"
+    assert "diagnosis" in diagnosis
+    assert result.outputs["B2"]["cohort_size"] == 1
+
+
+def test_table1_resource_cells(medical_run):
+    """Every resource cell of Table 1 is fulfilled."""
+    _runtime, result = medical_run
+    assert result.row("A2").device == "gpu"
+    assert result.row("A3").device == "gpu"
+    assert result.row("A4").device == "cpu"
+    assert result.row("S1").device == "ssd"
+    assert result.row("S3").device == "dram"
+    # "Fastest" for A1 resolves to GPU (co-located with A2).
+    assert result.row("A1").device == "gpu"
+    # "Cheapest" compute resolves to CPU.
+    assert result.row("B1").device == "cpu"
+    assert result.row("B2").device == "cpu"
+
+
+def test_table1_execenv_cells(medical_run):
+    _runtime, result = medical_run
+    # A4: single-tenant SGX enclave (the strongest tier).
+    assert result.row("A4").env == "sgx-enclave"
+    assert result.row("A4").single_tenant
+    # A2/A3: single-tenant on GPU -> physically isolated bare metal.
+    assert result.row("A2").single_tenant
+    assert result.row("A3").single_tenant
+    # B2: containers.
+    assert result.row("B2").env == "container"
+
+
+def test_table1_distributed_cells(medical_run):
+    _runtime, result = medical_run
+    assert result.row("S1").replication == 3
+    assert result.row("S1").consistency == "sequential"
+    assert result.row("S2").replication == 2
+    assert result.row("S3").replication == 2
+    assert result.row("S4").replication == 1
+    assert result.row("S4").consistency == "release"
+    # Checkpointing cells: A2/A3/A4 took checkpoints.
+    for name in ("A2", "A3", "A4"):
+        assert result.objects[name].record.checkpoints_taken > 0
+
+
+def test_colocation_honored(medical_run):
+    _runtime, result = medical_run
+    a1_dev = result.objects["A1"].primary_allocation.device
+    a2_dev = result.objects["A2"].primary_allocation.device
+    assert a1_dev is a2_dev
+
+
+def test_a4_standby_allocated(medical_run):
+    """Table 1: A4 'Rep 2x' -> a hot standby on another CPU device."""
+    _runtime, result = medical_run
+    cpu_allocs = [a for a in result.objects["A4"].allocations
+                  if a.device_type.value == "cpu"]
+    assert len(cpu_allocs) == 2
+    assert cpu_allocs[0].device is not cpu_allocs[1].device
+
+
+def test_fulfillment_verifies(medical_run):
+    runtime, result = medical_run
+    report = verify_run(result.objects, result.records,
+                        Verifier(runtime.root_of_trust))
+    assert report.ok
+    # A4's enclave is attested; replication factors are trusted claims.
+    a4 = {c.prop: c.status for c in report.for_module("A4")}
+    assert a4["env_kind"] == "attested"
+    s1 = {c.prop: c.status for c in report.for_module("S1")}
+    assert s1["replication"] == "trusted"
+
+
+def test_protection_costs_charged_on_secured_paths(medical_run):
+    _runtime, result = medical_run
+    # S1/S2/S3 are encrypted+integrity: their readers pay protection time.
+    assert result.objects["A1"].record.protection_s > 0   # reads S3
+    assert result.objects["B1"].record.protection_s > 0   # reads S1+S2
+
+
+def test_run_is_deterministic():
+    dag, definition = build_medical_app()
+    results = []
+    for _ in range(2):
+        runtime = UDCRuntime(build_datacenter(SPEC))
+        results.append(
+            runtime.run(dag, definition, tenant="hospital", inputs=INPUTS)
+        )
+    assert results[0].makespan_s == results[1].makespan_s
+    assert results[0].total_cost == pytest.approx(results[1].total_cost)
+    assert results[0].outputs["A4"] == results[1].outputs["A4"]
+
+
+def test_warm_pool_cuts_medical_makespan():
+    dag, definition = build_medical_app()
+    cold = UDCRuntime(build_datacenter(SPEC)).run(
+        dag, definition, tenant="hospital")
+    warm = UDCRuntime(
+        build_datacenter(SPEC), warm_pool=WarmPool(enabled=True), prewarm=True
+    ).run(dag, definition, tenant="hospital")
+    assert warm.makespan_s < cold.makespan_s * 0.5
+
+
+def test_fallback_all_defaults_runs():
+    """Footnote 1: no definition at all falls back to today's cloud."""
+    dag, _definition = build_medical_app()
+    result = UDCRuntime(build_datacenter(SPEC)).run(
+        dag, None, tenant="hospital", inputs=INPUTS)
+    assert set(result.outputs) == {"A1", "A2", "A3", "A4", "B1", "B2"}
+    # Provider defaults: weak isolation containers, single replicas.
+    assert result.row("B2").env == "container"
+    assert result.row("S1").replication == 1
+
+
+def test_survives_gpu_failure_mid_diagnosis():
+    dag, definition = build_medical_app()
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(
+        dag, definition, tenant="hospital", inputs=INPUTS,
+        failure_plan=[(50.0, "fd:A3")],
+    )
+    assert result.outputs["A4"] is not None
+    assert result.row("A3").failures >= 1

@@ -1,0 +1,77 @@
+"""Tests for load-aware goal-directed device selection (§3.2)."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+SPEC = DatacenterSpec(
+    pods=1, racks_per_pod=1,
+    devices_per_rack={DeviceType.CPU: 2, DeviceType.GPU: 1,
+                      DeviceType.DRAM: 1, DeviceType.SSD: 1},
+)
+
+
+def flexible_app(name="flex"):
+    app = AppBuilder(name)
+
+    @app.task(name="work", work=40.0,
+              devices={DeviceType.CPU, DeviceType.GPU})
+    def work(ctx):
+        return None
+
+    return app.build()
+
+
+def test_fastest_prefers_gpu_when_free():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(flexible_app(), {"work": {"resource": "fastest"}})
+    assert result.row("work").device == "gpu"
+
+
+def test_fastest_falls_back_when_gpu_pool_exhausted():
+    """§3.2: goal selection accounts for load — a saturated GPU pool
+    sends a FASTEST task to the next-best available hardware instead of
+    failing."""
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    pool = runtime.datacenter.pool(DeviceType.GPU)
+    hog = pool.allocate(8, "hog")  # the single GPU board, fully taken
+    result = runtime.run(flexible_app(), {"work": {"resource": "fastest"}})
+    assert result.row("work").device == "cpu"
+    pool.release(hog)
+
+
+def test_fastest_returns_to_gpu_after_release():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    pool = runtime.datacenter.pool(DeviceType.GPU)
+    hog = pool.allocate(8, "hog")
+    first = runtime.run(flexible_app("a"), {"work": {"resource": "fastest"}})
+    pool.release(hog)
+    second = runtime.run(flexible_app("b"), {"work": {"resource": "fastest"}})
+    assert first.row("work").device == "cpu"
+    assert second.row("work").device == "gpu"
+
+
+def test_explicit_device_not_rerouted_by_load():
+    """An explicit pin is a contract: a full pool is an error (or a
+    queueing event), never a silent substitution."""
+    from repro.core.scheduler import SchedulerError
+
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    runtime.datacenter.pool(DeviceType.GPU).allocate(8, "hog")
+    with pytest.raises(SchedulerError):
+        runtime.run(flexible_app(), {"work": {"resource": {"device": "gpu",
+                                                           "amount": 8}}})
+
+
+def test_amount_larger_than_remaining_gpu_falls_back():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    runtime.datacenter.pool(DeviceType.GPU).allocate(6, "hog")  # 2 left
+    result = runtime.run(
+        flexible_app(),
+        {"work": {"resource": {"goal": "fastest", "amount": 4}}},
+    )
+    # 4 GPUs don't fit on the remaining 2; CPU has room.
+    assert result.row("work").device == "cpu"

@@ -1,0 +1,110 @@
+"""Tests for the placement preview (plan) and the new CLI commands."""
+
+import json
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.appmodel.ir import compile_dag
+from repro.cli import main
+from repro.core.runtime import UDCRuntime
+from repro.core.scheduler import SchedulerError
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+
+def make_app():
+    app = AppBuilder("planned")
+
+    @app.task(name="prep", work=2.0)
+    def prep(ctx):
+        return None
+
+    @app.task(name="infer", work=40.0,
+              devices={DeviceType.CPU, DeviceType.GPU})
+    def infer(ctx):
+        return None
+
+    store = app.data("out", size_gb=2)
+    app.flows("prep", "infer", bytes_=1 << 20)
+    app.writes("infer", store)
+    return app.build()
+
+
+def test_plan_reports_without_allocating():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    rows = runtime.plan(make_app(), {
+        "infer": {"resource": {"device": "gpu", "amount": 2}},
+        "out": {"resource": "ssd", "distributed": {"replication": 2}},
+    })
+    by_module = {row["module"]: row for row in rows}
+    assert by_module["infer"]["device_type"] == "gpu"
+    assert by_module["infer"]["amount"] == 2
+    assert by_module["out"]["replicas"] == 2
+    assert by_module["infer"]["hourly_cost"] > 0
+    # Nothing left allocated.
+    for pool in runtime.datacenter.pools:
+        assert pool.total_used == 0.0
+
+
+def test_plan_surfaces_infeasible_spec():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    with pytest.raises(SchedulerError, match="CPU-only"):
+        runtime.plan(make_app(), {
+            "infer": {"resource": {"device": "gpu"},
+                      "execenv": {"env": "sgx-enclave"}},
+        })
+    # The failed plan also left nothing behind.
+    for pool in runtime.datacenter.pools:
+        assert pool.total_used == 0.0
+
+
+def test_sgx_on_gpu_rejected_at_submission_too():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    with pytest.raises(SchedulerError, match="CPU-only"):
+        runtime.run(make_app(), {
+            "infer": {"resource": {"device": "gpu"},
+                      "execenv": {"env": "sgx-enclave"}},
+        })
+
+
+def test_plan_then_run_agree():
+    """The preview's placement choices match what a real run does."""
+    definition = {"infer": {"resource": {"device": "gpu", "amount": 1}}}
+    planner = UDCRuntime(build_datacenter(SPEC))
+    planned = {row["module"]: row for row in planner.plan(make_app(),
+                                                          definition)}
+    executor = UDCRuntime(build_datacenter(SPEC))
+    result = executor.run(make_app(), definition)
+    assert result.row("infer").device == planned["infer"]["device_type"]
+    assert result.row("infer").env == planned["infer"]["env"]
+
+
+# ------------------------------------------------------------ CLI
+
+
+@pytest.fixture()
+def app_json(tmp_path):
+    path = tmp_path / "app.json"
+    path.write_text(json.dumps(compile_dag(make_app()).to_dict()))
+    return str(path)
+
+
+def test_cli_plan(app_json, tmp_path, capsys):
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps(
+        {"infer": {"resource": {"device": "gpu", "amount": 1}}}))
+    assert main(["plan", app_json, "--spec", str(spec)]) == 0
+    out = capsys.readouterr().out
+    assert "total burn rate" in out
+    assert "1 x gpu" in out
+
+
+def test_cli_inspect(app_json, capsys):
+    assert main(["inspect", app_json]) == 0
+    out = capsys.readouterr().out
+    assert "stage 0: prep" in out
+    assert "stage 1: infer" in out
+    assert "edge: prep -> infer" in out

@@ -1,0 +1,164 @@
+"""Model-based property tests: the replicated store against a reference
+model, and the scheduler against random applications."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.runtime import UDCRuntime
+from repro.distsem.consistency import ConsistencyLevel
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+CLIENT = Location(0, 0, 99)
+
+# ------------------------------------------------------------ store vs model
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["write", "read"]),
+        st.sampled_from(["k1", "k2", "k3"]),
+        st.integers(0, 999),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def fresh_store(consistency, factor=3):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+        10, "t", ReplicationPolicy(factor=factor))
+    return dc, ReplicatedStore(dc.sim, dc.fabric, "S", placement, consistency)
+
+
+@given(ops)
+@settings(max_examples=30, deadline=None)
+def test_sequential_store_matches_reference_model(op_sequence):
+    """Under sequential consistency with serialized clients, the store is
+    observationally identical to a plain dict."""
+    dc, store = fresh_store(ConsistencyLevel.SEQUENTIAL)
+    model = {}
+    observed = []
+
+    def driver():
+        for op, key, value in op_sequence:
+            if op == "write":
+                payload = f"{value}".encode()
+                yield dc.sim.process(store.write(CLIENT, key, payload, 128))
+                model[key] = payload
+            else:
+                result, _stats = yield dc.sim.process(store.read(CLIENT, key))
+                observed.append((key, result, model.get(key)))
+
+    done = dc.sim.process(driver())
+    dc.sim.run(until_event=done)
+    for key, got, expected in observed:
+        assert got == expected, f"read({key}) = {got!r}, model says {expected!r}"
+    # And every replica converged to the model.
+    for replica in store.replicas:
+        for key, payload in model.items():
+            assert replica.data[key][1] == payload
+
+
+@given(ops)
+@settings(max_examples=20, deadline=None)
+def test_eventual_store_converges_to_model_at_quiescence(op_sequence):
+    dc, store = fresh_store(ConsistencyLevel.EVENTUAL)
+    model = {}
+
+    def driver():
+        for op, key, value in op_sequence:
+            if op == "write":
+                payload = f"{value}".encode()
+                yield dc.sim.process(store.write(CLIENT, key, payload, 128))
+                model[key] = payload
+            else:
+                yield dc.sim.process(store.read(CLIENT, key))
+
+    done = dc.sim.process(driver())
+    dc.sim.run(until_event=done)
+    dc.sim.run()  # quiescence: anti-entropy drains
+    for replica in store.replicas:
+        for key, payload in model.items():
+            assert replica.data.get(key, (0, None))[1] == payload
+
+
+@given(ops, st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_quorum_reads_never_travel_backwards(op_sequence, quorum):
+    """Monotonicity: with a fixed single client, successive quorum reads
+    of a key never observe an older version than a previous read."""
+    dc, store = fresh_store(ConsistencyLevel.EVENTUAL)
+    last_version = {}
+
+    def driver():
+        for op, key, value in op_sequence:
+            if op == "write":
+                yield dc.sim.process(
+                    store.write(CLIENT, key, f"{value}".encode(), 128))
+            else:
+                _value, stats = yield dc.sim.process(
+                    store.read_quorum(CLIENT, key, quorum=quorum))
+                version = store._version_counter.get(key, 0) - stats.staleness
+                assert version >= last_version.get(key, 0)
+                last_version[key] = version
+
+    done = dc.sim.process(driver())
+    dc.sim.run(until_event=done)
+
+
+# ------------------------------------------------------------ scheduler fuzz
+
+
+@st.composite
+def random_apps(draw):
+    """A random small application with valid structure."""
+    n_tasks = draw(st.integers(1, 5))
+    n_data = draw(st.integers(0, 2))
+    dag = ModuleDAG(name="fuzz")
+    for index in range(n_tasks):
+        devices = draw(st.sampled_from([
+            frozenset({DeviceType.CPU}),
+            frozenset({DeviceType.GPU}),
+            frozenset({DeviceType.CPU, DeviceType.GPU}),
+        ]))
+        dag.add_module(TaskModule(
+            name=f"t{index}",
+            work=draw(st.floats(0.5, 20.0)),
+            device_candidates=devices,
+        ))
+        if index > 0 and draw(st.booleans()):
+            dag.add_edge(f"t{draw(st.integers(0, index - 1))}", f"t{index}",
+                         bytes_transferred=draw(st.integers(64, 1 << 20)))
+    for index in range(n_data):
+        dag.add_module(DataModule(name=f"d{index}",
+                                  size_gb=draw(st.floats(0.5, 20.0))))
+        reader = f"t{draw(st.integers(0, n_tasks - 1))}"
+        dag.add_edge(f"d{index}", reader,
+                     bytes_transferred=draw(st.integers(64, 1 << 20)))
+    return dag
+
+
+@given(random_apps(), st.integers(0, 3))
+@settings(max_examples=25, deadline=None)
+def test_random_apps_run_clean(dag, seed):
+    """Any valid random app: places without oversubscription, completes,
+    and returns every allocation."""
+    dag.validate()
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=4)))
+    result = runtime.run(dag, None, tenant=f"fuzz-{seed}")
+    assert result.total_failures == 0
+    datacenter = runtime.datacenter
+    for device in datacenter.devices:
+        assert device.used <= device.spec.capacity + 1e-9
+    for pool in datacenter.pools:
+        assert pool.total_used == pytest.approx(0.0)
+    assert result.makespan_s >= 0
+    assert result.total_cost >= 0

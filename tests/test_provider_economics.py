@@ -1,0 +1,143 @@
+"""Tests for provider-side profit accounting and runtime network ordering."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.economics.provider import (
+    COST_OF_GOODS_FRACTION,
+    ProviderLedger,
+    account_run,
+    powered_devices,
+)
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+
+def small_app(name="app"):
+    app = AppBuilder(name)
+
+    @app.task(name="work", work=10.0)
+    def work(ctx):
+        return None
+
+    return app.build()
+
+
+DEFINITION = {"work": {"resource": {"device": "cpu", "amount": 4}}}
+
+
+# ------------------------------------------------------------ provider ledger
+
+
+def test_ledger_arithmetic():
+    ledger = ProviderLedger(revenue=100.0, capacity_cost=70.0,
+                            powered_device_hours=10.0, tenant_count=5)
+    assert ledger.profit == pytest.approx(30.0)
+    assert ledger.margin == pytest.approx(0.3)
+    scaled = ledger.at_multiplier(1.2)
+    assert scaled.revenue == pytest.approx(120.0)
+    assert scaled.capacity_cost == pytest.approx(70.0)
+    with pytest.raises(ValueError):
+        ledger.at_multiplier(0)
+
+
+def test_powered_snapshot_and_accounting():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    submissions = [
+        runtime.submit(small_app(f"a{i}"), DEFINITION, tenant=f"t{i}")
+        for i in range(4)
+    ]
+    powered = powered_devices(runtime.datacenter)
+    assert powered  # devices are active mid-run
+    results = runtime.drain()
+    window = max(r.makespan_s for r in results)
+    ledger = account_run(runtime.datacenter, results, window,
+                         powered_device_ids=powered)
+    assert ledger.revenue == pytest.approx(sum(r.total_cost for r in results))
+    assert ledger.tenant_count == 4
+    assert ledger.powered_device_hours == pytest.approx(
+        len(powered) * window / 3600.0)
+    assert ledger.capacity_cost > 0
+
+
+def test_consolidation_shrinks_capacity_cost_not_revenue():
+    """The §2 claim in ledger form: same revenue, fewer powered devices."""
+    # Consolidated: 4 tenants on one DC.
+    shared = UDCRuntime(build_datacenter(SPEC))
+    for index in range(4):
+        shared.submit(small_app(f"a{index}"), DEFINITION, tenant=f"t{index}")
+    shared_powered = powered_devices(shared.datacenter)
+    shared_results = shared.drain()
+    window = max(r.makespan_s for r in shared_results)
+    shared_ledger = account_run(shared.datacenter, shared_results, window,
+                                powered_device_ids=shared_powered)
+
+    # Dedicated: each tenant on its own DC (sum the ledgers).
+    dedicated_revenue = dedicated_cost = dedicated_hours = 0.0
+    for index in range(4):
+        runtime = UDCRuntime(build_datacenter(SPEC))
+        runtime.submit(small_app(f"a{index}"), DEFINITION, tenant=f"t{index}")
+        powered = powered_devices(runtime.datacenter)
+        results = runtime.drain()
+        ledger = account_run(runtime.datacenter, results, window,
+                             powered_device_ids=powered)
+        dedicated_revenue += ledger.revenue
+        dedicated_cost += ledger.capacity_cost
+        dedicated_hours += ledger.powered_device_hours
+
+    assert shared_ledger.revenue == pytest.approx(dedicated_revenue, rel=0.01)
+    assert shared_ledger.powered_device_hours < dedicated_hours
+    assert shared_ledger.capacity_cost < dedicated_cost
+    assert shared_ledger.profit > dedicated_revenue - dedicated_cost
+
+
+def test_account_run_validation():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    with pytest.raises(ValueError):
+        account_run(runtime.datacenter, [], 0.0)
+
+
+def test_cost_of_goods_fraction_sane():
+    assert 0 < COST_OF_GOODS_FRACTION < 1
+
+
+# ------------------------------------------------------ runtime network ordering
+
+
+def sequential_store_app():
+    app = AppBuilder("ordered")
+
+    @app.task(name="writer", work=2.0)
+    def writer(ctx):
+        return None
+
+    ledger = app.data("ledger", size_gb=2)
+    app.writes("writer", ledger, bytes_per_run=1 << 20)
+    return app.build()
+
+
+LEDGER_DEF = {"ledger": {"resource": "ssd",
+                         "distributed": {"replication": 3,
+                                         "consistency": "sequential"}}}
+
+
+def test_runtime_network_ordering_wires_sequencer():
+    runtime = UDCRuntime(build_datacenter(SPEC), use_network_ordering=True)
+    result = runtime.run(sequential_store_app(), LEDGER_DEF)
+    store = result.objects["ledger"].store
+    assert store.sequencer is not None
+    # The write went through the switch: replicas advanced their sequence.
+    assert all(r.next_sequence >= 1 for r in store.replicas)
+    assert result.total_failures == 0
+
+
+def test_runtime_without_network_ordering_uses_primary():
+    runtime = UDCRuntime(build_datacenter(SPEC), use_network_ordering=False)
+    result = runtime.run(sequential_store_app(), LEDGER_DEF)
+    store = result.objects["ledger"].store
+    assert store.sequencer is None
+    assert all(r.next_sequence == 0 for r in store.replicas)
+    # Data still reached every replica via the primary protocol.
+    assert all(r.data for r in store.replicas)

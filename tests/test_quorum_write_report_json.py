@@ -1,0 +1,108 @@
+"""Tests for W-quorum writes and RunResult JSON export."""
+
+import json
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.distsem.consistency import ConsistencyLevel
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+CLIENT = Location(0, 0, 99)
+
+
+def make_store(factor=3):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+        10, "t", ReplicationPolicy(factor=factor))
+    return dc, ReplicatedStore(dc.sim, dc.fabric, "S", placement,
+                               ConsistencyLevel.EVENTUAL)
+
+
+def run(dc, generator):
+    process = dc.sim.process(generator)
+    return dc.sim.run(until_event=process)
+
+
+# ------------------------------------------------------------ write quorum
+
+
+def test_write_quorum_acks_at_w():
+    dc, store = make_store()
+    stats = run(dc, store.write_quorum(CLIENT, "k", b"v", 512, quorum=2))
+    assert stats.op == "write-quorum"
+    assert stats.served_by == "quorum-2"
+    applied = sum(1 for r in store.replicas if "k" in r.data)
+    assert applied >= 2
+    dc.sim.run()  # stragglers finish in the background
+    assert all("k" in r.data for r in store.replicas)
+
+
+def test_w1_faster_than_w3():
+    dc1, store1 = make_store()
+    w1 = run(dc1, store1.write_quorum(CLIENT, "k", b"v", 512, quorum=1))
+    dc3, store3 = make_store()
+    w3 = run(dc3, store3.write_quorum(CLIENT, "k", b"v", 512, quorum=3))
+    assert w1.latency_s < w3.latency_s
+
+
+def test_r_plus_w_over_n_reads_latest():
+    """W=2, R=2, N=3: a quorum read after a quorum write sees the write."""
+    dc, store = make_store(factor=3)
+
+    def scenario():
+        yield dc.sim.process(
+            store.write_quorum(CLIENT, "k", b"newest", 512, quorum=2))
+        value, stats = yield dc.sim.process(
+            store.read_quorum(CLIENT, "k", quorum=2))
+        return value, stats
+
+    value, stats = run(dc, scenario())
+    assert value == b"newest"
+
+
+def test_write_quorum_validation():
+    dc, store = make_store()
+    with pytest.raises(ValueError):
+        list(store.write_quorum(CLIENT, "k", b"v", 512, quorum=0))
+    with pytest.raises(ValueError):
+        list(store.write_quorum(CLIENT, "k", b"v", 512, quorum=9))
+
+
+def test_write_quorum_default_is_majority():
+    dc, store = make_store(factor=3)
+    stats = run(dc, store.write_quorum(CLIENT, "k", b"v", 512))
+    assert stats.served_by == "quorum-2"
+
+
+# ------------------------------------------------------------ report JSON
+
+
+def test_run_result_json_roundtrip():
+    app = AppBuilder("jsonable")
+
+    @app.task(name="t", work=2.0)
+    def t(ctx):
+        return 1
+
+    store = app.data("d", size_gb=1)
+    app.writes("t", store)
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=4)))
+    result = runtime.run(
+        app.build(),
+        {"d": {"distributed": {"replication": 2}}},
+    )
+    payload = json.loads(json.dumps(result.to_json_dict()))
+    assert payload["app"] == "jsonable"
+    assert payload["total_failures"] == 0
+    assert payload["makespan_s"] > 0
+    modules = {m["name"]: m for m in payload["modules"]}
+    assert modules["d"]["replication"] == 2
+    assert modules["t"]["kind"] == "task"
+    assert isinstance(payload["conflicts_resolved"], dict)

@@ -1,0 +1,109 @@
+"""Tests for the release-consistency acquire operation."""
+
+import pytest
+
+from repro.distsem.consistency import ConsistencyLevel, OpPreference
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+CLIENT = Location(0, 0, 99)
+
+
+def make_rc_store():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=4))
+    placement = ReplicaPlacer(dc.pool(DeviceType.SSD)).place(
+        10, "t", ReplicationPolicy(factor=3))
+    store = ReplicatedStore(
+        dc.sim, dc.fabric, "S", placement,
+        ConsistencyLevel.RELEASE, OpPreference.READER,
+    )
+    return dc, store
+
+
+def run(dc, generator):
+    process = dc.sim.process(generator)
+    return dc.sim.run(until_event=process)
+
+
+def test_acquire_syncs_released_writes():
+    dc, store = make_rc_store()
+    backup_client = store.backups[0].location
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "k", b"v1", 512))
+        yield dc.sim.process(store.release(CLIENT))
+        # A second released write that propagation missed? Manufacture a
+        # gap: write v2 then release only to see both flows work.
+        yield dc.sim.process(store.write(CLIENT, "k", b"v2", 512))
+        yield dc.sim.process(store.release(CLIENT))
+        yield dc.sim.process(store.acquire(backup_client))
+        value, stats = yield dc.sim.process(store.read(backup_client, "k"))
+        return value, stats
+
+    value, stats = run(dc, scenario())
+    assert value == b"v2"
+    assert stats.staleness == 0
+
+
+def test_acquire_does_not_leak_unreleased_writes():
+    dc, store = make_rc_store()
+    backup_client = store.backups[0].location
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "k", b"secret-draft", 512))
+        # NOT released yet.
+        yield dc.sim.process(store.acquire(backup_client))
+        value, _stats = yield dc.sim.process(store.read(backup_client, "k"))
+        return value
+
+    value = run(dc, scenario())
+    assert value is None  # unreleased write invisible at the replica
+
+
+def test_acquire_after_manual_divergence_repairs():
+    dc, store = make_rc_store()
+    backup = store.backups[0]
+
+    # Released state exists at the primary only (simulate a missed batch).
+    version = store._next_version("k")
+    store.primary.apply("k", version, b"released-state")
+
+    def scenario():
+        stats = yield dc.sim.process(store.acquire(backup.location))
+        return stats
+
+    stats = run(dc, scenario())
+    assert backup.data["k"][1] == b"released-state"
+    assert stats.messages == 2
+    assert stats.bytes_moved > 0
+
+
+def test_acquire_on_primary_rack_is_free():
+    dc, store = make_rc_store()
+    primary_client = store.primary.location
+
+    def scenario():
+        stats = yield dc.sim.process(store.acquire(primary_client))
+        return stats
+
+    stats = run(dc, scenario())
+    assert stats.messages == 0
+    assert stats.latency_s == 0.0
+
+
+def test_acquire_noop_when_in_sync():
+    dc, store = make_rc_store()
+    backup_client = store.backups[0].location
+
+    def scenario():
+        yield dc.sim.process(store.write(CLIENT, "k", b"v", 512))
+        yield dc.sim.process(store.release(CLIENT))
+        first = yield dc.sim.process(store.acquire(backup_client))
+        second = yield dc.sim.process(store.acquire(backup_client))
+        return first, second
+
+    first, second = run(dc, scenario())
+    assert second.messages == 0  # already in sync

@@ -1,0 +1,90 @@
+"""Tests for runtime-driven store healing after device failures."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.runtime import UDCRuntime
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+
+def app_with_store():
+    app = AppBuilder("durable")
+
+    @app.task(name="writer", work=5.0)
+    def writer(ctx):
+        return None
+
+    @app.task(name="reader", work=60.0)
+    def reader(ctx):
+        return "read-ok"
+
+    vault = app.data("vault", size_gb=5)
+    app.writes("writer", vault, bytes_per_run=1 << 20)
+    app.reads("reader", vault, bytes_per_run=1 << 20)
+    return app.build()
+
+
+DEFINITION = {
+    "vault": {"resource": "ssd",
+              "distributed": {"replication": 3, "consistency": "sequential"}},
+    "reader": {"distributed": {"checkpoint": True}},
+}
+
+
+def test_store_healed_after_domain_failure():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(
+        app_with_store(), DEFINITION,
+        # Replicas default to independent domains; kill just one.
+        failure_plan=[(10.0, "fd:vault:r1")],
+    )
+    heals = result.telemetry.events_of("heal")
+    assert heals, "store was not healed after its domain failed"
+    vault = result.objects["vault"]
+    # Replication factor restored on live devices.
+    live = [a for a in vault.store.replicas if not a.device.failed]
+    assert len(live) == 3
+    # Pipeline still completed.
+    assert result.outputs["reader"] == "read-ok"
+
+
+def test_healing_rebills_correctly():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(
+        app_with_store(), DEFINITION,
+        failure_plan=[(10.0, "fd:vault:r1")],
+    )
+    # Every meter closed exactly once: no leaked owners or ledgers.
+    assert not runtime._owner_of
+    assert all(not s.cost_ledger for s in runtime._submissions)
+    # Replacement replicas were released at teardown too.
+    ssd_pool = runtime.datacenter.pool(DeviceType.SSD)
+    live_used = sum(d.used for d in ssd_pool.devices if not d.failed)
+    assert live_used == 0.0
+
+
+def test_total_data_loss_reported_not_crashed():
+    """An explicitly shared failure domain couples all replicas — the
+    user's own declaration can defeat replication (and UDC reports it)."""
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    definition = {
+        "vault": {"resource": "ssd",
+                  "distributed": {"replication": 3,
+                                  "failure_domain": "one-basket"}},
+    }
+    result = runtime.run(
+        app_with_store(), definition,
+        failure_plan=[(10.0, "one-basket")],
+    )
+    losses = result.telemetry.events_of("data-loss")
+    assert losses and "vault" in {e.module for e in losses}
+
+
+def test_no_heal_without_failures():
+    runtime = UDCRuntime(build_datacenter(SPEC))
+    result = runtime.run(app_with_store(), DEFINITION)
+    assert not result.telemetry.events_of("heal")
+    assert not result.telemetry.events_of("data-loss")

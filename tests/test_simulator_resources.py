@@ -1,0 +1,228 @@
+"""Unit tests for Store, Gate, and CapacityResource."""
+
+import pytest
+
+from repro.simulator import CapacityResource, Gate, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Store
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def worker():
+        yield store.put("item")
+        value = yield store.get()
+        return value
+
+    process = sim.process(worker())
+    assert sim.run(until_event=process) == "item"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        value = yield store.get()
+        return (value, sim.now)
+
+    def producer():
+        yield sim.timeout(3.0)
+        yield store.put("late")
+
+    consumer_p = sim.process(consumer())
+    sim.process(producer())
+    assert sim.run(until_event=consumer_p) == ("late", 3.0)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for index in range(3):
+        store.put(index)
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            value = yield store.get()
+            received.append(value)
+
+    process = sim.process(consumer())
+    sim.run(until_event=process)
+    assert received == [0, 1, 2]
+
+
+def test_store_getters_served_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    results = {}
+
+    def consumer(tag):
+        value = yield store.get()
+        results[tag] = value
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    sim.run(until=0.5)
+    store.put("a")
+    store.put("b")
+    sim.run(until=1.0)
+    assert results == {"first": "a", "second": "b"}
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    progress = []
+
+    def producer():
+        yield store.put("x")
+        progress.append(("x", sim.now))
+        yield store.put("y")
+        progress.append(("y", sim.now))
+
+    def consumer():
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    producer_p = sim.process(producer())
+    sim.process(consumer())
+    sim.run(until_event=producer_p)
+    assert progress[0] == ("x", 0.0)
+    assert progress[1][1] == 5.0  # second put admitted when capacity freed
+
+
+def test_store_capacity_validation():
+    with pytest.raises(SimulationError):
+        Store(Simulator(), capacity=0)
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+# ---------------------------------------------------------------- Gate
+
+
+def test_gate_open_releases_all_waiters():
+    sim = Simulator()
+    gate = Gate(sim)
+    released = []
+
+    def waiter(tag):
+        yield gate.wait()
+        released.append((tag, sim.now))
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    sim.call_at(2.0, gate.open)
+    sim.run()
+    assert released == [("a", 2.0), ("b", 2.0)]
+
+
+def test_open_gate_does_not_block():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+
+    def waiter():
+        yield gate.wait()
+        return sim.now
+
+    process = sim.process(waiter())
+    assert sim.run(until_event=process) == 0.0
+
+
+def test_gate_reclose():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    gate.close()
+    assert not gate.is_open
+    event = gate.wait()
+    assert not event.triggered
+    gate.open()
+    assert event.triggered
+
+
+# ---------------------------------------------------------------- CapacityResource
+
+
+def test_capacity_acquire_release():
+    sim = Simulator()
+    resource = CapacityResource(sim, capacity=2)
+
+    def worker():
+        yield resource.acquire(2)
+        assert resource.available == 0
+        resource.release(2)
+        return resource.available
+
+    process = sim.process(worker())
+    assert sim.run(until_event=process) == 2
+
+
+def test_capacity_blocks_when_full():
+    sim = Simulator()
+    resource = CapacityResource(sim, capacity=1)
+    timeline = []
+
+    def holder():
+        yield resource.acquire()
+        yield sim.timeout(4.0)
+        resource.release()
+
+    def waiter():
+        yield resource.acquire()
+        timeline.append(sim.now)
+        resource.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert timeline == [4.0]
+
+
+def test_capacity_no_overtaking():
+    """A small request queued behind a large one must not jump the queue."""
+    sim = Simulator()
+    resource = CapacityResource(sim, capacity=4)
+    order = []
+
+    def holder():
+        yield resource.acquire(4)
+        yield sim.timeout(1.0)
+        resource.release(4)
+
+    def big():
+        yield resource.acquire(3)
+        order.append("big")
+        resource.release(3)
+
+    def small():
+        yield resource.acquire(1)
+        order.append("small")
+        resource.release(1)
+
+    sim.process(holder())
+    sim.process(big())
+    sim.process(small())
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        CapacityResource(sim, capacity=0)
+    resource = CapacityResource(sim, capacity=2)
+    with pytest.raises(SimulationError):
+        resource.acquire(3)
+    with pytest.raises(SimulationError):
+        resource.release(1)  # nothing held

@@ -1,0 +1,104 @@
+"""Tests for multi-device split allocations ("arbitrary amounts", §1)."""
+
+import pytest
+
+from repro.appmodel.annotations import AppBuilder
+from repro.core.bundle import REMOTE_SHARD_EFFICIENCY
+from repro.core.runtime import UDCRuntime
+from repro.core.scheduler import SchedulerError
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+
+
+def gpu_app(name="big", work=400.0):
+    app = AppBuilder(name)
+
+    @app.task(name="train", work=work, devices={DeviceType.GPU})
+    def train(ctx):
+        return "trained"
+
+    return app.build()
+
+
+def run_with_gpus(amount, racks=4):
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=racks)))
+    result = runtime.run(
+        gpu_app(), {"train": {"resource": {"device": "gpu",
+                                           "amount": amount}}},
+    )
+    return runtime, result
+
+
+def test_request_beyond_one_device_splits():
+    """A 20-GPU job splits across three 8-GPU boards."""
+    runtime, result = run_with_gpus(20)
+    train = result.objects["train"]
+    gpu_allocs = [a for a in train.allocations
+                  if a.device_type == DeviceType.GPU]
+    assert len(gpu_allocs) == 3
+    assert sum(a.amount for a in gpu_allocs) == 20
+    devices = {a.device.device_id for a in gpu_allocs}
+    assert len(devices) == 3
+    assert result.outputs["train"] == "trained"
+    events = result.telemetry.events_of("split-allocation")
+    assert events and "3 devices" in events[0].detail
+
+
+def test_split_pays_gang_efficiency_tax():
+    """20 GPUs across 3 boards run slower than a hypothetical single
+    20-GPU board, but still much faster than 8 GPUs on one board."""
+    _rt20, result20 = run_with_gpus(20)
+    _rt8, result8 = run_with_gpus(8)
+    t20 = result20.objects["train"].record.compute_s
+    t8 = result8.objects["train"].record.compute_s
+    # Effective capacity: 8 + 0.9*12 = 18.8 vs 8 -> ~2.35x faster.
+    assert t20 < t8
+    effective = 8 + REMOTE_SHARD_EFFICIENCY * 12
+    expected = t8 * 8 / effective
+    assert t20 == pytest.approx(expected, rel=0.01)
+
+
+def test_split_billed_in_full():
+    """All shards are metered; the effective-capacity discount is a
+    performance fact, not a billing one."""
+    runtime, result = run_with_gpus(16)
+    # 16 GPU-units for compute_s + overheads; 16 > 8's bill.
+    _rt8, result8 = run_with_gpus(8)
+    per_second_16 = result.total_cost / result.makespan_s
+    per_second_8 = result8.total_cost / result8.makespan_s
+    assert per_second_16 > per_second_8 * 1.8
+
+
+def test_split_releases_all_shards():
+    runtime, _result = run_with_gpus(20)
+    assert runtime.datacenter.pool(DeviceType.GPU).total_used == 0.0
+    assert not runtime._owner_of
+
+
+def test_split_impossible_when_pool_exhausted():
+    # 2 racks x 2 GPU devices x 8 = 32 total; ask for 40.
+    with pytest.raises(SchedulerError):
+        run_with_gpus(40, racks=2)
+
+
+def test_split_rollback_leaves_pool_clean():
+    runtime = UDCRuntime(build_datacenter(DatacenterSpec(pods=1,
+                                                         racks_per_pod=2)))
+    pool = runtime.datacenter.pool(DeviceType.GPU)
+    with pytest.raises(SchedulerError):
+        runtime.run(gpu_app(), {"train": {"resource": {"device": "gpu",
+                                                       "amount": 40}}})
+    assert pool.total_used == 0.0
+
+
+def test_shards_prefer_one_rack():
+    runtime, result = run_with_gpus(20)
+    gpu_allocs = [a for a in result.objects["train"].allocations
+                  if a.device_type == DeviceType.GPU]
+    racks = {(a.device.location.pod, a.device.location.rack)
+             for a in gpu_allocs}
+    # 2 GPU devices per rack -> 3 shards need 2 racks, not 3.
+    assert len(racks) <= 2

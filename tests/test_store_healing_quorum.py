@@ -1,0 +1,198 @@
+"""Tests for quorum reads, read-repair, replica healing, and pool
+defragmentation."""
+
+import pytest
+
+from repro.core.telemetry import Telemetry
+from repro.core.tuner import FineTuner
+from repro.distsem.consistency import ConsistencyLevel
+from repro.distsem.replication import ReplicaPlacer, ReplicationPolicy
+from repro.distsem.store import ReplicatedStore
+from repro.hardware.devices import DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+
+CLIENT = Location(0, 0, 99)
+
+
+def make_store(factor=3, racks=4, consistency=ConsistencyLevel.EVENTUAL):
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=racks))
+    placer = ReplicaPlacer(dc.pool(DeviceType.SSD))
+    placement = placer.place(10, "t", ReplicationPolicy(factor=factor))
+    store = ReplicatedStore(dc.sim, dc.fabric, "S", placement, consistency)
+    return dc, placer, store
+
+
+def run(dc, generator):
+    process = dc.sim.process(generator)
+    return dc.sim.run(until_event=process)
+
+
+def _write_without_propagation(dc, store, key, value):
+    """Apply a write at one replica only (manufactures staleness)."""
+    version = store._next_version(key)
+    store.replicas[0].apply(key, version, value)
+    return version
+
+
+# ------------------------------------------------------------ quorum reads
+
+
+def test_quorum_read_returns_freshest_in_quorum():
+    dc, _placer, store = make_store()
+    _write_without_propagation(dc, store, "k", b"v1")
+
+    value, stats = run(dc, store.read_quorum(CLIENT, "k", quorum=3))
+    assert value == b"v1"
+    assert stats.staleness == 0
+    assert stats.op == "read-quorum"
+
+
+def test_quorum_read_costs_scale_with_quorum():
+    dc1, _p1, store1 = make_store()
+    run(dc1, store1.write(CLIENT, "k", b"v", 512))
+    _value, one = run(dc1, store1.read_quorum(CLIENT, "k", quorum=1))
+    dc3, _p3, store3 = make_store()
+    run(dc3, store3.write(CLIENT, "k", b"v", 512))
+    _value, three = run(dc3, store3.read_quorum(CLIENT, "k", quorum=3))
+    assert three.messages > one.messages
+
+
+def test_quorum_read_repairs_stale_members():
+    dc, _placer, store = make_store()
+    _write_without_propagation(dc, store, "k", b"fresh")
+    assert all("k" not in b.data for b in store.backups)
+
+    value, _stats = run(dc, store.read_quorum(CLIENT, "k", quorum=3))
+    assert value == b"fresh"
+    dc.sim.run()  # drain repair traffic
+    for replica in store.replicas:
+        assert replica.data["k"][1] == b"fresh"
+
+
+def test_quorum_validation():
+    dc, _placer, store = make_store()
+    with pytest.raises(ValueError):
+        list(store.read_quorum(CLIENT, "k", quorum=0))
+    with pytest.raises(ValueError):
+        list(store.read_quorum(CLIENT, "k", quorum=9))
+
+
+def test_quorum_read_missing_key_returns_none():
+    dc, _placer, store = make_store()
+    value, stats = run(dc, store.read_quorum(CLIENT, "ghost"))
+    assert value is None
+    assert stats.staleness == 0
+
+
+# ------------------------------------------------------------ healing
+
+
+def test_heal_rebuilds_failed_replica():
+    dc, placer, store = make_store(factor=3)
+    run(dc, store.write(CLIENT, "k", b"precious", 512))
+    dc.sim.run()
+    casualty = store.replicas[1]
+    casualty.device.failed = True
+
+    rebuilt = store.heal(placer)
+    assert rebuilt == 1
+    dc.sim.run()  # state transfer
+    assert len(store.live_replicas()) == 3
+    replacement = store.replicas[1]
+    assert replacement.device is not casualty.device
+    assert replacement.data["k"][1] == b"precious"
+
+
+def test_heal_prefers_new_rack():
+    dc, placer, store = make_store(factor=2, racks=4)
+    store.replicas[1].device.failed = True
+    store.heal(placer)
+    survivor_rack = (store.replicas[0].location.pod,
+                     store.replicas[0].location.rack)
+    new_rack = (store.replicas[1].location.pod,
+                store.replicas[1].location.rack)
+    assert new_rack != survivor_rack
+
+
+def test_heal_noop_without_failures():
+    dc, placer, store = make_store()
+    assert store.heal(placer) == 0
+
+
+def test_heal_with_no_survivors_raises():
+    dc, placer, store = make_store(factor=1)
+    store.replicas[0].device.failed = True
+    with pytest.raises(RuntimeError, match="no surviving"):
+        store.heal(placer)
+
+
+def test_healed_store_serves_reads():
+    dc, placer, store = make_store(factor=2,
+                                   consistency=ConsistencyLevel.SEQUENTIAL)
+    run(dc, store.write(CLIENT, "k", b"v", 512))
+    store.primary.device.failed = True
+    store.heal(placer)
+    dc.sim.run()
+    value, _stats = run(dc, store.read(CLIENT, "k"))
+    assert value == b"v"
+
+
+# ------------------------------------------------------------ defragmentation
+
+
+def make_tuner():
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2))
+    return dc, FineTuner(datacenter=dc, telemetry=Telemetry())
+
+
+def test_defragment_drains_emptiest_devices():
+    dc, tuner = make_tuner()
+    pool = dc.pool(DeviceType.CPU)
+    # Scatter small allocations across many devices.
+    allocations = []
+    for index in range(6):
+        allocations.append(pool.allocate(2, "t", device=pool.devices[index]))
+    used_devices_before = sum(1 for d in pool.devices if d.used > 0)
+    drained = tuner.defragment(DeviceType.CPU)
+    used_devices_after = sum(1 for d in pool.devices if d.used > 0)
+    assert drained > 0
+    assert used_devices_after < used_devices_before
+    assert pool.total_used == 12  # nothing lost
+    for allocation in allocations:
+        assert allocation.alloc_id in allocation.device.allocations
+
+
+def test_defragment_never_moves_single_tenant():
+    dc, tuner = make_tuner()
+    pool = dc.pool(DeviceType.CPU)
+    pinned = pool.allocate(1, "alice", single_tenant=True,
+                           device=pool.devices[0])
+    pool.allocate(16, "bob", device=pool.devices[1])
+    device_before = pinned.device
+    tuner.defragment(DeviceType.CPU)
+    assert pinned.device is device_before
+
+
+def test_defragment_disabled_tuner_noop():
+    dc, tuner = make_tuner()
+    tuner.enabled = False
+    pool = dc.pool(DeviceType.CPU)
+    pool.allocate(1, "t", device=pool.devices[0])
+    pool.allocate(1, "t", device=pool.devices[1])
+    assert tuner.defragment(DeviceType.CPU) == 0
+
+
+def test_defragment_accounting_consistent():
+    """After defrag, device-level sums still match the pool's view."""
+    dc, tuner = make_tuner()
+    pool = dc.pool(DeviceType.CPU)
+    for index in range(5):
+        pool.allocate(3, f"tenant-{index % 2}",
+                      device=pool.devices[index % 4])
+    before = pool.total_used
+    tuner.defragment(DeviceType.CPU)
+    assert pool.total_used == before
+    for device in pool.devices:
+        assert device.used == sum(device.allocations.values())
+        assert device.used <= device.spec.capacity + 1e-9

@@ -1,0 +1,108 @@
+"""Tests for workload generators and the medical app definition."""
+
+import pytest
+
+from repro.workloads.generators import (
+    ARCHETYPES,
+    heterogeneous_mix,
+    skewed_demands,
+)
+from repro.workloads.inference import poisson_inference_trace
+from repro.workloads.medical import build_medical_app, table1_definition
+
+
+def test_heterogeneous_mix_deterministic():
+    a = heterogeneous_mix(100, seed=5)
+    b = heterogeneous_mix(100, seed=5)
+    assert [d.name for d in a.demands] == [d.name for d in b.demands]
+    assert a.totals() == b.totals()
+    assert heterogeneous_mix(100, seed=6).totals() != a.totals()
+
+
+def test_heterogeneous_mix_shapes_valid():
+    mix = heterogeneous_mix(200, seed=1)
+    assert len(mix) == 200
+    for demand in mix.demands:
+        assert demand.cpus > 0 and demand.mem_gb > 0
+        assert demand.gpus == int(demand.gpus)  # whole GPUs
+        assert 0.55 <= demand.duty <= 0.95
+
+
+def test_archetype_weights_normalized_enough():
+    assert sum(a[4] for a in ARCHETYPES) == pytest.approx(1.0)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        heterogeneous_mix(-1)
+    with pytest.raises(ValueError):
+        heterogeneous_mix(1, duty_range=(0.9, 0.5))
+
+
+def test_skewed_mix_fractions():
+    mix = skewed_demands(1000, cpu_heavy_fraction=0.7, seed=2)
+    cpu_heavy = sum(1 for d in mix.demands if d.cpus == 8.0)
+    assert 600 < cpu_heavy < 800
+    with pytest.raises(ValueError):
+        skewed_demands(10, cpu_heavy_fraction=1.5)
+
+
+def test_inference_trace_rate_and_determinism():
+    trace = poisson_inference_trace(rate_hz=0.5, horizon_s=2000, seed=4)
+    # Expect ~1000 arrivals; allow generous slack.
+    assert 800 < len(trace) < 1200
+    assert trace.mean_interarrival_s == pytest.approx(2.0, rel=0.2)
+    again = poisson_inference_trace(rate_hz=0.5, horizon_s=2000, seed=4)
+    assert [r.arrival_s for r in again.requests] == \
+        [r.arrival_s for r in trace.requests]
+
+
+def test_inference_trace_sorted_and_bounded():
+    trace = poisson_inference_trace(rate_hz=0.1, horizon_s=500, seed=1)
+    arrivals = [r.arrival_s for r in trace.requests]
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= t < 500 for t in arrivals)
+
+
+def test_burstiness_increases_count():
+    calm = poisson_inference_trace(rate_hz=0.1, horizon_s=5000, seed=7)
+    bursty = poisson_inference_trace(rate_hz=0.1, horizon_s=5000, seed=7,
+                                     burstiness=0.5)
+    assert len(bursty) > len(calm)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        poisson_inference_trace(rate_hz=0, horizon_s=10)
+    with pytest.raises(ValueError):
+        poisson_inference_trace(rate_hz=1, horizon_s=10, burstiness=1.0)
+
+
+def test_medical_app_modules_match_figure2():
+    dag, definition = build_medical_app()
+    assert set(dag.modules) == {"A1", "A2", "A3", "A4", "B1", "B2",
+                                "S1", "S2", "S3", "S4"}
+    assert set(definition) == set(dag.modules)
+
+
+def test_table1_definition_parses():
+    from repro.core.spec import parse_definition
+
+    parsed = parse_definition(table1_definition())
+    assert parsed.bundle_for("S1").distributed.replication.factor == 3
+    assert parsed.bundle_for("A4").execenv.single_tenant
+
+
+def test_medical_dag_valid_and_staged():
+    dag, _definition = build_medical_app()
+    dag.validate()
+    stages = dag.task_stages()
+    flat = [name for stage in stages for name in stage]
+    assert sorted(flat) == ["A1", "A2", "A3", "A4", "B1", "B2"]
+    # A4 strictly after A2 and A3; B2 after B1.
+    position = {name: i for i, stage in enumerate(stages) for name in stage}
+    assert position["A4"] > position["A2"]
+    assert position["A4"] > position["A3"]
+    assert position["B2"] > position["B1"]
+    # B1 reads S1 which A4 writes: analytics follows diagnosis.
+    assert position["B1"] > position["A4"]
