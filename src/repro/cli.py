@@ -13,7 +13,11 @@ Subcommands:
 * ``udc partition GRAPH.json -k N`` — cut a legacy dependency graph into
   N segments (§4's migration path);
 * ``udc catalog DEMANDS.json`` — price a demand list against the 2021
-  instance catalog vs UDC exact billing (the E1 arithmetic).
+  instance catalog vs UDC exact billing (the E1 arithmetic);
+* ``udc chaos APP.json --faults FAULTS.json`` — run a program under a
+  deterministic fault schedule (crashes, stragglers, fabric partitions,
+  warm-pool exhaustion) and report how the declared resilience policies
+  absorbed it (the E22 harness).
 
 All input formats are documented in each handler's docstring; everything
 is plain JSON so non-Python frontends can target the same entry points.
@@ -226,6 +230,147 @@ def cmd_catalog(args) -> int:
     return 0
 
 
+def _apply_faults(runtime, faults: list, problems: List[str]) -> None:
+    """Schedule each fault entry against the runtime's injector.
+
+    Entries are dicts with a ``kind`` and kind-specific fields (see
+    :func:`cmd_chaos`); malformed entries are collected into ``problems``
+    rather than aborting mid-schedule.
+    """
+    from repro.hardware.fabric import Location
+
+    injector = runtime.injector
+    for index, fault in enumerate(faults):
+        if not isinstance(fault, dict):
+            problems.append(f"fault[{index}]: must be a mapping")
+            continue
+        kind = str(fault.get("kind", "crash"))
+        try:
+            if kind == "crash":
+                injector.fail_at(
+                    float(fault["at"]), str(fault["domain"]),
+                    repair_after=(
+                        float(fault["repair_after"])
+                        if fault.get("repair_after") is not None else None
+                    ),
+                )
+            elif kind == "slow":
+                injector.slow_at(
+                    float(fault["at"]), str(fault["domain"]),
+                    factor=float(fault.get("factor", 4.0)),
+                    duration_s=(
+                        float(fault["duration_s"])
+                        if fault.get("duration_s") is not None else None
+                    ),
+                )
+            elif kind == "partition":
+                pod_a, rack_a = fault["a"]
+                pod_b, rack_b = fault["b"]
+                injector.partition_at(
+                    float(fault["at"]),
+                    Location(int(pod_a), int(rack_a)),
+                    Location(int(pod_b), int(rack_b)),
+                    duration_s=(
+                        float(fault["duration_s"])
+                        if fault.get("duration_s") is not None else None
+                    ),
+                    stall_s=float(fault.get("stall_s", 30.0)),
+                )
+            elif kind == "warm-exhaust":
+                injector.exhaust_warm_pool_at(
+                    float(fault["at"]),
+                    duration_s=(
+                        float(fault["duration_s"])
+                        if fault.get("duration_s") is not None else None
+                    ),
+                )
+            elif kind == "random":
+                injector.random_failures(
+                    [str(d) for d in fault["domains"]],
+                    horizon_s=float(fault["horizon_s"]),
+                    mtbf_s=float(fault["mtbf_s"]),
+                    repair_after=(
+                        float(fault["repair_after"])
+                        if fault.get("repair_after") is not None else None
+                    ),
+                )
+            else:
+                problems.append(
+                    f"fault[{index}]: unknown kind {kind!r} (expected "
+                    f"crash/slow/partition/warm-exhaust/random)"
+                )
+        except KeyError as exc:
+            problems.append(f"fault[{index}] ({kind}): missing field {exc}")
+        except (TypeError, ValueError) as exc:
+            problems.append(f"fault[{index}] ({kind}): {exc}")
+
+
+def cmd_chaos(args) -> int:
+    """Execute an IR program under a deterministic fault schedule.
+
+    ``--faults FAULTS.json`` is a list of fault entries::
+
+        [
+          {"at": 5.0, "kind": "crash", "domain": "fd:job",
+           "repair_after": 10.0},
+          {"at": 5.0, "kind": "slow", "domain": "fd:job", "factor": 8,
+           "duration_s": 60.0},
+          {"at": 5.0, "kind": "partition", "a": [0, 0], "b": [0, 1],
+           "stall_s": 30.0, "duration_s": 60.0},
+          {"at": 5.0, "kind": "warm-exhaust", "duration_s": 120.0},
+          {"kind": "random", "domains": ["fd:job"], "horizon_s": 1000,
+           "mtbf_s": 200, "repair_after": 30.0}
+        ]
+
+    Task failure domains are named ``fd:<module>``.  The same ``--seed``
+    always produces the same run (the determinism the E22 benchmark
+    asserts); resilience aspects in ``--spec`` (retry/hedge/deadline_s)
+    determine how much of the schedule the application survives.
+    """
+    from repro.simulator.rng import RngRegistry
+
+    dag = load_program_file(args.app)
+    definition = None
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    faults = []
+    if args.faults:
+        with open(args.faults, "r", encoding="utf-8") as handle:
+            faults = json.load(handle)
+        if not isinstance(faults, list):
+            print("chaos: FAULTS.json must be a list of fault entries",
+                  file=sys.stderr)
+            return 2
+    runtime = UDCRuntime(
+        _build_dc(args),
+        warm_pool=WarmPool(enabled=args.warm),
+        prewarm=args.warm,
+        rng=RngRegistry(args.seed),
+    )
+    submission = runtime.submit(dag, definition, tenant=args.tenant)
+    problems: List[str] = []
+    _apply_faults(runtime, faults, problems)
+    if problems:
+        for problem in problems:
+            print(f"chaos: {problem}", file=sys.stderr)
+        return 2
+    runtime.drain()
+    result = submission.result
+    if args.json:
+        payload = result.to_json_dict()
+        payload["faults_injected"] = len(runtime.injector.injected)
+        payload["breaker_opens"] = runtime.breakers.opens
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(result.format_table())
+        print(f"\nchaos: {len(runtime.injector.injected)} fault(s) injected"
+              f"   breaker opens: {runtime.breakers.opens}"
+              f"   open now: {sorted(runtime.breakers.open_keys(runtime.sim.now))}")
+    return 0 if result.slo_violations == 0 else 3
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="udc",
@@ -281,6 +426,25 @@ def build_parser() -> argparse.ArgumentParser:
                                help="price demands against the 2021 catalog")
     catalog_p.add_argument("demands")
     catalog_p.set_defaults(handler=cmd_catalog)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="execute under a deterministic fault schedule (exit 3 on "
+             "SLO violation)",
+    )
+    chaos_p.add_argument("app", help="IR program JSON (IRProgram.to_dict)")
+    chaos_p.add_argument("--spec", help="declarative aspect spec JSON "
+                                        "(retry/hedge/deadline_s live here)")
+    chaos_p.add_argument("--faults", help="fault schedule JSON (see docs)")
+    chaos_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed for jitter/random faults (default 0)")
+    chaos_p.add_argument("--tenant", default="cli-tenant")
+    chaos_p.add_argument("--warm", action="store_true",
+                         help="enable warm bundled resource units")
+    chaos_p.add_argument("--json", action="store_true",
+                         help="emit the run summary as JSON")
+    _add_dc_args(chaos_p)
+    chaos_p.set_defaults(handler=cmd_chaos)
     return parser
 
 

@@ -19,6 +19,7 @@ from typing import Dict, Optional
 from repro.distsem.consistency import ConsistencyLevel, OpPreference
 from repro.distsem.recovery import RecoveryStrategy
 from repro.distsem.replication import ReplicationPolicy
+from repro.distsem.resilience import HedgePolicy, RetryPolicy
 from repro.execenv.environments import EnvKind
 from repro.execenv.isolation import IsolationLevel
 from repro.execenv.protection import ProtectionPolicy
@@ -134,11 +135,22 @@ class DistributedAspect:
     checkpoint_interval: float = 0.25
     failure_domain: Optional[str] = None
     data_consistency: Dict[str, ConsistencyLevel] = field(default_factory=dict)
+    #: bounded re-execution with backoff (None = provider's crash-recovery
+    #: attempt cap, no backoff)
+    retry: Optional[RetryPolicy] = None
+    #: abandon the module and report an SLO violation past this wall time
+    deadline_s: Optional[float] = None
+    #: speculative duplicate execution against stragglers
+    hedge: Optional[HedgePolicy] = None
 
     def __post_init__(self):
         if not 0.0 < self.checkpoint_interval <= 1.0:
             raise ValueError(
                 f"checkpoint_interval must be in (0, 1], got {self.checkpoint_interval}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
             )
         if self.checkpoint and self.recovery is None:
             # Checkpointing without a recovery strategy implies restore.

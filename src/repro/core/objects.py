@@ -38,6 +38,19 @@ class ExecutionRecord:
     recovered_from_progress: float = 0.0
     migrations: int = 0
     result: object = None
+    #: re-executions performed under a RetryPolicy (or the provider's
+    #: default crash-recovery loop)
+    retries: int = 0
+    #: seconds spent waiting in retry backoff
+    backoff_s: float = 0.0
+    #: speculative duplicates launched under a HedgePolicy
+    hedges: int = 0
+    #: True when a hedge (not the primary) produced the winning result
+    hedge_won: bool = False
+    #: True when the module was abandoned at its deadline (SLO violation)
+    deadline_missed: bool = False
+    #: "primary" | "hedge" | "" — which attempt finished the module
+    winner: str = ""
 
     @property
     def wall_s(self) -> float:

@@ -38,6 +38,10 @@ class ModuleRow:
     checkpoint_s: float = 0.0
     failures: int = 0
     cost: float = 0.0
+    retries: int = 0
+    hedges: int = 0
+    hedge_won: bool = False
+    deadline_missed: bool = False
 
 
 @dataclass
@@ -74,6 +78,19 @@ class RunResult:
     def total_failures(self) -> int:
         return sum(r.failures for r in self.rows)
 
+    @property
+    def total_retries(self) -> int:
+        return sum(r.retries for r in self.rows)
+
+    @property
+    def total_hedges(self) -> int:
+        return sum(r.hedges for r in self.rows)
+
+    @property
+    def slo_violations(self) -> int:
+        """Modules abandoned at their deadline (the SLO miss count)."""
+        return sum(1 for r in self.rows if r.deadline_missed)
+
     def to_json_dict(self) -> Dict:
         """Serializable summary for dashboards/external tooling.
 
@@ -86,6 +103,9 @@ class RunResult:
             "makespan_s": self.makespan_s,
             "total_cost": self.total_cost,
             "total_failures": self.total_failures,
+            "total_retries": self.total_retries,
+            "total_hedges": self.total_hedges,
+            "slo_violations": self.slo_violations,
             "fabric_messages": self.fabric_messages,
             "fabric_bytes": self.fabric_bytes,
             "warm_hits": self.warm_hits,
@@ -112,6 +132,10 @@ class RunResult:
                     "protection_s": row.protection_s,
                     "checkpoint_s": row.checkpoint_s,
                     "failures": row.failures,
+                    "retries": row.retries,
+                    "hedges": row.hedges,
+                    "hedge_won": row.hedge_won,
+                    "deadline_missed": row.deadline_missed,
                     "cost": row.cost,
                 }
                 for row in self.rows
@@ -140,4 +164,10 @@ class RunResult:
             f"   failures: {self.total_failures}"
             f"   fabric: {self.fabric_messages} msgs / {self.fabric_bytes} B"
         )
+        if self.total_retries or self.total_hedges or self.slo_violations:
+            lines.append(
+                f"resilience: {self.total_retries} retries   "
+                f"{self.total_hedges} hedges   "
+                f"{self.slo_violations} SLO violation(s)"
+            )
         return "\n".join(lines)

@@ -43,9 +43,14 @@ from repro.core.telemetry import Telemetry
 from repro.core.tuner import FineTuner
 from repro.core.verify import FulfillmentRecord
 from repro.distsem.checkpoint import CheckpointStore
-from repro.distsem.failures import FailureInjector
+from repro.distsem.failures import Failure, FailureInjector
 from repro.distsem.network_order import SwitchSequencer
 from repro.distsem.recovery import RecoveryStrategy, plan_recovery
+from repro.distsem.resilience import (
+    CircuitBreakerRegistry,
+    DeadlineMiss,
+    HedgeCancelled,
+)
 from repro.distsem.store import ReplicatedStore
 from repro.execenv.attestation import HardwareRootOfTrust, Measurement
 from repro.execenv.environments import ENV_PROFILES, EnvKind, EnvState
@@ -53,7 +58,8 @@ from repro.execenv.protection import ProtectionPolicy
 from repro.execenv.warmpool import WarmPool
 from repro.hardware.devices import DeviceType
 from repro.hardware.topology import Datacenter
-from repro.simulator.engine import Event, Interrupt
+from repro.simulator.engine import Event, Interrupt, Process
+from repro.simulator.rng import RngRegistry
 
 __all__ = ["RuntimeError_", "UDCRuntime"]
 
@@ -76,6 +82,11 @@ class _LiveTask:
     completion: Event
     declared_amount: float
     domain_name: str = ""
+    #: the primary simulator process executing this task
+    process: Optional[Process] = None
+    #: live speculative duplicate, if a HedgePolicy launched one
+    hedge_process: Optional[Process] = None
+    hedge_placement: Optional[TaskPlacement] = None
 
 
 @dataclass
@@ -116,7 +127,17 @@ class Submission:
 
     @property
     def done(self) -> bool:
-        return self.finished is None or self.finished.processed
+        """True once every task completion has fired.
+
+        A submission that never started (still pending/queued, or
+        unplaceable — ``finished`` never built) is NOT done; only a
+        deployed app with zero task modules is trivially done.
+        """
+        if self.finished is not None:
+            return self.finished.processed
+        # No completion event exists: done only if deployment finished
+        # and produced no task completions (a data-only application).
+        return self.status in ("running", "done") and not self.completions
 
 
 @dataclass
@@ -141,6 +162,8 @@ class UDCRuntime:
         prewarm: bool = False,
         use_network_ordering: bool = False,
         max_recovery_attempts: int = 3,
+        rng: Optional[RngRegistry] = None,
+        breakers: Optional[CircuitBreakerRegistry] = None,
     ):
         self.datacenter = datacenter
         self.sim = datacenter.sim
@@ -148,19 +171,31 @@ class UDCRuntime:
         self.prewarm = prewarm
         self.use_network_ordering = use_network_ordering
         self.max_recovery_attempts = max_recovery_attempts
+        #: run-seed registry: retry jitter and failure schedules draw
+        #: named streams from here, so one seed reproduces a whole run
+        self.rng = rng if rng is not None else RngRegistry(0)
 
         self.telemetry = Telemetry()
         self.warm_pool = warm_pool if warm_pool is not None else WarmPool(enabled=False)
         self.bundles = BundleManager(warm_pool=self.warm_pool)
+        self.breakers = (
+            breakers if breakers is not None else CircuitBreakerRegistry()
+        )
         self.scheduler = UdcScheduler(
             datacenter, self.bundles, telemetry=self.telemetry,
-            use_locality=use_locality,
+            use_locality=use_locality, breakers=self.breakers,
         )
         self.tuner = FineTuner(
             datacenter=datacenter, telemetry=self.telemetry, enabled=tuning
         )
-        self.injector = FailureInjector(self.sim)
+        self.injector = FailureInjector(
+            self.sim, rng=self.rng, fabric=datacenter.fabric,
+            warm_pool=self.warm_pool,
+        )
         self.injector.subscribe(self._on_domain_failure)
+        # Auto-placement skips devices whose breaker is open.
+        for pool in self.datacenter.pools:
+            pool.admission_filter = self._breaker_admits
         self.root_of_trust = HardwareRootOfTrust()
         for device in datacenter.devices:
             if device.spec.attestable:
@@ -477,6 +512,7 @@ class UDCRuntime:
                 self._run_task(task_state, submission, checkpoint_store),
                 name=f"task:{tenant}:{name}",
             )
+            task_state.process = process
             self.injector.domain(task_state.domain_name).register_process(process)
 
         if submission.completions:
@@ -584,6 +620,11 @@ class UDCRuntime:
                 self.sim.now, entry[0].dag.name, "admission-unplaceable",
                 "capacity never freed before drain",
             )
+            self.telemetry.event(
+                self.sim.now, entry[0].dag.name, "shed",
+                f"queued {self.sim.now - entry[0].queued_at:.3f}s, "
+                f"dropped at drain",
+            )
         self._admission_queue = []
         results = []
         for submission in self._submissions:
@@ -619,6 +660,14 @@ class UDCRuntime:
             return []
         return sorted(graph.predecessors(name))
 
+    def _breaker_admits(self, device) -> bool:
+        return self.breakers.allows(device.device_id, self.sim.now)
+
+    def _retry_stream(self, module: str):
+        """Per-module jitter stream — deterministic regardless of how
+        other modules' retries interleave."""
+        return self.rng.stream(f"retry:{module}")
+
     def _run_task(
         self,
         task_state: _LiveTask,
@@ -629,8 +678,6 @@ class UDCRuntime:
         objects = submission.objects
         stores = submission.stores
         completions = submission.completions
-        inputs = submission.inputs
-        outputs = submission.outputs
         obj = task_state.obj
         task: TaskModule = obj.module
         record = obj.record
@@ -647,8 +694,44 @@ class UDCRuntime:
 
         progress = 0.0
         attempts = 0
+        recovering = False
         while True:
             try:
+                if recovering:
+                    # Recovery runs inside the try so a failure DURING
+                    # recovery (backoff, migration, restore) is counted
+                    # as another attempt instead of killing the process.
+                    recovering = False
+                    retry = dist.retry
+                    if retry is not None:
+                        delay = retry.backoff_s(
+                            attempts, self._retry_stream(obj.name)
+                        )
+                        if delay > 0:
+                            record.backoff_s += delay
+                            yield self.sim.timeout(delay)
+                    strategy = dist.recovery or RecoveryStrategy.RERUN
+                    outcome = plan_recovery(strategy, obj.name, checkpoint_store)
+                    migrated = yield from self._migrate(task_state, submission)
+                    if not migrated:
+                        self._finish_task(task_state, submission, None,
+                                          winner="abandoned")
+                        return None
+                    record.retries += 1
+                    self.telemetry.event(
+                        self.sim.now, obj.name, "retry",
+                        f"attempt {attempts} "
+                        f"backoff={record.backoff_s:.3f}s",
+                    )
+                    if outcome.checkpoint is not None:
+                        t0 = self.sim.now
+                        yield from checkpoint_store.restore(
+                            obj.name, task_state.placement.unit.location
+                        )
+                        record.checkpoint_s += self.sim.now - t0
+                    progress = outcome.resume_progress
+                    record.recovered_from_progress = progress
+                    placement = task_state.placement
                 if waiting_on_deps:
                     # all_of tolerates already-fired members, so retrying
                     # after a failure-interrupt mid-wait is safe.
@@ -657,6 +740,8 @@ class UDCRuntime:
                 if not started:
                     record.started_at = self.sim.now
                     started = True
+                    self._arm_deadline(task_state, dist)
+                    self._arm_hedge(task_state, submission, dist)
                 # -- environment startup (on demand; warm pools shortcut it)
                 env = obj.environment
                 t0 = self.sim.now
@@ -686,7 +771,12 @@ class UDCRuntime:
                 while progress < 1.0 - 1e-12:
                     step = min(chunk, 1.0 - progress)
                     t0 = self.sim.now
-                    yield self.sim.timeout(wall_full * step)
+                    # A straggler device stretches each chunk by its
+                    # current slow factor (gray failure — no interrupt).
+                    yield self.sim.timeout(
+                        wall_full * step
+                        * placement.unit.compute.device.slow_factor
+                    )
                     record.compute_s += self.sim.now - t0
                     progress += step
                     self._sample_utilization(obj, placement)
@@ -710,56 +800,328 @@ class UDCRuntime:
                 break
 
             except Interrupt as interrupt:
+                cause = interrupt.cause
+                if isinstance(cause, HedgeCancelled):
+                    # The hedge won and did all bookkeeping; just vanish.
+                    return None
+                if isinstance(cause, DeadlineMiss):
+                    record.deadline_missed = True
+                    self.telemetry.event(
+                        self.sim.now, obj.name, "deadline_miss",
+                        f"abandoned after {cause.deadline_s:g}s",
+                    )
+                    self._finish_task(task_state, submission, None,
+                                      winner="abandoned")
+                    return None
                 record.failures += 1
                 attempts += 1
                 self.telemetry.event(
                     self.sim.now, obj.name, "failure",
-                    f"cause={interrupt.cause}",
+                    f"cause={cause}",
                 )
+                if isinstance(cause, Failure) and cause.kind == "crash":
+                    device = placement.unit.compute.device
+                    if self.breakers.record_failure(
+                        device.device_id, self.sim.now
+                    ):
+                        self.telemetry.event(
+                            self.sim.now, obj.name, "breaker_open",
+                            f"device {device.device_id}",
+                        )
                 strategy = dist.recovery or RecoveryStrategy.RERUN
-                if strategy == RecoveryStrategy.NONE \
-                        or attempts > self.max_recovery_attempts:
-                    record.finished_at = self.sim.now
-                    self._release_task(submission, obj)
-                    completions[obj.name].succeed(None)
+                limit = (dist.retry.max_attempts if dist.retry is not None
+                         else self.max_recovery_attempts)
+                if strategy == RecoveryStrategy.NONE or attempts > limit:
+                    self._finish_task(task_state, submission, None,
+                                      winner="abandoned")
                     return None
-                outcome = plan_recovery(strategy, obj.name, checkpoint_store)
-                migrated = yield from self._migrate(task_state, submission)
-                if not migrated:
-                    record.finished_at = self.sim.now
-                    self._release_task(submission, obj)
-                    completions[obj.name].succeed(None)
-                    return None
-                if outcome.checkpoint is not None:
-                    t0 = self.sim.now
-                    yield from checkpoint_store.restore(
-                        obj.name, task_state.placement.unit.location
-                    )
-                    record.checkpoint_s += self.sim.now - t0
-                progress = outcome.resume_progress
-                record.recovered_from_progress = progress
-                placement = task_state.placement
+                recovering = True
 
         # -- functional result
-        result = None
-        if task.fn is not None:
-            context = {"input": inputs.get(obj.name)}
-            for dep in self._task_dependencies(obj.name, dag):
-                context[dep] = outputs.get(dep)
-            try:
-                result = task.fn(context)
-            except Exception as exc:  # noqa: BLE001 - user code must not
-                # wedge the control plane; the error is surfaced in the
-                # report and the module completes with no output.
-                self.telemetry.event(
-                    self.sim.now, obj.name, "fn-error", repr(exc)
-                )
-                result = None
-        outputs[obj.name] = result
+        result = self._invoke_fn(obj, submission)
+        self._finish_task(task_state, submission, result, winner="primary")
+        return result
+
+    def _invoke_fn(self, obj: UDCObject, submission: Submission):
+        task: TaskModule = obj.module
+        if task.fn is None:
+            return None
+        context = {"input": submission.inputs.get(obj.name)}
+        for dep in self._task_dependencies(obj.name, submission.dag):
+            context[dep] = submission.outputs.get(dep)
+        try:
+            return task.fn(context)
+        except Exception as exc:  # noqa: BLE001 - user code must not
+            # wedge the control plane; the error is surfaced in the
+            # report and the module completes with no output.
+            self.telemetry.event(
+                self.sim.now, obj.name, "fn-error", repr(exc)
+            )
+            return None
+
+    def _finish_task(
+        self,
+        task_state: _LiveTask,
+        submission: Submission,
+        result,
+        winner: str,
+    ) -> bool:
+        """Single completion point for a task: first caller wins.
+
+        ``winner`` is ``"primary"``, ``"hedge"``, or ``"abandoned"``.
+        Releases every allocation (primary + hedge + standbys), fires the
+        completion event exactly once, and cancels the losing sibling
+        attempt.  Returns False when someone else already finished.
+        """
+        completion = task_state.completion
+        if completion.triggered:
+            return False
+        obj = task_state.obj
+        record = obj.record
         record.result = result
         record.finished_at = self.sim.now
+        if winner in ("primary", "hedge"):
+            record.winner = winner
+            submission.outputs[obj.name] = result
+            active = (task_state.hedge_placement if winner == "hedge"
+                      else task_state.placement)
+            self.breakers.record_success(
+                active.unit.compute.device.device_id, self.sim.now
+            )
+        if winner == "hedge":
+            record.hedge_won = True
+            self.telemetry.event(
+                self.sim.now, obj.name, "hedge-win",
+                f"hedge on "
+                f"{task_state.hedge_placement.unit.compute.device.device_id} "
+                f"beat the primary",
+            )
         self._release_task(submission, obj)
-        completions[obj.name].succeed(result)
+        completion.succeed(result)
+        loser = (task_state.process if winner == "hedge"
+                 else task_state.hedge_process)
+        if loser is not None and loser.is_alive:
+            loser.interrupt(HedgeCancelled(obj.name, winner))
+        return True
+
+    # -- deadlines and hedging ---------------------------------------------
+
+    def _arm_deadline(self, task_state: _LiveTask, dist: DistributedAspect) -> None:
+        """Schedule abandonment at the module's deadline (from task start)."""
+        if dist.deadline_s is None:
+            return
+        obj = task_state.obj
+        deadline_s = dist.deadline_s
+
+        def fire():
+            if task_state.completion.triggered:
+                return
+            for process in (task_state.process, task_state.hedge_process):
+                if process is not None and process.is_alive:
+                    process.interrupt(DeadlineMiss(obj.name, deadline_s))
+
+        self.sim.call_at(self.sim.now + deadline_s, fire)
+
+    def _arm_hedge(
+        self, task_state: _LiveTask, submission: Submission,
+        dist: DistributedAspect,
+    ) -> None:
+        """Start the hedge monitor when the aspect declares a HedgePolicy."""
+        if dist.hedge is None:
+            return
+        obj = task_state.obj
+        placement = task_state.placement
+        task: TaskModule = obj.module
+        native = task.execution_seconds(
+            placement.device_type,
+            placement.unit.effective_compute_amount,
+            placement.compute_rate,
+        )
+        env = placement.unit.environment
+        expected_wall = env.startup_time() + env.compute_time(native)
+        delay = dist.hedge.trigger_delay_s(expected_wall)
+        self.sim.process(
+            self._hedge_monitor(task_state, submission, delay, dist.hedge),
+            name=f"hedge-monitor:{obj.tenant}:{obj.name}",
+        )
+
+    def _hedge_monitor(self, task_state: _LiveTask, submission: Submission,
+                       delay: float, policy) -> object:
+        """Wait for the trigger point; if the task is still running,
+        launch a speculative duplicate.  Re-hedges (up to ``max_hedges``)
+        only if an earlier hedge died without finishing."""
+        obj = task_state.obj
+        for _ in range(policy.max_hedges):
+            yield self.sim.timeout(delay)
+            if task_state.completion.triggered:
+                return
+            if task_state.hedge_process is not None \
+                    and task_state.hedge_process.is_alive:
+                return
+            if not self._launch_hedge(task_state, submission):
+                return
+
+    def _launch_hedge(
+        self, task_state: _LiveTask, submission: Submission
+    ) -> bool:
+        from repro.hardware.pools import AllocationError
+
+        obj = task_state.obj
+        placement = task_state.placement
+        pool = self.datacenter.pool(placement.device_type)
+        primary_device = placement.unit.compute.device
+        amount = placement.unit.compute.amount
+        single = placement.unit.environment.single_tenant
+
+        def usable(device, require_healthy_speed):
+            return (
+                device is not primary_device
+                and device.can_fit(amount, obj.tenant, single)
+                and self._breaker_admits(device)
+                and (not require_healthy_speed or device.slow_factor == 1.0)
+            )
+
+        # Prefer a full-speed device — hedging onto another straggler
+        # defeats the point — but degrade to any fitting device.
+        ordered = sorted(pool.devices, key=lambda d: d.seq)
+        candidate = next(
+            (d for d in ordered if usable(d, True)), None
+        ) or next(
+            (d for d in ordered if usable(d, False)), None
+        )
+        if candidate is None:
+            self.telemetry.event(
+                self.sim.now, obj.name, "hedge-degraded",
+                "no device available for a speculative duplicate",
+            )
+            return False
+        try:
+            alloc = pool.allocate(
+                amount, obj.tenant, single_tenant=single, device=candidate
+            )
+        except AllocationError:
+            return False
+        self._track(submission, alloc)
+        obj.allocations.append(alloc)
+        unit = self.bundles.assemble(
+            compute=alloc,
+            memory=placement.unit.memory,
+            env_kind=placement.unit.environment.kind,
+            tenant=obj.tenant,
+            single_tenant=single,
+        )
+        hedge_placement = TaskPlacement(
+            obj=obj,
+            device_type=placement.device_type,
+            amount=alloc.amount,
+            unit=unit,
+            compute_rate=candidate.spec.compute_rate,
+        )
+        task_state.hedge_placement = hedge_placement
+        obj.record.hedges += 1
+        self.telemetry.event(
+            self.sim.now, obj.name, "hedge",
+            f"duplicate -> {candidate.device_id}",
+        )
+        process = self.sim.process(
+            self._hedge_attempt(task_state, submission, hedge_placement),
+            name=f"hedge:{obj.tenant}:{obj.name}",
+        )
+        task_state.hedge_process = process
+        # Join a failure domain covering the hedge device, if one exists,
+        # so a crash there interrupts the hedge like any other process.
+        for domain in self.injector.domains.values():
+            if candidate in domain.devices:
+                domain.register_process(process)
+                break
+        return True
+
+    def _hedge_attempt(
+        self,
+        task_state: _LiveTask,
+        submission: Submission,
+        placement: TaskPlacement,
+    ):
+        """The speculative duplicate: same work, different device.
+
+        First finisher (this or the primary) wins via
+        :meth:`_finish_task`; the loser is interrupted with
+        :class:`HedgeCancelled`.  A hedge never retries — it IS the
+        retry."""
+        obj = task_state.obj
+        task: TaskModule = obj.module
+        record = obj.record
+        env = placement.unit.environment
+        try:
+            t0 = self.sim.now
+            yield self.sim.timeout(env.startup_time())
+            env.state = EnvState.RUNNING
+            env.started_at = self.sim.now
+            record.startup_s += self.sim.now - t0
+
+            t0 = self.sim.now
+            yield from self._pull_inputs(
+                obj, placement, submission.dag, submission.objects,
+                submission.stores,
+            )
+            record.transfer_s += self.sim.now - t0
+
+            native = task.execution_seconds(
+                placement.device_type,
+                placement.unit.effective_compute_amount,
+                placement.compute_rate,
+            )
+            wall_full = env.compute_time(native)
+            progress = 0.0
+            while progress < 1.0 - 1e-12:
+                step = min(TELEMETRY_CHUNK, 1.0 - progress)
+                t0 = self.sim.now
+                yield self.sim.timeout(
+                    wall_full * step
+                    * placement.unit.compute.device.slow_factor
+                )
+                record.compute_s += self.sim.now - t0
+                progress += step
+                if task_state.completion.triggered:
+                    return None
+
+            t0 = self.sim.now
+            yield from self._push_outputs(
+                obj, placement, submission.dag, submission.stores
+            )
+            record.transfer_s += self.sim.now - t0
+        except Interrupt as interrupt:
+            cause = interrupt.cause
+            if isinstance(cause, Failure) and cause.kind == "crash":
+                # The hedge's device crashed under it: give back its
+                # allocation and let the monitor decide whether to
+                # re-hedge.  The primary is unaffected.
+                record.failures += 1
+                self.telemetry.event(
+                    self.sim.now, obj.name, "failure",
+                    f"hedge attempt lost: cause={cause}",
+                )
+                if self.breakers.record_failure(
+                    placement.unit.compute.device.device_id, self.sim.now
+                ):
+                    self.telemetry.event(
+                        self.sim.now, obj.name, "breaker_open",
+                        f"device {placement.unit.compute.device.device_id}",
+                    )
+                alloc = placement.unit.compute
+                if not alloc.released:
+                    self._settle(alloc)
+                    self.datacenter.pool(alloc.device_type).release(alloc)
+                if alloc in obj.allocations:
+                    obj.allocations.remove(alloc)
+                task_state.hedge_process = None
+                task_state.hedge_placement = None
+            # HedgeCancelled / DeadlineMiss: the winner (or the deadline
+            # handler) releases everything; nothing to do here.
+            return None
+
+        result = self._invoke_fn(obj, submission)
+        self._finish_task(task_state, submission, result, winner="hedge")
         return result
 
     def _pull_inputs(self, obj, placement, dag, objects, stores):
@@ -889,6 +1251,11 @@ class UDCRuntime:
         """
         from repro.distsem.replication import ReplicaPlacer
 
+        if failure.kind != "crash":
+            # Gray failures (stragglers, partitions, warm-pool outages)
+            # degrade timing but lose no replicas; the resilience
+            # policies — not store healing — absorb them.
+            return
         for submission in self._submissions:
             for name, store in submission.stores.items():
                 if not any(r.device.failed for r in store.replicas):
@@ -1129,6 +1496,10 @@ class UDCRuntime:
                 checkpoint_s=obj.record.checkpoint_s,
                 failures=obj.record.failures,
                 cost=cost,
+                retries=obj.record.retries,
+                hedges=obj.record.hedges,
+                hedge_won=obj.record.hedge_won,
+                deadline_missed=obj.record.deadline_missed,
             )
             result.rows.append(row)
         result.total_cost = total_cost

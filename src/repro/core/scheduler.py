@@ -72,13 +72,23 @@ class UdcScheduler:
         bundles: BundleManager,
         telemetry: Optional[Telemetry] = None,
         use_locality: bool = True,
+        breakers=None,
     ):
         self.datacenter = datacenter
         self.bundles = bundles
         self.telemetry = telemetry or Telemetry()
         self.use_locality = use_locality
+        #: CircuitBreakerRegistry (or None): devices with open breakers
+        #: are skipped during explicit device picks (standbys, groups);
+        #: pool auto-placement consults it via pool.admission_filter.
+        self.breakers = breakers
         #: round-robin cursor for locality-oblivious spreading
         self._rr_rack = 0
+
+    def _breaker_allows(self, device: Device) -> bool:
+        if self.breakers is None:
+            return True
+        return self.breakers.allows(device.device_id, self._now())
 
     # -- data placement -------------------------------------------------------
 
@@ -408,9 +418,10 @@ class UdcScheduler:
         for _ in range(dist.replication.factor - 1):
             candidate = next(
                 (
-                    d for d in sorted(pool.devices, key=lambda d: d.device_id)
+                    d for d in sorted(pool.devices, key=lambda d: d.seq)
                     if d is not primary_device
                     and d.can_fit(amount, obj.tenant, single)
+                    and self._breaker_allows(d)
                 ),
                 None,
             )
@@ -483,9 +494,11 @@ class UdcScheduler:
                         0 if preferred is not None
                         and d.location.same_rack(preferred) else 1,
                         d.free,
+                        d.seq,
                     ),
                 )
                 if d.can_fit(total, members[0].tenant, single)
+                and self._breaker_allows(d)
             ),
             None,
         )

@@ -41,6 +41,7 @@ from repro.core.aspects import (
 from repro.distsem.consistency import ConsistencyLevel, OpPreference
 from repro.distsem.recovery import RecoveryStrategy
 from repro.distsem.replication import ReplicationPolicy
+from repro.distsem.resilience import HedgePolicy, RetryPolicy
 from repro.execenv.environments import EnvKind
 from repro.execenv.isolation import IsolationLevel
 from repro.execenv.protection import ProtectionPolicy
@@ -230,6 +231,11 @@ def _parse_distributed(
                 f"{module}.distributed.data_consistency[{data_name}]",
             )
             data_consistency[str(data_name)] = level
+        retry = _parse_retry(module, raw.get("retry"), problems)
+        hedge = _parse_hedge(module, raw.get("hedge"), problems)
+        deadline_s = raw.get("deadline_s")
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
         return DistributedAspect(
             replication=replication,
             consistency=consistency,
@@ -239,9 +245,69 @@ def _parse_distributed(
             checkpoint_interval=float(raw.get("checkpoint_interval", 0.25)),
             failure_domain=raw.get("failure_domain"),
             data_consistency=data_consistency,
+            retry=retry,
+            deadline_s=deadline_s,
+            hedge=hedge,
         )
     except (ValueError, KeyError, TypeError) as exc:
         problems.append(f"{module}.distributed: {exc}")
+        return None
+
+
+def _parse_retry(
+    module: str, raw: Any, problems: List[str]
+) -> Optional[RetryPolicy]:
+    if raw is None:
+        return None
+    try:
+        if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+            # shorthand: "retry": 3 means 3 attempts, default backoff
+            return RetryPolicy(max_attempts=int(raw))
+        if not isinstance(raw, dict):
+            raise ValueError("must be a mapping or an attempt count")
+        unknown = set(raw) - {
+            "max_attempts", "base_backoff_s", "multiplier",
+            "max_backoff_s", "jitter",
+        }
+        if unknown:
+            raise ValueError(f"unknown retry field(s) {sorted(unknown)}")
+        return RetryPolicy(
+            max_attempts=int(raw.get("max_attempts", 3)),
+            base_backoff_s=float(raw.get("base_backoff_s", 0.5)),
+            multiplier=float(raw.get("multiplier", 2.0)),
+            max_backoff_s=float(raw.get("max_backoff_s", 60.0)),
+            jitter=float(raw.get("jitter", 0.1)),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        problems.append(f"{module}.distributed.retry: {exc}")
+        return None
+
+
+def _parse_hedge(
+    module: str, raw: Any, problems: List[str]
+) -> Optional[HedgePolicy]:
+    if raw is None:
+        return None
+    try:
+        if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+            # shorthand: "hedge": 1.5 means hedge at 1.5x expected latency
+            return HedgePolicy(latency_factor=float(raw))
+        if not isinstance(raw, dict):
+            raise ValueError("must be a mapping or a latency factor")
+        unknown = set(raw) - {"after_s", "latency_factor", "max_hedges"}
+        if unknown:
+            raise ValueError(f"unknown hedge field(s) {sorted(unknown)}")
+        after_s = raw.get("after_s")
+        latency_factor = raw.get("latency_factor")
+        return HedgePolicy(
+            after_s=float(after_s) if after_s is not None else None,
+            latency_factor=(
+                float(latency_factor) if latency_factor is not None else None
+            ),
+            max_hedges=int(raw.get("max_hedges", 1)),
+        )
+    except (ValueError, KeyError, TypeError) as exc:
+        problems.append(f"{module}.distributed.hedge: {exc}")
         return None
 
 

@@ -1,0 +1,249 @@
+"""User-definable resilience policies (extending paper §3.4).
+
+The paper lets users declare *how* their modules survive failures; the
+seed runtime only modeled crash-stop domain failures with rerun or
+checkpoint recovery.  Real clouds mostly see *gray* failures — stragglers,
+partial partitions, overload — and the operational answers are policies,
+not mechanisms: bounded retries with backoff, deadlines, speculative
+hedging, and circuit breakers.  This module defines those policies as
+user-declarable values; the runtime and scheduler interpret them.
+
+All randomness (retry jitter) is drawn from a caller-supplied
+:class:`random.Random` stream (see :class:`repro.simulator.rng.RngRegistry`),
+so resilience behavior is exactly reproducible for a given run seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerRegistry",
+    "DeadlineMiss",
+    "HedgeCancelled",
+    "HedgePolicy",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded re-execution with exponential backoff and jitter.
+
+    ``max_attempts`` counts *recovery* attempts after the first execution
+    (so 3 means: run, then up to 3 re-runs).  Backoff for attempt *n*
+    (1-based) is ``base_backoff_s * multiplier**(n-1)``, capped at
+    ``max_backoff_s``, then jittered multiplicatively by up to ±``jitter``
+    (a fraction).  Jitter is drawn from a named RNG stream, never the
+    global RNG, so two runs with the same seed back off identically.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    multiplier: float = 2.0
+    max_backoff_s: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self):
+        if self.max_attempts < 0:
+            raise ValueError(f"max_attempts must be >= 0, got {self.max_attempts}")
+        if self.base_backoff_s < 0:
+            raise ValueError("base_backoff_s must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Delay before re-execution number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.base_backoff_s * self.multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter <= 0:
+            return raw
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Speculative duplicate execution against stragglers.
+
+    When an attempt runs past its trigger point, the runtime launches a
+    duplicate of the module on a *different* device; the first finisher
+    wins and the loser is cancelled, its allocation released (both
+    allocations are billed for the time they were held — hedging trades
+    money for tail latency).
+
+    The trigger is either an absolute ``after_s``, or ``latency_factor``
+    times the attempt's expected wall time (startup + compute) — the
+    deterministic-simulation stand-in for "hedge at the p95 latency
+    quantile" that production systems use.
+    """
+
+    after_s: Optional[float] = None
+    latency_factor: Optional[float] = None
+    max_hedges: int = 1
+
+    def __post_init__(self):
+        if (self.after_s is None) == (self.latency_factor is None):
+            raise ValueError(
+                "specify exactly one of after_s / latency_factor"
+            )
+        if self.after_s is not None and self.after_s <= 0:
+            raise ValueError(f"after_s must be positive, got {self.after_s}")
+        if self.latency_factor is not None and self.latency_factor <= 0:
+            raise ValueError(
+                f"latency_factor must be positive, got {self.latency_factor}"
+            )
+        if self.max_hedges < 1:
+            raise ValueError(f"max_hedges must be >= 1, got {self.max_hedges}")
+
+    def trigger_delay_s(self, expected_wall_s: float) -> float:
+        """When to launch the duplicate, measured from attempt start."""
+        if self.after_s is not None:
+            return self.after_s
+        return self.latency_factor * expected_wall_s
+
+
+@dataclass(frozen=True)
+class DeadlineMiss:
+    """Interrupt cause delivered to a task that exceeded its deadline."""
+
+    module: str
+    deadline_s: float
+
+
+@dataclass(frozen=True)
+class HedgeCancelled:
+    """Interrupt cause delivered to the losing attempt of a hedged task."""
+
+    module: str
+    winner: str  # "primary" | "hedge"
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass
+class CircuitBreaker:
+    """Failure-rate gate for one device (or rack).
+
+    Opens after ``threshold`` failures within ``window_s``; while open the
+    scheduler skips the device.  After ``cooldown_s`` the breaker
+    half-opens: one trial placement is allowed — success closes it,
+    another failure re-opens it.
+    """
+
+    key: str
+    threshold: int = 3
+    window_s: float = 60.0
+    cooldown_s: float = 120.0
+    state: BreakerState = BreakerState.CLOSED
+    opened_at: float = 0.0
+    _failures: List[float] = field(default_factory=list)
+
+    def record_failure(self, now: float) -> bool:
+        """Note a failure; returns True when this transition *opens* it."""
+        if self.state == BreakerState.HALF_OPEN:
+            # The trial failed: straight back to open.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self._failures.clear()
+            return True
+        self._failures = [
+            t for t in self._failures if now - t <= self.window_s
+        ]
+        self._failures.append(now)
+        if self.state == BreakerState.CLOSED \
+                and len(self._failures) >= self.threshold:
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self._failures.clear()
+            return True
+        return False
+
+    def record_success(self, now: float) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+        self._failures.clear()
+
+    def allows(self, now: float) -> bool:
+        """Whether placements may target this key right now.
+
+        An open breaker past its cooldown transitions to half-open and
+        grants the trial.
+        """
+        if self.state == BreakerState.OPEN:
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+
+class CircuitBreakerRegistry:
+    """All breakers for one runtime, keyed by device id (or rack name)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 60.0,
+        cooldown_s: float = 120.0,
+        enabled: bool = True,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self.enabled = enabled
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        #: total open transitions, for reports
+        self.opens = 0
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        if key not in self.breakers:
+            self.breakers[key] = CircuitBreaker(
+                key=key,
+                threshold=self.threshold,
+                window_s=self.window_s,
+                cooldown_s=self.cooldown_s,
+            )
+        return self.breakers[key]
+
+    def record_failure(self, key: str, now: float) -> bool:
+        """Returns True when the breaker newly opened."""
+        if not self.enabled:
+            return False
+        opened = self.breaker(key).record_failure(now)
+        if opened:
+            self.opens += 1
+        return opened
+
+    def record_success(self, key: str, now: float) -> None:
+        if not self.enabled:
+            return
+        if key in self.breakers:
+            self.breakers[key].record_success(now)
+
+    def allows(self, key: str, now: float) -> bool:
+        if not self.enabled or key not in self.breakers:
+            return True
+        return self.breakers[key].allows(now)
+
+    def open_keys(self, now: float) -> List[str]:
+        return sorted(
+            key for key, b in self.breakers.items()
+            if b.state == BreakerState.OPEN and now - b.opened_at < b.cooldown_s
+        )

@@ -65,6 +65,8 @@ class WarmPool:
         self.stats = WarmPoolStats()
         #: keys ever requested; refill keeps these stocked
         self._known_keys: Dict[PoolKey, None] = {}
+        #: True during an injected warm-pool outage (see exhaust())
+        self._exhausted = False
 
     def prewarm(self, kind: EnvKind, single_tenant: bool, count: int = 1) -> None:
         """Stock ``count`` shells of the given shape."""
@@ -103,7 +105,7 @@ class WarmPool:
         The runtime calls this between scheduling rounds, modelling the
         provider's background pre-warming loop.
         """
-        if not self.enabled:
+        if not self.enabled or self._exhausted:
             return 0
         added = 0
         for key in self._known_keys:
@@ -113,6 +115,21 @@ class WarmPool:
                 self.stats.prewarmed += 1
                 added += 1
         return added
+
+    def exhaust(self) -> int:
+        """Drop every stocked shell and suspend refills (gray failure, E22).
+
+        Models a provider-side warm-pool outage: until :meth:`restore` is
+        called, every acquire cold-starts.  Returns shells discarded.
+        """
+        dropped = sum(len(shelf) for shelf in self._shelves.values())
+        self._shelves.clear()
+        self._exhausted = True
+        return dropped
+
+    def restore(self) -> None:
+        """Lift an :meth:`exhaust` outage; the next refill restocks."""
+        self._exhausted = False
 
     def depth(self, kind: EnvKind, single_tenant: bool) -> int:
         return len(self._shelves.get((kind, single_tenant), ()))

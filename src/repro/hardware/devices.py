@@ -191,14 +191,24 @@ class Device:
     device_id: str = field(default="")
     #: True while the device has failed (failure injection, E14).
     failed: bool = False
+    #: Compute-time multiplier while the device is degraded (gray
+    #: straggler failure, E22).  1.0 = healthy; 8.0 = chunks take 8x.
+    slow_factor: float = 1.0
     #: Per-allocation amounts currently held on this device.
     allocations: Dict[str, float] = field(default_factory=dict)
     #: True while the device is pinned to a single tenant (§3.3).
     single_tenant_of: Optional[str] = None
+    #: Creation order within this process; used as a deterministic sort
+    #: tiebreaker (device_id strings don't sort numerically: "cpu-9" >
+    #: "cpu-10", and the global counter makes the string order depend on
+    #: how many datacenters were built earlier in the process).
+    seq: int = field(default=-1)
 
     def __post_init__(self):
+        if self.seq < 0:
+            self.seq = next(_device_ids)
         if not self.device_id:
-            self.device_id = f"{self.spec.device_type.value}-{next(_device_ids)}"
+            self.device_id = f"{self.spec.device_type.value}-{self.seq}"
 
     @property
     def device_type(self) -> DeviceType:

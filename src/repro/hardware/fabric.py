@@ -88,6 +88,41 @@ class Fabric:
         self.stats = FabricStats()
         #: sequencer hook keyed by switch location (see network_order)
         self._sequencers: Dict[Location, Callable[[Message], None]] = {}
+        #: gray partitions: severed (pod, rack) pairs -> stall seconds added
+        #: to every transfer crossing the cut (E22 chaos harness)
+        self._partitions: Dict[frozenset, float] = {}
+
+    # -- partitions (gray failure, E22) -------------------------------------
+
+    @staticmethod
+    def _rack_key(loc: Location) -> Tuple[int, int]:
+        return (loc.pod, loc.rack)
+
+    def sever(self, a: Location, b: Location, stall_s: float = 30.0) -> None:
+        """Partition the racks containing ``a`` and ``b``.
+
+        This models a *gray* partition: traffic across the cut is not
+        dropped but stalls for ``stall_s`` per transfer (retransmit and
+        reroute delay) — the degraded-but-alive behavior that makes gray
+        failures harder than crash-stop.
+        """
+        key = frozenset({self._rack_key(a), self._rack_key(b)})
+        if len(key) < 2:
+            raise ValueError("cannot partition a rack from itself")
+        if stall_s <= 0:
+            raise ValueError(f"stall_s must be positive, got {stall_s}")
+        self._partitions[key] = stall_s
+
+    def heal_partition(self, a: Location, b: Location) -> None:
+        key = frozenset({self._rack_key(a), self._rack_key(b)})
+        self._partitions.pop(key, None)
+
+    def partition_stall(self, src: Location, dst: Location) -> float:
+        """Stall seconds a transfer from src to dst currently pays."""
+        if not self._partitions or src == dst:
+            return 0.0
+        key = frozenset({self._rack_key(src), self._rack_key(dst)})
+        return self._partitions.get(key, 0.0) if len(key) == 2 else 0.0
 
     # -- timing model --------------------------------------------------------
 
@@ -118,7 +153,11 @@ class Fabric:
         """One-way delivery time for ``size_bytes`` from src to dst."""
         if src == dst:
             return 0.0
-        return self.latency(src, dst) + self.serialization_time(size_bytes)
+        return (
+            self.latency(src, dst)
+            + self.serialization_time(size_bytes)
+            + self.partition_stall(src, dst)
+        )
 
     # -- transfer API ----------------------------------------------------------
 

@@ -72,6 +72,11 @@ class ResourcePool:
         self._last_sample_time = 0.0
         self._used_time_integral = 0.0  # ∫ used(t) dt
         self.peak_used = 0.0
+        #: Optional predicate applied to candidate devices during
+        #: auto-placement; the runtime wires this to its circuit-breaker
+        #: registry so tripped devices are skipped.  Explicit ``device=``
+        #: requests (standby failover, migration) bypass it.
+        self.admission_filter = None
 
     # -- construction ------------------------------------------------------
 
@@ -125,13 +130,20 @@ class ResourcePool:
         preferred_location=None,
     ) -> List[Device]:
         fits = [d for d in self.devices if d.can_fit(amount, tenant, single_tenant)]
+        if self.admission_filter is not None:
+            admitted = [d for d in fits if self.admission_filter(d)]
+            # When every candidate is gated off (all breakers open), fall
+            # back to the ungated list: a degraded placement beats an
+            # unplaceable module.
+            if admitted:
+                fits = admitted
         # Best-fit: smallest sufficient free capacity limits fragmentation.
         # Locality preference dominates: devices at the preferred location
         # sort first (the scheduler's co-location mechanism, E6).
         def key(device: Device):
             local = 0 if (preferred_location is not None
                           and device.location == preferred_location) else 1
-            return (local, device.free, device.device_id)
+            return (local, device.free, device.seq)
 
         fits.sort(key=key)
         return fits
