@@ -1,0 +1,279 @@
+"""Perf-scale — the indexed placement hot path vs. the naive reference.
+
+PR 2 rebuilt ``ResourcePool`` allocation around incremental capacity
+accounting and a bisect-sorted free index: one placement is
+O(log N + k) in fleet size instead of the historical full scan + sort
+(with a per-call re-sum of pool totals on top).  This bench drives the
+same seeded allocate/release churn through both paths at 100 / 1 000 /
+5 000 devices and reports placements/second, asserting:
+
+* **identical decisions** — the two paths place every request on the
+  same device, in the same order (the golden-trace property that
+  ``tests/test_placement_equivalence.py`` checks on full workloads);
+* **super-linear speedup** — the indexed path's advantage *grows* with
+  fleet size (the point of an index), and is ≥ 10x at the
+  1 000-device × 10 000-placement point;
+* **no regression** — when a committed ``BENCH_PERF.json`` baseline
+  exists, the current speedup ratio must stay within 2x of it (ratios,
+  not absolute rates, so the check is stable across CI hardware).
+
+Run it three ways::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py           # full
+    PYTHONPATH=src python benchmarks/bench_perf_scale.py --smoke   # CI
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_scale.py -x -q
+
+Results land in ``BENCH_PERF.json`` at the repo root (see
+``docs/performance.md`` for how to read them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import repro.hardware.devices as devices_mod
+import repro.hardware.pools as pools_mod
+from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.pools import AllocationError, ResourcePool
+
+try:
+    from _util import print_table
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _util import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PERF.json"
+
+SEED = 2024
+TENANTS = 16
+RELEASE_FRACTION = 0.35      # churn: roughly a third of ops free capacity
+LOCALITY_FRACTION = 0.3      # ops carrying a preferred-location hint
+SINGLE_TENANT_FRACTION = 0.02
+#: (devices, placements) points for the full run; smoke trims this.
+FULL_SCALES = [(100, 10_000), (1_000, 10_000), (5_000, 10_000)]
+SMOKE_SCALES = [(100, 2_000), (1_000, 2_000)]
+#: the naive path is O(N log N + live-allocs) *per placement*; cap its
+#: sample at large N and report rates, or the bench takes tens of minutes.
+NAIVE_OP_CAP = 1_500
+
+
+def build_pool(n_devices: int, indexed: bool) -> ResourcePool:
+    """A CPU pool of ``n_devices`` spread over 8-slot racks, 32 racks/pod.
+
+    The global id counters are pinned so the indexed and naive builds get
+    identical device ids — placement tie-breaks must see the same fleet.
+    """
+    devices_mod._device_ids = itertools.count()
+    pools_mod._alloc_ids = itertools.count()
+    pool = ResourcePool(DeviceType.CPU, indexed=indexed)
+    for index in range(n_devices):
+        pool.add_device(Device(
+            spec=DEFAULT_SPECS[DeviceType.CPU],
+            location=Location(
+                pod=index // 256, rack=(index // 8) % 32, slot=index % 8
+            ),
+        ))
+    pool.alloc_log = []
+    return pool
+
+
+def generate_ops(n_devices: int, n_placements: int, seed: int = SEED):
+    """A deterministic allocate/release script, independent of pool state.
+
+    Amounts are grain multiples (0.25-core steps up to 8 cores) so the
+    incremental accounting is exercised on the same binary-exact floats
+    the real workloads use.  Releases name a *position* into the caller's
+    live-allocation list; both paths replay the identical script.
+    """
+    rng = random.Random(seed)
+    locations = [
+        Location(pod=i // 256, rack=(i // 8) % 32, slot=i % 8)
+        for i in range(n_devices)
+    ]
+    ops: List[Tuple] = []
+    placements = 0
+    while placements < n_placements:
+        if ops and rng.random() < RELEASE_FRACTION:
+            ops.append(("release", rng.randrange(1 << 30)))
+            continue
+        amount = 0.25 * rng.randint(1, 32)
+        tenant = f"t{rng.randrange(TENANTS)}"
+        preferred = (
+            rng.choice(locations)
+            if rng.random() < LOCALITY_FRACTION else None
+        )
+        single = rng.random() < SINGLE_TENANT_FRACTION
+        ops.append(("alloc", amount, tenant, preferred, single))
+        placements += 1
+    return ops
+
+
+def run_ops(pool: ResourcePool, ops) -> Tuple[float, int, List]:
+    """Replay ``ops``; returns (elapsed_s, placements_done, trace)."""
+    live = []
+    placements = 0
+    start = time.perf_counter()
+    for op in ops:
+        if op[0] == "release":
+            if live:
+                pool.release(live.pop(op[1] % len(live)))
+            continue
+        _, amount, tenant, preferred, single = op
+        try:
+            live.append(pool.allocate(
+                amount, tenant,
+                single_tenant=single, preferred_location=preferred,
+            ))
+        except AllocationError:
+            # Same deterministic overflow on both paths: shed the oldest
+            # allocation and move on.
+            if live:
+                pool.release(live.pop(0))
+        placements += 1
+    elapsed = time.perf_counter() - start
+    return elapsed, placements, list(pool.alloc_log)
+
+
+def bench_scale(n_devices: int, n_placements: int) -> dict:
+    ops = generate_ops(n_devices, n_placements)
+    # Naive reference first (its op count may be capped at large N).
+    naive_ops = ops if n_devices <= 1_000 else ops[:NAIVE_OP_CAP]
+    naive_pool = build_pool(n_devices, indexed=False)
+    naive_s, naive_n, naive_trace = run_ops(naive_pool, naive_ops)
+
+    indexed_pool = build_pool(n_devices, indexed=True)
+    indexed_s, indexed_n, indexed_trace = run_ops(indexed_pool, ops)
+    indexed_pool.check_accounting()
+
+    # Byte-identical decisions over the ops both paths executed.
+    assert indexed_trace[:len(naive_trace)] == naive_trace, (
+        f"placement divergence at {n_devices} devices"
+    )
+
+    naive_rate = naive_n / naive_s
+    indexed_rate = indexed_n / indexed_s
+    return {
+        "devices": n_devices,
+        "placements": indexed_n,
+        "naive_placements_timed": naive_n,
+        "naive_s": round(naive_s, 4),
+        "indexed_s": round(indexed_s, 4),
+        "naive_rate_per_s": round(naive_rate, 1),
+        "indexed_rate_per_s": round(indexed_rate, 1),
+        "speedup": round(indexed_rate / naive_rate, 2),
+    }
+
+
+def load_baseline() -> Optional[dict]:
+    if RESULT_PATH.exists():
+        try:
+            return json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            return None
+    return None
+
+
+def check_regression(results: List[dict], baseline: Optional[dict]) -> List[str]:
+    """Compare speedup ratios against the committed baseline.
+
+    Ratios (indexed/naive on the same host) are hardware-independent in a
+    way absolute rates are not, so CI runners of different vintages share
+    one baseline.  A >2x drop fails the perf-smoke job.
+    """
+    if not baseline:
+        return []
+    by_devices = {r["devices"]: r for r in baseline.get("scales", [])}
+    failures = []
+    for row in results:
+        ref = by_devices.get(row["devices"])
+        if ref is None:
+            continue
+        if row["speedup"] < ref["speedup"] / 2:
+            failures.append(
+                f"{row['devices']} devices: speedup {row['speedup']}x is "
+                f">2x below committed baseline {ref['speedup']}x"
+            )
+    return failures
+
+
+def run(smoke: bool = False, write: bool = True) -> dict:
+    scales = SMOKE_SCALES if smoke else FULL_SCALES
+    results = [bench_scale(n, m) for n, m in scales]
+    print_table(
+        "Perf scale: indexed placement vs naive reference",
+        ["devices", "placements", "naive/s", "indexed/s", "speedup"],
+        [(r["devices"], r["placements"], r["naive_rate_per_s"],
+          r["indexed_rate_per_s"], f"{r['speedup']}x") for r in results],
+    )
+
+    # Super-linear: the index wins *more* as the fleet grows.
+    speedups = {r["devices"]: r["speedup"] for r in results}
+    assert speedups[1_000] > speedups[100], (
+        f"speedup did not grow with fleet size: {speedups}"
+    )
+    if not smoke:
+        assert speedups[1_000] >= 10, (
+            f"expected >=10x at 1k devices, got {speedups[1_000]}x"
+        )
+
+    regressions = check_regression(results, load_baseline())
+    report = {
+        "bench": "bench_perf_scale",
+        "mode": "smoke" if smoke else "full",
+        "seed": SEED,
+        "scales": results,
+        "regressions": regressions,
+    }
+    if write and not smoke:
+        RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {RESULT_PATH.relative_to(REPO_ROOT)}")
+    if regressions:
+        for line in regressions:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        raise SystemExit(1)
+    return report
+
+
+# -- pytest entry points ----------------------------------------------------
+
+def test_perf_scale_smoke():
+    """Smoke point: identical traces + the speedup grows with fleet size."""
+    report = run(smoke=True, write=False)
+    assert report["scales"][0]["speedup"] > 1
+    assert not report["regressions"]
+
+
+def test_trace_identical_with_locality_and_gating():
+    """Decision equivalence under the adversarial bits: locality hints,
+    single-tenant pins, and an admission filter gating half the fleet."""
+    ops = generate_ops(64, 800, seed=9)
+    traces = []
+    for indexed in (True, False):
+        pool = build_pool(64, indexed=indexed)
+        pool.admission_filter = lambda d: d.seq % 2 == 0
+        run_ops(pool, ops)
+        traces.append(list(pool.alloc_log))
+    assert traces[0] == traces[1]
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small scales for CI; does not rewrite BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="run without touching BENCH_PERF.json",
+    )
+    args = parser.parse_args()
+    run(smoke=args.smoke, write=not args.no_write)

@@ -718,10 +718,11 @@ class UDCRuntime:
                                           winner="abandoned")
                         return None
                     record.retries += 1
+                    attempt_now, backoff_now = attempts, record.backoff_s
                     self.telemetry.event(
                         self.sim.now, obj.name, "retry",
-                        f"attempt {attempts} "
-                        f"backoff={record.backoff_s:.3f}s",
+                        lambda: f"attempt {attempt_now} "
+                                f"backoff={backoff_now:.3f}s",
                     )
                     if outcome.checkpoint is not None:
                         t0 = self.sim.now
@@ -817,7 +818,7 @@ class UDCRuntime:
                 attempts += 1
                 self.telemetry.event(
                     self.sim.now, obj.name, "failure",
-                    f"cause={cause}",
+                    lambda: f"cause={cause}",
                 )
                 if isinstance(cause, Failure) and cause.kind == "crash":
                     device = placement.unit.compute.device
@@ -983,7 +984,7 @@ class UDCRuntime:
 
         # Prefer a full-speed device — hedging onto another straggler
         # defeats the point — but degrade to any fitting device.
-        ordered = sorted(pool.devices, key=lambda d: d.seq)
+        ordered = pool.devices_by_seq()
         candidate = next(
             (d for d in ordered if usable(d, True)), None
         ) or next(
@@ -1021,7 +1022,7 @@ class UDCRuntime:
         obj.record.hedges += 1
         self.telemetry.event(
             self.sim.now, obj.name, "hedge",
-            f"duplicate -> {candidate.device_id}",
+            lambda: f"duplicate -> {candidate.device_id}",
         )
         process = self.sim.process(
             self._hedge_attempt(task_state, submission, hedge_placement),
@@ -1204,7 +1205,7 @@ class UDCRuntime:
             self._settle(failed_compute)
             self.telemetry.event(
                 self.sim.now, obj.name, "failover-standby",
-                f"-> {replacement.device.device_id}",
+                lambda: f"-> {replacement.device.device_id}",
             )
         else:
             replacement = self.tuner.migrate(
@@ -1237,7 +1238,7 @@ class UDCRuntime:
         # Cold-start the new environment (charged in the retry loop).
         self.telemetry.event(
             self.sim.now, obj.name, "migrate",
-            f"-> {replacement.device.device_id}",
+            lambda: f"-> {replacement.device.device_id}",
         )
         yield self.sim.timeout(0)  # keep this a generator
         return True

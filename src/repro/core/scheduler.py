@@ -125,7 +125,7 @@ class UdcScheduler:
             obj.allocations.extend(result.allocations)
             self.telemetry.event(
                 self._now(), obj.name, "place-data",
-                f"{policy.factor}x{size:g}GB on {media.value}",
+                lambda: f"{policy.factor}x{size:g}GB on {media.value}",
             )
             return result
         raise SchedulerError(
@@ -188,9 +188,9 @@ class UdcScheduler:
             needed = aspect.amount if aspect.amount is not None else grain
             shard = min(needed,
                         self.datacenter.spec.spec_for(device_type).capacity)
-            return any(
-                d.free + 1e-9 >= shard for d in pool.devices if not d.failed
-            )
+            # Any live device with enough free space <=> the pool's max
+            # free clears the shard — O(1) off the pool's free index.
+            return pool.max_free() + 1e-9 >= shard
 
         with_capacity = [d for d in available if has_capacity(d)]
         candidates = with_capacity or available
@@ -218,11 +218,7 @@ class UdcScheduler:
         oblivious to where the module's data lives.
         """
         if not self.use_locality:
-            racks = sorted({
-                Location(d.location.pod, d.location.rack, 0)
-                for d in self.datacenter.pool(device_type).devices
-                if not d.failed
-            })
+            racks = self.datacenter.pool(device_type).live_rack_locations()
             if not racks:
                 return None
             self._rr_rack += 1
@@ -245,11 +241,7 @@ class UdcScheduler:
 
         fabric = self.datacenter.fabric
         pool = self.datacenter.pool(device_type)
-        candidate_racks = {
-            Location(d.location.pod, d.location.rack, 0)
-            for d in pool.devices
-            if not d.failed
-        }
+        candidate_racks = pool.live_rack_locations()
         if not candidate_racks:
             return None
 
@@ -258,7 +250,7 @@ class UdcScheduler:
                 fabric.transfer_time(src, rack, size) for src, size in pulls
             )
 
-        return min(sorted(candidate_racks), key=cost)
+        return min(candidate_racks, key=cost)
 
     def _resolve_env_kind(
         self, obj: UDCObject, device_type: DeviceType
@@ -335,8 +327,8 @@ class UdcScheduler:
                 primary_amount = compute.amount
                 self.telemetry.event(
                     self._now(), obj.name, "split-allocation",
-                    f"{amount:g} {device_type.value} across "
-                    f"{len(shards)} devices",
+                    lambda: f"{amount:g} {device_type.value} across "
+                            f"{len(shards)} devices",
                 )
             else:
                 compute = pool.allocate(
@@ -380,8 +372,9 @@ class UdcScheduler:
         rate = compute.device.spec.compute_rate
         self.telemetry.event(
             self._now(), obj.name, "place-task",
-            f"{amount:g} {device_type.value} @ {compute.device.device_id} "
-            f"env={env_kind.value} warm={unit.environment.from_warm_pool}",
+            lambda: f"{amount:g} {device_type.value} "
+                    f"@ {compute.device.device_id} env={env_kind.value} "
+                    f"warm={unit.environment.from_warm_pool}",
         )
         return unit, rate
 
@@ -415,10 +408,13 @@ class UdcScheduler:
         pool = self.datacenter.pool(device_type)
         primary_device = unit.compute.device
         single = unit.environment.single_tenant
+        # devices_by_seq() is maintained sorted by the pool — no per-replica
+        # O(N log N) re-sort on this path.
+        ordered = pool.devices_by_seq()
         for _ in range(dist.replication.factor - 1):
             candidate = next(
                 (
-                    d for d in sorted(pool.devices, key=lambda d: d.seq)
+                    d for d in ordered
                     if d is not primary_device
                     and d.can_fit(amount, obj.tenant, single)
                     and self._breaker_allows(d)
@@ -437,7 +433,8 @@ class UdcScheduler:
             obj.allocations.append(standby)
             self.telemetry.event(
                 self._now(), obj.name, "place-standby",
-                f"{amount:g} {device_type.value} @ {candidate.device_id}",
+                lambda: f"{amount:g} {device_type.value} "
+                        f"@ {candidate.device_id}",
             )
 
     def _place_group(
@@ -486,21 +483,21 @@ class UdcScheduler:
         preferred = self._preferred_location(
             members[0].name, objects, dag, device_type
         )
-        host = next(
+        # min() over the eligible devices equals first-of-sorted (the key
+        # ends in the unique seq) without sorting the whole pool.
+        host = min(
             (
-                d for d in sorted(
-                    pool.devices,
-                    key=lambda d: (
-                        0 if preferred is not None
-                        and d.location.same_rack(preferred) else 1,
-                        d.free,
-                        d.seq,
-                    ),
-                )
+                d for d in pool.devices
                 if d.can_fit(total, members[0].tenant, single)
                 and self._breaker_allows(d)
             ),
-            None,
+            key=lambda d: (
+                0 if preferred is not None
+                and d.location.same_rack(preferred) else 1,
+                d.free,
+                d.seq,
+            ),
+            default=None,
         )
         if host is None:
             raise SchedulerError(

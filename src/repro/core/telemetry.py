@@ -12,9 +12,15 @@ the pool set's time-weighted utilization supplies the E2/E4 metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 __all__ = ["Sample", "Telemetry", "TelemetryEvent"]
+
+#: Event details may be given as a zero-arg callable so hot paths never
+#: pay f-string formatting when telemetry is disabled (or, for callers
+#: on the placement fast path, even when enabled — the string is built
+#: once at record time, not at call-site argument-evaluation time).
+Detail = Union[str, Callable[[], str]]
 
 
 @dataclass(frozen=True)
@@ -39,14 +45,24 @@ class TelemetryEvent:
 
 
 class Telemetry:
-    """Append-only sample and event log for one run."""
+    """Append-only sample and event log for one run.
 
-    def __init__(self):
+    ``enabled=False`` turns the log into a sink: events and samples are
+    discarded without being built (lazy ``detail`` callables are never
+    invoked), which keeps telemetry off the allocator's critical path in
+    fleet-scale runs.  Note the tuner consumes samples — a runtime with
+    telemetry disabled also stops adaptive resizing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
         self.samples: List[Sample] = []
         self.events: List[TelemetryEvent] = []
 
     def sample(self, time: float, module: str, compute_utilization: float,
                allocated_amount: float) -> None:
+        if not self.enabled:
+            return
         if not 0.0 <= compute_utilization <= 1.0 + 1e-9:
             raise ValueError(
                 f"utilization must be in [0,1], got {compute_utilization}"
@@ -60,7 +76,12 @@ class Telemetry:
             )
         )
 
-    def event(self, time: float, module: str, kind: str, detail: str = "") -> None:
+    def event(self, time: float, module: str, kind: str,
+              detail: Detail = "") -> None:
+        if not self.enabled:
+            return
+        if callable(detail):
+            detail = detail()
         self.events.append(
             TelemetryEvent(time=time, module=module, kind=kind, detail=detail)
         )

@@ -153,25 +153,22 @@ class FineTuner:
                 if allocation is None or allocation.single_tenant:
                     moved_all = False
                     continue
-                target = next(
+                target = min(
                     (
-                        d for d in sorted(
-                            pool.devices, key=lambda d: d.free
-                        )
+                        d for d in pool.devices
                         if d is not donor
                         and d.used > 0
                         and d.can_fit(allocation.amount, allocation.tenant,
                                       single_tenant=False)
                     ),
-                    None,
+                    key=lambda d: d.free,
+                    default=None,
                 )
                 if target is None:
                     moved_all = False
                     continue
                 # Move: re-home the allocation's accounting to the target.
-                donor.allocations.pop(allocation.alloc_id)
-                target.allocations[allocation.alloc_id] = allocation.amount
-                allocation.device = target
+                pool.rehome(allocation, target)
                 self._record(TuningAction(
                     module=allocation.tenant, kind="migrate",
                     old_amount=allocation.amount,
@@ -188,7 +185,7 @@ class FineTuner:
         self.actions.append(action)
         self.telemetry.event(
             self.datacenter.sim.now, action.module, f"tune-{action.kind}",
-            f"{action.old_amount:g} -> {action.new_amount:g}",
+            lambda: f"{action.old_amount:g} -> {action.new_amount:g}",
         )
 
 

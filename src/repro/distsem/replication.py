@@ -142,5 +142,7 @@ class ReplicaPlacer:
             ) else 1
             return (local, device.free, device.device_id)
 
-        chosen = sorted(candidates, key=key)[0]
+        # min() equals sorted(...)[0] (device_id makes the key unique)
+        # without the O(N log N) sort on every replica placement.
+        chosen = min(candidates, key=key)
         return self.pool.allocate(size, tenant, device=chosen)

@@ -209,6 +209,34 @@ class Device:
             self.seq = next(_device_ids)
         if not self.device_id:
             self.device_id = f"{self.spec.device_type.value}-{self.seq}"
+        #: pools this device is registered with; capacity-affecting state
+        #: changes (``failed`` flips) notify them so pool-level accounting
+        #: and placement indexes stay incremental instead of re-scanned.
+        self._pools = []
+        self._used = float(sum(self.allocations.values()))
+        #: tenant id -> live allocation count, maintained by the pool's
+        #: allocate/release/rehome paths (alloc ids are ``tenant/...``).
+        self._tenant_refs: Dict[str, int] = {}
+        for alloc_id in self.allocations:
+            tenant = alloc_id.split("/", 1)[0]
+            self._tenant_refs[tenant] = self._tenant_refs.get(tenant, 0) + 1
+
+    def __setattr__(self, name, value):
+        # ``failed`` is flipped directly by failure domains and tests; the
+        # hook keeps registered pools' live-capacity counters and free
+        # indexes correct without those callers knowing about pools.
+        if name == "failed":
+            old = getattr(self, "failed", None)
+            object.__setattr__(self, name, value)
+            if old is not None and old != bool(value):
+                for pool in getattr(self, "_pools", ()):
+                    pool._on_device_failed_changed(self)
+            return
+        object.__setattr__(self, name, value)
+
+    def _register_pool(self, pool) -> None:
+        if pool not in self._pools:
+            self._pools.append(pool)
 
     @property
     def device_type(self) -> DeviceType:
@@ -216,26 +244,78 @@ class Device:
 
     @property
     def used(self) -> float:
-        return sum(self.allocations.values())
+        return self._used
 
     @property
     def free(self) -> float:
-        return self.spec.capacity - self.used
+        return self.spec.capacity - self._used
+
+    def recompute_used(self) -> float:
+        """O(allocations) re-sum — the pre-index accounting, kept for the
+        naive reference path and as the invariant the cache must match."""
+        return sum(self.allocations.values())
 
     @property
     def tenants(self) -> set:
-        """Tenant ids currently holding allocations (alloc ids are
-        ``tenant/...``)."""
-        return {alloc_id.split("/", 1)[0] for alloc_id in self.allocations}
+        """Tenant ids currently holding allocations."""
+        return set(self._tenant_refs)
+
+    def has_other_tenant(self, tenant: str) -> bool:
+        return any(t != tenant for t in self._tenant_refs)
+
+    def has_tenant(self, tenant: str) -> bool:
+        return tenant in self._tenant_refs
+
+    # -- allocation bookkeeping (called by ResourcePool only) ----------------
+
+    def _add_alloc(self, alloc_id: str, amount: float, tenant: str) -> float:
+        """Record a new slice; returns the used-delta (== amount).
+
+        Incremental add matches ``sum()`` exactly because dicts preserve
+        insertion order: the cache is always the same left-to-right sum a
+        re-scan would produce.
+        """
+        self.allocations[alloc_id] = amount
+        self._used += amount
+        self._tenant_refs[tenant] = self._tenant_refs.get(tenant, 0) + 1
+        return amount
+
+    def _remove_alloc(self, alloc_id: str, tenant: str) -> float:
+        """Drop a slice; returns the (negative) used-delta.
+
+        Removal re-sums the remaining dict so the cache never drifts from
+        ``recompute_used()`` — float subtraction is not exact, re-summing
+        the survivors is.
+        """
+        amount = self.allocations.pop(alloc_id, None)
+        if amount is None:
+            return 0.0
+        old = self._used
+        self._used = float(sum(self.allocations.values())) if self.allocations else 0.0
+        refs = self._tenant_refs.get(tenant, 0) - 1
+        if refs <= 0:
+            self._tenant_refs.pop(tenant, None)
+        else:
+            self._tenant_refs[tenant] = refs
+        return self._used - old
+
+    def _resize_alloc(self, alloc_id: str, new_amount: float) -> float:
+        """Change a slice's amount in place; returns the used-delta."""
+        if alloc_id not in self.allocations:
+            return 0.0
+        self.allocations[alloc_id] = new_amount
+        old = self._used
+        self._used = float(sum(self.allocations.values()))
+        return self._used - old
 
     def can_fit(self, amount: float, tenant: str, single_tenant: bool) -> bool:
         """Whether ``amount`` for ``tenant`` can be placed here, honoring
         single-tenant pinning in both directions."""
-        if self.failed or amount > self.free + 1e-9:
+        if self.failed or amount > self.spec.capacity - self._used + 1e-9:
             return False
         if self.single_tenant_of is not None and self.single_tenant_of != tenant:
             return False
-        if single_tenant and self.tenants - {tenant}:
+        if single_tenant and self.has_other_tenant(tenant):
             return False
         return True
 

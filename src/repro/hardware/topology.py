@@ -101,13 +101,18 @@ class Datacenter:
 
 
 def build_datacenter(
-    spec: Optional[DatacenterSpec] = None, sim: Optional[Simulator] = None
+    spec: Optional[DatacenterSpec] = None,
+    sim: Optional[Simulator] = None,
+    indexed_pools: bool = True,
 ) -> Datacenter:
     """Construct pools, devices, and fabric per ``spec``.
 
     Devices of each type are placed round-robin across slots within each
     rack; every pod gets one switch location (rack index -1 by convention)
-    for in-network sequencing.
+    for in-network sequencing.  ``indexed_pools=False`` builds the naive
+    reference allocator (scan-and-sort placement, re-summed accounting) —
+    decisions are identical, only the complexity differs; the
+    placement-equivalence golden test and ``bench_perf_scale`` rely on it.
     """
     spec = spec or DatacenterSpec()
     sim = sim or Simulator()
@@ -116,7 +121,9 @@ def build_datacenter(
     datacenter = Datacenter(sim=sim, spec=spec, pools=pools, fabric=fabric)
 
     for device_type in spec.all_device_types():
-        pool = ResourcePool(device_type, clock=lambda: sim.now)
+        pool = ResourcePool(
+            device_type, clock=lambda: sim.now, indexed=indexed_pools
+        )
         pools.pools[device_type] = pool
 
     for pod in range(spec.pods):

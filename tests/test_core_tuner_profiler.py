@@ -36,6 +36,30 @@ def test_events_and_counts():
     assert len(telemetry.events_of("migrate")) == 2
 
 
+def test_lazy_detail_resolved_at_record_time():
+    telemetry = Telemetry()
+    telemetry.event(0.0, "m", "place-task", lambda: f"cores={2 + 2}")
+    assert telemetry.events[0].detail == "cores=4"
+
+
+def test_disabled_telemetry_discards_and_never_formats():
+    calls = []
+
+    def expensive_detail():
+        calls.append(1)
+        return "should never be built"
+
+    telemetry = Telemetry(enabled=False)
+    telemetry.event(0.0, "m", "place-task", expensive_detail)
+    telemetry.sample(0.0, "m", 0.5, 4.0)
+    # Out-of-range samples are not even validated when disabled: the
+    # enabled guard is the first thing on the hot path.
+    telemetry.sample(0.0, "m", 99.0, 4.0)
+    assert telemetry.events == []
+    assert telemetry.samples == []
+    assert calls == []
+
+
 # ------------------------------------------------------------ tuner
 
 

@@ -1,0 +1,186 @@
+"""Incremental capacity accounting: live-capacity unification + index sync.
+
+Covers the PR-2 accounting rebuild: one definition of "live capacity"
+(``ResourcePool._device_is_live``) serves ``total_capacity``,
+``total_used``, ``utilization``, the ``_sample`` integral, and the
+utilization report; cached device counters never drift from a re-sum;
+and the placement index follows failures, repairs, resizes, rehomes,
+and releases.
+"""
+
+import pytest
+
+from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceType
+from repro.hardware.fabric import Location
+from repro.hardware.pools import AllocationError, ResourcePool
+
+
+def make_pool(devices=4, indexed=True, clock=None, device_type=DeviceType.CPU):
+    pool = ResourcePool(device_type, clock=clock, indexed=indexed)
+    for index in range(devices):
+        pool.add_device(Device(
+            spec=DEFAULT_SPECS[device_type],
+            location=Location(0, index % 2, index),
+        ))
+    return pool
+
+
+@pytest.mark.parametrize("indexed", [True, False])
+def test_live_capacity_unified_across_failure(indexed):
+    """Failing a loaded device removes its capacity AND its used amount
+    from every aggregate at once; repair restores both."""
+    pool = make_pool(devices=2, indexed=indexed)
+    alloc = pool.allocate(16, "a", device=pool.devices[0])
+    pool.allocate(8, "b", device=pool.devices[1])
+    assert pool.total_capacity == 64
+    assert pool.total_used == 24
+    assert pool.utilization() == pytest.approx(24 / 64)
+
+    pool.devices[0].failed = True
+    assert pool.total_capacity == 32
+    assert pool.total_used == 8
+    assert pool.total_free == 24
+    assert pool.utilization() == pytest.approx(8 / 32)
+
+    pool.devices[0].failed = False
+    assert pool.total_capacity == 64
+    assert pool.total_used == 24
+    pool.check_accounting()
+    # Releasing the allocation that lived through the failure still
+    # settles cleanly.
+    pool.release(alloc)
+    assert pool.total_used == 8
+    pool.check_accounting()
+
+
+def test_release_on_failed_device_keeps_totals_consistent():
+    """A failed device's used was already removed from the live total;
+    releasing its allocations must not double-subtract."""
+    pool = make_pool(devices=2)
+    alloc = pool.allocate(16, "a", device=pool.devices[0])
+    pool.devices[0].failed = True
+    assert pool.total_used == 0
+    pool.release(alloc)
+    assert pool.total_used == 0
+    pool.devices[0].failed = False
+    assert pool.total_used == 0
+    pool.check_accounting()
+
+
+def test_breaker_gating_does_not_change_capacity():
+    """Open breakers steer placement away but never shrink live
+    capacity — a gated device is still powered and billed."""
+    pool = make_pool(devices=2)
+    gated = pool.devices[0]
+    pool.admission_filter = lambda d: d is not gated
+    before_cap, before_used = pool.total_capacity, pool.total_used
+    alloc = pool.allocate(4, "a")
+    assert alloc.device is not gated
+    assert pool.total_capacity == before_cap
+    assert pool.total_used == before_used + 4
+    # All gated: placement falls back to the ungated order rather than
+    # failing (degraded beats unplaceable) — and capacity still counts.
+    pool.admission_filter = lambda d: False
+    fallback = pool.allocate(4, "b")
+    assert fallback.amount == 4
+    pool.check_accounting()
+
+
+def test_incremental_matches_recompute_through_churn():
+    pool = make_pool(devices=6)
+    live = []
+    for step in range(200):
+        if step % 3 == 2 and live:
+            pool.release(live.pop(step % len(live)))
+        else:
+            amount = 0.25 * (1 + step % 8)
+            try:
+                live.append(pool.allocate(amount, f"t{step % 5}"))
+            except AllocationError:
+                if live:
+                    pool.release(live.pop(0))
+        if step % 4 == 0 and live:
+            target = min(live[0].amount * 2, 4.0)
+            try:
+                pool.resize(live[0], target)
+            except AllocationError:
+                pass
+        pool.check_accounting()
+    for alloc in live:
+        pool.release(alloc)
+    pool.check_accounting()
+    assert pool.total_used == 0.0
+
+
+def test_index_follows_rehome():
+    pool = make_pool(devices=3)
+    a = pool.allocate(8, "a", device=pool.devices[0])
+    pool.allocate(4, "b", device=pool.devices[1])
+    pool.rehome(a, pool.devices[1])
+    assert a.device is pool.devices[1]
+    assert pool.devices[0].used == 0
+    assert pool.devices[1].used == 12
+    assert pool.devices[1].tenants == {"a", "b"}
+    pool.check_accounting()
+    # Best-fit now sees device 1 as the fullest fitting device.
+    best = pool.allocate(2, "c")
+    assert best.device is pool.devices[1]
+
+
+def test_peak_used_incremental():
+    pool = make_pool(devices=2)
+    a = pool.allocate(10, "a")
+    b = pool.allocate(20, "b")
+    pool.release(a)
+    assert pool.peak_used == 30
+    pool.resize(b, 32)
+    assert pool.peak_used == 32
+    pool.check_accounting()
+
+
+def test_mean_utilization_time_weighted_with_failure():
+    clock = {"t": 0.0}
+    pool = make_pool(devices=1, clock=lambda: clock["t"])
+    pool.allocate(16, "a")     # 50% of one 32-core device
+    clock["t"] = 10.0
+    pool.allocate(8, "a")      # samples [0,10) at 50%
+    clock["t"] = 20.0
+    # 10s @ 16 + 10s @ 24 over 20s * 32 cap
+    assert pool.mean_utilization() == pytest.approx((160 + 240) / (20 * 32))
+
+
+def test_max_free_and_devices_by_seq():
+    pool = make_pool(devices=3)
+    assert pool.max_free() == 32
+    pool.allocate(30, "a", device=pool.devices[0])
+    pool.allocate(12, "a", device=pool.devices[1])
+    assert pool.max_free() == 32
+    pool.allocate(5, "a", device=pool.devices[2])
+    assert pool.max_free() == 27
+    ordered = pool.devices_by_seq()
+    assert [d.seq for d in ordered] == sorted(d.seq for d in pool.devices)
+    pool.devices[2].failed = True
+    assert pool.max_free() == 20
+
+
+def test_live_rack_locations_tracks_failures():
+    pool = make_pool(devices=4)  # racks 0 and 1, two devices each
+    racks = pool.live_rack_locations()
+    assert [(r.pod, r.rack) for r in racks] == [(0, 0), (0, 1)]
+    for device in pool.devices:
+        if device.location.rack == 1:
+            device.failed = True
+    racks = pool.live_rack_locations()
+    assert [(r.pod, r.rack) for r in racks] == [(0, 0)]
+
+
+def test_tenant_refcounts_clear_single_tenant_pin():
+    pool = make_pool(devices=1)
+    first = pool.allocate(1, "alice", single_tenant=True)
+    second = pool.allocate(1, "alice")
+    pool.release(first)
+    # Alice still holds an allocation: the pin must survive.
+    assert pool.devices[0].single_tenant_of == "alice"
+    pool.release(second)
+    assert pool.devices[0].single_tenant_of is None
+    pool.check_accounting()
