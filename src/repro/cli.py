@@ -17,7 +17,12 @@ Subcommands:
 * ``udc chaos APP.json --faults FAULTS.json`` — run a program under a
   deterministic fault schedule (crashes, stragglers, fabric partitions,
   warm-pool exhaustion) and report how the declared resilience policies
-  absorbed it (the E22 harness).
+  absorbed it (the E22 harness);
+* ``udc trace APP.json`` — execute and print the hierarchical trace-span
+  tree (schedule → allocate → env-acquire → execute → retry/hedge), plus
+  an optional span-painted Gantt chart;
+* ``udc metrics APP.json`` — execute and print the run's metrics registry
+  as a Prometheus text snapshot or JSON.
 
 All input formats are documented in each handler's docstring; everything
 is plain JSON so non-Python frontends can target the same entry points.
@@ -33,7 +38,7 @@ from typing import List, Optional
 from repro.appmodel.loader import load_program_file
 from repro.core.autosize import autosize
 from repro.core.runtime import UDCRuntime
-from repro.core.timeline import ascii_gantt
+from repro.core.timeline import ascii_gantt, render_span_tree, span_gantt
 from repro.core.verify import verify_run
 from repro.execenv.attestation import Verifier
 from repro.execenv.warmpool import WarmPool
@@ -371,6 +376,66 @@ def cmd_chaos(args) -> int:
     return 0 if result.slo_violations == 0 else 3
 
 
+def _run_observed(args):
+    """Shared execute-and-return-runtime path for trace/metrics."""
+    from repro.simulator.rng import RngRegistry
+
+    dag = load_program_file(args.app)
+    definition = None
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    runtime = UDCRuntime(
+        _build_dc(args),
+        warm_pool=WarmPool(enabled=args.warm),
+        prewarm=args.warm,
+        rng=RngRegistry(args.seed),
+    )
+    result = runtime.run(dag, definition, tenant=args.tenant)
+    return runtime, result
+
+
+def cmd_trace(args) -> int:
+    """Execute and print the run's trace-span tree.
+
+    Every module's lifecycle is a root span; scheduling, allocation,
+    environment acquisition, transfers, compute, retries, recovery, and
+    hedges nest beneath it with phase attribution — the structured
+    replacement for eyeballing the flat event log.
+    """
+    runtime, _result = _run_observed(args)
+    telemetry = runtime.telemetry
+    if args.json:
+        payload = [span.to_dict() for span in telemetry.spans]
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print(render_span_tree(telemetry, module=args.module))
+    if args.gantt:
+        print()
+        print(span_gantt(telemetry))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Execute and print the run's metrics snapshot.
+
+    ``--format prom`` (default) emits the Prometheus text exposition
+    format; ``--format json`` emits the registry as JSON (wall-clock
+    histograms included — this snapshot is for humans and scrapers, not
+    for byte-reproducible reports).
+    """
+    runtime, _result = _run_observed(args)
+    registry = runtime.metrics_snapshot()
+    if args.format == "json":
+        json.dump(registry.to_dict(include_wall_clock=True), sys.stdout,
+                  indent=2, sort_keys=True)
+        print()
+    else:
+        sys.stdout.write(registry.render_prometheus())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="udc",
@@ -445,6 +510,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the run summary as JSON")
     _add_dc_args(chaos_p)
     chaos_p.set_defaults(handler=cmd_chaos)
+
+    trace_p = sub.add_parser(
+        "trace", help="execute and print the trace-span tree"
+    )
+    trace_p.add_argument("app", help="IR program JSON (IRProgram.to_dict)")
+    trace_p.add_argument("--spec", help="declarative aspect spec JSON")
+    trace_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed (default 0)")
+    trace_p.add_argument("--tenant", default="cli-tenant")
+    trace_p.add_argument("--warm", action="store_true",
+                         help="enable warm bundled resource units")
+    trace_p.add_argument("--module", default=None,
+                         help="only show trees rooted at this module")
+    trace_p.add_argument("--gantt", action="store_true",
+                         help="also print the span-painted Gantt chart")
+    trace_p.add_argument("--json", action="store_true",
+                         help="emit the raw span log as JSON")
+    _add_dc_args(trace_p)
+    trace_p.set_defaults(handler=cmd_trace)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="execute and print the metrics snapshot"
+    )
+    metrics_p.add_argument("app", help="IR program JSON (IRProgram.to_dict)")
+    metrics_p.add_argument("--spec", help="declarative aspect spec JSON")
+    metrics_p.add_argument("--seed", type=int, default=0,
+                           help="RNG seed (default 0)")
+    metrics_p.add_argument("--tenant", default="cli-tenant")
+    metrics_p.add_argument("--warm", action="store_true",
+                           help="enable warm bundled resource units")
+    metrics_p.add_argument("--format", choices=("prom", "json"),
+                           default="prom")
+    _add_dc_args(metrics_p)
+    metrics_p.set_defaults(handler=cmd_metrics)
     return parser
 
 

@@ -1,0 +1,409 @@
+"""Structured observability: hierarchical spans and a metrics registry.
+
+The paper's runtime loop is telemetry-driven ("UDC would perform fine
+tuning ... based on telemetry data collected at the run time", §3.2), and
+diagnosing the tail-latency and utilization claims at fleet scale needs
+more than a flat event list.  This module supplies the two table-stakes
+primitives (PAPERS.md: Dapper; Monarch):
+
+* :class:`Span` — a timestamped, hierarchical trace span with *phase
+  attribution*.  The runtime, scheduler, warm pool, and resilience
+  machinery emit spans for every stage of a module's life:
+  ``schedule → allocate → env-acquire → execute → retry/hedge/recover``.
+  Spans carry a parent id, so one task's boot, transfers, compute,
+  retries, and speculative hedges form a tree rooted at its lifecycle
+  span (rendered by ``udc trace`` via :mod:`repro.core.timeline`).
+
+* :class:`MetricsRegistry` — Prometheus-style counters, gauges, and
+  histograms, maintained incrementally at emit time (no event-list
+  re-scan) and renderable as a text exposition snapshot
+  (:meth:`MetricsRegistry.render_prometheus`) or JSON
+  (:meth:`MetricsRegistry.to_dict`), surfaced by ``udc metrics``.
+
+Both are owned by :class:`~repro.core.telemetry.Telemetry`, which keeps
+the PR 2 guarantee: with ``enabled=False`` every span/metric call is a
+fast no-op (``NULL_SPAN`` is returned; the registry is never even
+constructed), so disabled observability stays off the allocator hot path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+]
+
+# --------------------------------------------------------------------- spans
+
+#: Canonical phase vocabulary.  Spans may use any string, but the emitters
+#: in this repo stick to these so dashboards and the golden tests can key
+#: off them.
+PHASES = (
+    "lifecycle",    # a module's whole run (the root span)
+    "schedule",     # scheduler decision-making / dependency waits
+    "allocate",     # pool allocation (compute, memory, standbys)
+    "env-acquire",  # environment boot: cold start or warm-pool rebind
+    "execute",      # transfers + chunked compute
+    "retry",        # a re-execution attempt after a failure
+    "hedge",        # a speculative duplicate attempt
+    "recover",      # backoff + migration + checkpoint restore
+)
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    ``end_s`` is ``None`` while the span is open; :meth:`duration_s`
+    treats an open span as zero-length.  ``status`` is ``"running"``
+    until ended, then ``"ok"`` / ``"error"`` / ``"cancelled"`` /
+    ``"abandoned"`` / ``"interrupted"``.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    module: str
+    name: str
+    phase: str
+    start_s: float
+    end_s: Optional[float] = None
+    status: str = "running"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end_s - self.start_s) if self.end_s is not None else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "module": self.module,
+            "name": self.name,
+            "phase": self.phase,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan(Span):
+    """The span returned when telemetry is disabled: writes vanish."""
+
+    def __init__(self):
+        super().__init__(span_id=-1, parent_id=None, module="", name="",
+                         phase="", start_s=0.0)
+
+    @property
+    def attrs(self) -> Dict[str, object]:  # type: ignore[override]
+        # A fresh dict per access: callers may write, nothing accumulates.
+        return {}
+
+    @attrs.setter
+    def attrs(self, value) -> None:
+        pass
+
+
+#: Singleton no-op span handed out by disabled telemetry so emitters never
+#: branch on "did I get a span back".
+NULL_SPAN = _NullSpan()
+
+
+# -------------------------------------------------------------------- metrics
+
+#: Default histogram bucket upper bounds (seconds): spans sub-millisecond
+#: control-plane work through multi-minute cold starts.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 120.0, 300.0,
+)
+
+#: Canonical help strings, attached the first time a family is created so
+#: emit sites stay one-liners.
+METRIC_HELP: Dict[str, str] = {
+    "udc_placements_total": "Module placements performed, by module kind.",
+    "udc_placement_latency_seconds":
+        "Wall-clock latency of one scheduler placement decision.",
+    "udc_env_startup_seconds":
+        "Simulated environment boot time (cold or warm), per attempt.",
+    "udc_task_wall_seconds": "Simulated end-to-end wall time per task module.",
+    "udc_retries_total": "Task re-executions after failures.",
+    "udc_failures_total": "Failure interrupts delivered to task attempts.",
+    "udc_deadline_misses_total": "Modules abandoned at their deadline (SLO).",
+    "udc_hedges_total": "Speculative duplicate attempts launched.",
+    "udc_hedge_wins_total": "Hedged tasks where the duplicate finished first.",
+    "udc_hedge_losses_total":
+        "Hedges that lost the race or died before finishing.",
+    "udc_breaker_trips_total": "Circuit breakers newly opened.",
+    "udc_warm_pool_hits_total": "Environment acquisitions served warm.",
+    "udc_warm_pool_misses_total": "Environment acquisitions that cold-start.",
+    "udc_warm_pool_outage_misses_total":
+        "Warm-pool misses attributable to an injected outage.",
+    "udc_warm_pool_prewarmed_total": "Shells stocked by prewarm/refill.",
+    "udc_warm_pool_hit_rate": "Lifetime warm-pool hit rate.",
+    "udc_pool_utilization":
+        "Instantaneous fraction of live pool capacity in use.",
+    "udc_pool_mean_utilization": "Time-weighted mean pool utilization.",
+    "udc_pool_capacity_units": "Live pool capacity, in device units.",
+    "udc_pool_used_units": "Live pool capacity currently allocated.",
+    "udc_pool_peak_used_units": "High-water mark of allocated capacity.",
+    "udc_breakers_open": "Circuit breakers currently open.",
+}
+
+#: Metric families measured in host wall-clock time rather than simulated
+#: time.  Everything else in a run is deterministic for a given seed;
+#: these are not, so JSON snapshots embedded in run reports exclude them
+#: by default (``MetricsRegistry.to_dict``) to keep report bytes
+#: reproducible.  The Prometheus text rendering always includes them.
+WALL_CLOCK_METRICS = frozenset({"udc_placement_latency_seconds"})
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Dict[str, str]]) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; the
+    implicit final ``+Inf`` bucket equals ``count``.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * len(self.buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile from the cumulative buckets (upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for bound, cumulative in zip(self.buckets, self.bucket_counts):
+            if cumulative >= rank:
+                return bound
+        return math.inf
+
+
+@dataclass
+class _Family:
+    """All instruments sharing one metric name."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    instruments: Dict[LabelKey, object] = field(default_factory=dict)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with optional labels.
+
+    Instruments are created on first use; a name is bound to one kind for
+    the registry's lifetime (mixing kinds raises).  Rendering never
+    mutates state, so snapshots are safe to take mid-run.
+    """
+
+    def __init__(self):
+        self._families: Dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str, help_text: str = "",
+                buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(
+                name=name, kind=kind,
+                help=help_text or METRIC_HELP.get(name, ""),
+                buckets=buckets,
+            )
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        return family
+
+    def counter(self, name: str, labels: Optional[Dict[str, str]] = None,
+                help: str = "") -> Counter:
+        family = self._family(name, "counter", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, labels: Optional[Dict[str, str]] = None,
+              help: str = "") -> Gauge:
+        family = self._family(name, "gauge", help)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, labels: Optional[Dict[str, str]] = None,
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        family = self._family(name, "histogram", help, buckets)
+        key = _label_key(labels)
+        instrument = family.instruments.get(key)
+        if instrument is None:
+            instrument = family.instruments[key] = Histogram(family.buckets)
+        return instrument
+
+    # -- reads ---------------------------------------------------------------
+
+    def value(self, name: str,
+              labels: Optional[Dict[str, str]] = None) -> float:
+        """Current value of a counter/gauge (0.0 when never emitted)."""
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        instrument = family.instruments.get(_label_key(labels))
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            raise ValueError(f"{name!r} is a histogram; read it via family")
+        return instrument.value
+
+    def families(self) -> Iterable[_Family]:
+        return (self._families[name] for name in sorted(self._families))
+
+    # -- rendering -----------------------------------------------------------
+
+    @staticmethod
+    def _fmt_labels(key: LabelKey, extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in key]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    @staticmethod
+    def _fmt_value(value: float) -> str:
+        return f"{value:g}"
+
+    def render_prometheus(self) -> str:
+        """Text exposition snapshot (Prometheus format, version 0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                if isinstance(instrument, Histogram):
+                    for bound, bucket in zip(instrument.buckets,
+                                             instrument.bucket_counts):
+                        le = self._fmt_labels(key, f'le="{bound:g}"')
+                        lines.append(
+                            f"{family.name}_bucket{le} {bucket}"
+                        )
+                    le = self._fmt_labels(key, 'le="+Inf"')
+                    lines.append(
+                        f"{family.name}_bucket{le} {instrument.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{self._fmt_labels(key)} "
+                        f"{self._fmt_value(instrument.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{self._fmt_labels(key)} "
+                        f"{instrument.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{self._fmt_labels(key)} "
+                        f"{self._fmt_value(instrument.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self, include_wall_clock: bool = False) -> Dict[str, object]:
+        """JSON-serializable snapshot, keyed by metric name.
+
+        Wall-clock families (:data:`WALL_CLOCK_METRICS`) are skipped
+        unless ``include_wall_clock`` — they vary run to run and would
+        break byte-identical report reproducibility.
+        """
+        out: Dict[str, object] = {}
+        for family in self.families():
+            if not include_wall_clock and family.name in WALL_CLOCK_METRICS:
+                continue
+            values = []
+            for key in sorted(family.instruments):
+                instrument = family.instruments[key]
+                entry: Dict[str, object] = {"labels": dict(key)}
+                if isinstance(instrument, Histogram):
+                    entry["buckets"] = {
+                        f"{bound:g}": count
+                        for bound, count in zip(instrument.buckets,
+                                                instrument.bucket_counts)
+                    }
+                    entry["buckets"]["+Inf"] = instrument.count
+                    entry["sum"] = instrument.sum
+                    entry["count"] = instrument.count
+                else:
+                    entry["value"] = instrument.value
+                values.append(entry)
+            out[family.name] = {
+                "type": family.kind, "help": family.help, "values": values,
+            }
+        return out

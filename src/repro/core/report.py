@@ -63,6 +63,9 @@ class RunResult:
     fabric_bytes: int = 0
     warm_hits: int = 0
     warm_misses: int = 0
+    #: MetricsRegistry.to_dict() snapshot taken at collection time
+    #: (None when the run executed with telemetry disabled)
+    metrics: Optional[Dict] = None
 
     def row(self, name: str) -> ModuleRow:
         for row in self.rows:
@@ -110,6 +113,7 @@ class RunResult:
             "fabric_bytes": self.fabric_bytes,
             "warm_hits": self.warm_hits,
             "warm_misses": self.warm_misses,
+            "metrics": self.metrics,
             "conflicts_resolved": (
                 {name: level.value
                  for name, level in self.conflicts.resolved_levels.items()}

@@ -36,6 +36,7 @@ from repro.core.bundle import BundleManager
 from repro.core.conflicts import ConflictPolicy, ConflictResolution, resolve_conflicts
 from repro.core.defaults import provider_defaults
 from repro.core.objects import UDCObject
+from repro.core.observability import MetricsRegistry, Span
 from repro.core.report import ModuleRow, RunResult
 from repro.core.scheduler import TaskPlacement, UdcScheduler
 from repro.core.spec import UserDefinition, parse_definition
@@ -87,6 +88,8 @@ class _LiveTask:
     #: live speculative duplicate, if a HedgePolicy launched one
     hedge_process: Optional[Process] = None
     hedge_placement: Optional[TaskPlacement] = None
+    #: root lifecycle span for this task (closed by _finish_task)
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -164,6 +167,7 @@ class UDCRuntime:
         max_recovery_attempts: int = 3,
         rng: Optional[RngRegistry] = None,
         breakers: Optional[CircuitBreakerRegistry] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.datacenter = datacenter
         self.sim = datacenter.sim
@@ -175,12 +179,16 @@ class UDCRuntime:
         #: named streams from here, so one seed reproduces a whole run
         self.rng = rng if rng is not None else RngRegistry(0)
 
-        self.telemetry = Telemetry()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.warm_pool = warm_pool if warm_pool is not None else WarmPool(enabled=False)
+        # Warm pool and breakers feed the metrics registry incrementally
+        # (both guard on telemetry.enabled, keeping the disabled path free).
+        self.warm_pool.telemetry = self.telemetry
         self.bundles = BundleManager(warm_pool=self.warm_pool)
         self.breakers = (
             breakers if breakers is not None else CircuitBreakerRegistry()
         )
+        self.breakers.telemetry = self.telemetry
         self.scheduler = UdcScheduler(
             datacenter, self.bundles, telemetry=self.telemetry,
             use_locality=use_locality, breakers=self.breakers,
@@ -695,13 +703,26 @@ class UDCRuntime:
         progress = 0.0
         attempts = 0
         recovering = False
+        root_span = self.telemetry.span_start(
+            self.sim.now, obj.name, "task", "lifecycle",
+            tenant=obj.tenant, app=dag.name,
+        )
+        task_state.span = root_span
         while True:
+            # Spans currently open inside the try body; the interrupt
+            # handler closes whatever a failure caught mid-flight.
+            attempt_span = None
+            child_span = None
             try:
                 if recovering:
                     # Recovery runs inside the try so a failure DURING
                     # recovery (backoff, migration, restore) is counted
                     # as another attempt instead of killing the process.
                     recovering = False
+                    child_span = self.telemetry.span_start(
+                        self.sim.now, obj.name, "recover", "recover",
+                        parent=root_span, attempt=attempts,
+                    )
                     retry = dist.retry
                     if retry is not None:
                         delay = retry.backoff_s(
@@ -714,10 +735,13 @@ class UDCRuntime:
                     outcome = plan_recovery(strategy, obj.name, checkpoint_store)
                     migrated = yield from self._migrate(task_state, submission)
                     if not migrated:
+                        self.telemetry.span_end(child_span, self.sim.now,
+                                                status="error")
                         self._finish_task(task_state, submission, None,
                                           winner="abandoned")
                         return None
                     record.retries += 1
+                    self.telemetry.inc("udc_retries_total")
                     attempt_now, backoff_now = attempts, record.backoff_s
                     self.telemetry.event(
                         self.sim.now, obj.name, "retry",
@@ -733,29 +757,56 @@ class UDCRuntime:
                     progress = outcome.resume_progress
                     record.recovered_from_progress = progress
                     placement = task_state.placement
+                    self.telemetry.span_end(child_span, self.sim.now)
+                    child_span = None
                 if waiting_on_deps:
                     # all_of tolerates already-fired members, so retrying
                     # after a failure-interrupt mid-wait is safe.
+                    child_span = self.telemetry.span_start(
+                        self.sim.now, obj.name, "wait-deps", "schedule",
+                        parent=root_span, deps=len(deps),
+                    )
                     yield self.sim.all_of(deps)
+                    self.telemetry.span_end(child_span, self.sim.now)
+                    child_span = None
                     waiting_on_deps = False
                 if not started:
                     record.started_at = self.sim.now
                     started = True
                     self._arm_deadline(task_state, dist)
                     self._arm_hedge(task_state, submission, dist)
+                attempt_span = self.telemetry.span_start(
+                    self.sim.now, obj.name, "attempt",
+                    "execute" if attempts == 0 else "retry",
+                    parent=root_span, attempt=attempts,
+                )
                 # -- environment startup (on demand; warm pools shortcut it)
                 env = obj.environment
                 t0 = self.sim.now
+                child_span = self.telemetry.span_start(
+                    self.sim.now, obj.name, "env-acquire", "env-acquire",
+                    parent=attempt_span, env=env.kind.value,
+                    warm=env.from_warm_pool,
+                )
                 yield self.sim.timeout(env.startup_time())
                 env.state = EnvState.RUNNING
                 env.started_at = self.sim.now
                 record.startup_s += self.sim.now - t0
+                self.telemetry.span_end(child_span, self.sim.now)
+                child_span = None
+                self.telemetry.observe("udc_env_startup_seconds",
+                                       self.sim.now - t0)
                 self._attest(obj, placement)
 
                 # -- pull inputs over the fabric
                 t0 = self.sim.now
+                child_span = self.telemetry.span_start(
+                    self.sim.now, obj.name, "transfer-in", "execute",
+                    parent=attempt_span,
+                )
                 yield from self._pull_inputs(obj, placement, dag, objects, stores)
                 record.transfer_s += self.sim.now - t0
+                self.telemetry.span_end(child_span, self.sim.now)
 
                 # -- chunked compute with optional checkpoints
                 native = task.execution_seconds(
@@ -764,6 +815,11 @@ class UDCRuntime:
                     placement.compute_rate,
                 )
                 wall_full = env.compute_time(native)
+                child_span = self.telemetry.span_start(
+                    self.sim.now, obj.name, "execute", "execute",
+                    parent=attempt_span,
+                    device=placement.unit.compute.device.device_id,
+                )
                 # Chunk compute for telemetry even without checkpointing:
                 # the tuner needs mid-run samples to act on (§3.2), and a
                 # checkpointing task checkpoints at its own interval.
@@ -793,20 +849,33 @@ class UDCRuntime:
                         )
                         record.checkpoint_s += self.sim.now - t0
                         record.checkpoints_taken += 1
+                self.telemetry.span_end(child_span, self.sim.now)
 
                 # -- push outputs into downstream data modules
                 t0 = self.sim.now
+                child_span = self.telemetry.span_start(
+                    self.sim.now, obj.name, "transfer-out", "execute",
+                    parent=attempt_span,
+                )
                 yield from self._push_outputs(obj, placement, dag, stores)
                 record.transfer_s += self.sim.now - t0
+                self.telemetry.span_end(child_span, self.sim.now)
+                child_span = None
+                self.telemetry.span_end(attempt_span, self.sim.now)
                 break
 
             except Interrupt as interrupt:
                 cause = interrupt.cause
+                self.telemetry.span_end(child_span, self.sim.now,
+                                        status="interrupted")
+                self.telemetry.span_end(attempt_span, self.sim.now,
+                                        status="interrupted")
                 if isinstance(cause, HedgeCancelled):
                     # The hedge won and did all bookkeeping; just vanish.
                     return None
                 if isinstance(cause, DeadlineMiss):
                     record.deadline_missed = True
+                    self.telemetry.inc("udc_deadline_misses_total")
                     self.telemetry.event(
                         self.sim.now, obj.name, "deadline_miss",
                         f"abandoned after {cause.deadline_s:g}s",
@@ -816,6 +885,7 @@ class UDCRuntime:
                     return None
                 record.failures += 1
                 attempts += 1
+                self.telemetry.inc("udc_failures_total")
                 self.telemetry.event(
                     self.sim.now, obj.name, "failure",
                     lambda: f"cause={cause}",
@@ -891,12 +961,28 @@ class UDCRuntime:
             )
         if winner == "hedge":
             record.hedge_won = True
+            self.telemetry.inc("udc_hedge_wins_total")
             self.telemetry.event(
                 self.sim.now, obj.name, "hedge-win",
                 f"hedge on "
                 f"{task_state.hedge_placement.unit.compute.device.device_id} "
                 f"beat the primary",
             )
+        elif winner == "primary" and task_state.hedge_process is not None:
+            # A live duplicate lost the race (crashed hedges already
+            # counted their loss when they released their allocation).
+            self.telemetry.inc("udc_hedge_losses_total")
+        if self.telemetry.enabled:
+            self.telemetry.span_end(
+                task_state.span, self.sim.now,
+                status="ok" if winner in ("primary", "hedge")
+                else "abandoned",
+            )
+            if winner != "abandoned":
+                self.telemetry.observe(
+                    "udc_task_wall_seconds",
+                    self.sim.now - record.started_at,
+                )
         self._release_task(submission, obj)
         completion.succeed(result)
         loser = (task_state.process if winner == "hedge"
@@ -1020,6 +1106,7 @@ class UDCRuntime:
         )
         task_state.hedge_placement = hedge_placement
         obj.record.hedges += 1
+        self.telemetry.inc("udc_hedges_total")
         self.telemetry.event(
             self.sim.now, obj.name, "hedge",
             lambda: f"duplicate -> {candidate.device_id}",
@@ -1053,12 +1140,27 @@ class UDCRuntime:
         task: TaskModule = obj.module
         record = obj.record
         env = placement.unit.environment
+        hedge_span = self.telemetry.span_start(
+            self.sim.now, obj.name, "hedge", "hedge",
+            parent=task_state.span,
+            device=placement.unit.compute.device.device_id,
+        )
+        env_span = None
         try:
             t0 = self.sim.now
+            env_span = self.telemetry.span_start(
+                self.sim.now, obj.name, "env-acquire", "env-acquire",
+                parent=hedge_span, env=env.kind.value,
+                warm=env.from_warm_pool,
+            )
             yield self.sim.timeout(env.startup_time())
             env.state = EnvState.RUNNING
             env.started_at = self.sim.now
             record.startup_s += self.sim.now - t0
+            self.telemetry.observe("udc_env_startup_seconds",
+                                   self.sim.now - t0)
+            self.telemetry.span_end(env_span, self.sim.now)
+            env_span = None
 
             t0 = self.sim.now
             yield from self._pull_inputs(
@@ -1084,6 +1186,8 @@ class UDCRuntime:
                 record.compute_s += self.sim.now - t0
                 progress += step
                 if task_state.completion.triggered:
+                    self.telemetry.span_end(hedge_span, self.sim.now,
+                                            status="cancelled")
                     return None
 
             t0 = self.sim.now
@@ -1093,11 +1197,17 @@ class UDCRuntime:
             record.transfer_s += self.sim.now - t0
         except Interrupt as interrupt:
             cause = interrupt.cause
+            self.telemetry.span_end(env_span, self.sim.now,
+                                    status="interrupted")
             if isinstance(cause, Failure) and cause.kind == "crash":
                 # The hedge's device crashed under it: give back its
                 # allocation and let the monitor decide whether to
                 # re-hedge.  The primary is unaffected.
+                self.telemetry.span_end(hedge_span, self.sim.now,
+                                        status="error")
                 record.failures += 1
+                self.telemetry.inc("udc_failures_total")
+                self.telemetry.inc("udc_hedge_losses_total")
                 self.telemetry.event(
                     self.sim.now, obj.name, "failure",
                     f"hedge attempt lost: cause={cause}",
@@ -1117,11 +1227,15 @@ class UDCRuntime:
                     obj.allocations.remove(alloc)
                 task_state.hedge_process = None
                 task_state.hedge_placement = None
-            # HedgeCancelled / DeadlineMiss: the winner (or the deadline
-            # handler) releases everything; nothing to do here.
+            else:
+                # HedgeCancelled / DeadlineMiss: the winner (or the
+                # deadline handler) releases everything.
+                self.telemetry.span_end(hedge_span, self.sim.now,
+                                        status="cancelled")
             return None
 
         result = self._invoke_fn(obj, submission)
+        self.telemetry.span_end(hedge_span, self.sim.now)
         self._finish_task(task_state, submission, result, winner="hedge")
         return result
 
@@ -1390,6 +1504,24 @@ class UDCRuntime:
 
     # ------------------------------------------------------------------- reporting
 
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """The run's metrics registry with collector-style gauges refreshed.
+
+        Counters and histograms are maintained incrementally as the run
+        executes; pool-capacity/utilization, warm-pool hit-rate, and
+        open-breaker gauges are collected here, at snapshot time, so the
+        allocate/release hot path never touches the registry.
+        """
+        registry = self.telemetry.metrics
+        self.datacenter.pools.collect_metrics(registry)
+        registry.gauge("udc_warm_pool_hit_rate").set(
+            self.warm_pool.stats.hit_rate
+        )
+        registry.gauge("udc_breakers_open").set(
+            float(len(self.breakers.open_keys(self.sim.now)))
+        )
+        return registry
+
     def _initial_records(
         self,
         objects: Dict[str, UDCObject],
@@ -1469,6 +1601,8 @@ class UDCRuntime:
             warm_hits=self.warm_pool.stats.hits,
             warm_misses=self.warm_pool.stats.misses,
         )
+        if self.telemetry.enabled:
+            result.metrics = self.metrics_snapshot().to_dict()
         total_cost = submission.settled_cost
         # Persistent submissions still have live meters: report the bill
         # accrued so far (decommission finalizes it).

@@ -23,6 +23,7 @@ Decisions, in order:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -31,6 +32,7 @@ from repro.appmodel.module import DataModule, TaskModule
 from repro.core.aspects import ResourceAspect, ResourceGoal
 from repro.core.bundle import BundleManager, ResourceUnit
 from repro.core.objects import UDCObject
+from repro.core.observability import Span
 from repro.core.telemetry import Telemetry
 from repro.distsem.replication import PlacementResult, ReplicaPlacer, ReplicationPolicy
 from repro.execenv.environments import EnvKind, environments_for_level
@@ -110,6 +112,7 @@ class UdcScheduler:
             media_order = COLD_MEDIA_ORDER
 
         last_error: Optional[Exception] = None
+        t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
         for media in media_order:
             if media not in self.datacenter.pools:
                 continue
@@ -123,10 +126,21 @@ class UdcScheduler:
                 last_error = exc
                 continue
             obj.allocations.extend(result.allocations)
-            self.telemetry.event(
-                self._now(), obj.name, "place-data",
-                lambda: f"{policy.factor}x{size:g}GB on {media.value}",
-            )
+            if self.telemetry.enabled:
+                # Structured replacement for the old "place-data" event:
+                # one zero-sim-duration allocate span carrying the decision.
+                span = self.telemetry.span_start(
+                    self._now(), obj.name, "place-data", "allocate",
+                    media=media.value, replicas=policy.factor,
+                    size_gb=size,
+                    devices=[a.device.device_id
+                             for a in result.allocations],
+                )
+                self.telemetry.span_end(span, self._now())
+                self.telemetry.inc("udc_placements_total",
+                                   labels={"kind": "data"})
+                self.telemetry.observe("udc_placement_latency_seconds",
+                                       time.perf_counter() - t_wall)
             return result
         raise SchedulerError(
             f"data module {obj.name}: no medium can hold "
@@ -292,9 +306,14 @@ class UdcScheduler:
         amount: float,
         preferred: Optional[Location],
         device: Optional[Device] = None,
+        parent: Optional[Span] = None,
     ) -> Tuple[ResourceUnit, float]:
         aspect = obj.aspects.resource or ResourceAspect()
         env_kind, single_tenant = self._resolve_env_kind(obj, device_type)
+        alloc_span = self.telemetry.span_start(
+            self._now(), obj.name, "allocate", "allocate", parent=parent,
+            device_type=device_type.value, amount=amount,
+        )
         pool = self.datacenter.pool(device_type)
         spec = self.datacenter.spec.spec_for(device_type)
         shards: List[Allocation] = []
@@ -342,6 +361,7 @@ class UdcScheduler:
         except AllocationError as exc:
             for shard in shards:
                 pool.release(shard)
+            self.telemetry.span_end(alloc_span, self._now(), status="error")
             raise SchedulerError(f"{obj.name}: {exc}") from exc
 
         memory: Optional[Allocation] = None
@@ -355,6 +375,8 @@ class UdcScheduler:
             except AllocationError as exc:
                 for shard in shards:
                     pool.release(shard)
+                self.telemetry.span_end(alloc_span, self._now(),
+                                        status="error")
                 raise SchedulerError(f"{obj.name}: memory: {exc}") from exc
 
         unit = self.bundles.assemble(
@@ -370,12 +392,17 @@ class UdcScheduler:
             obj.allocations.append(memory)
         obj.environment = unit.environment
         rate = compute.device.spec.compute_rate
-        self.telemetry.event(
-            self._now(), obj.name, "place-task",
-            lambda: f"{amount:g} {device_type.value} "
-                    f"@ {compute.device.device_id} env={env_kind.value} "
-                    f"warm={unit.environment.from_warm_pool}",
-        )
+        if self.telemetry.enabled:
+            # Structured replacement for the old "place-task" event.
+            alloc_span.attrs.update(
+                device=compute.device.device_id, env=env_kind.value,
+                single_tenant=single_tenant,
+                warm=unit.environment.from_warm_pool,
+                shards=len(shards), mem_gb=aspect.mem_gb,
+            )
+            self.telemetry.span_end(alloc_span, self._now())
+            self.telemetry.inc("udc_placements_total",
+                               labels={"kind": "task"})
         return unit, rate
 
     def _place_single(
@@ -384,12 +411,35 @@ class UdcScheduler:
         task = obj.module
         assert isinstance(task, TaskModule)
         aspect = obj.aspects.resource or ResourceAspect()
-        device_type = self._choose_device_type(task, aspect)
-        spec = self.datacenter.spec.spec_for(device_type)
-        amount = aspect.amount if aspect.amount is not None else spec.min_grain
-        preferred = self._preferred_location(obj.name, objects, dag, device_type)
-        unit, rate = self._build_unit(obj, device_type, amount, preferred)
-        self._place_standbys(obj, device_type, amount, unit)
+        t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
+        schedule_span = self.telemetry.span_start(
+            self._now(), obj.name, "schedule", "schedule",
+        )
+        try:
+            device_type = self._choose_device_type(task, aspect)
+            spec = self.datacenter.spec.spec_for(device_type)
+            amount = (aspect.amount if aspect.amount is not None
+                      else spec.min_grain)
+            preferred = self._preferred_location(
+                obj.name, objects, dag, device_type
+            )
+            unit, rate = self._build_unit(
+                obj, device_type, amount, preferred, parent=schedule_span
+            )
+            self._place_standbys(obj, device_type, amount, unit)
+        except SchedulerError:
+            self.telemetry.span_end(schedule_span, self._now(),
+                                    status="error")
+            raise
+        if self.telemetry.enabled:
+            schedule_span.attrs.update(
+                device_type=device_type.value, amount=amount,
+                goal=(aspect.goal or ResourceGoal.CHEAPEST).value,
+                preferred_rack=str(preferred) if preferred else None,
+            )
+            self.telemetry.span_end(schedule_span, self._now())
+            self.telemetry.observe("udc_placement_latency_seconds",
+                                   time.perf_counter() - t_wall)
         return TaskPlacement(
             obj=obj, device_type=device_type, amount=amount, unit=unit,
             compute_rate=rate,
@@ -506,9 +556,24 @@ class UdcScheduler:
             )
         placements: Dict[str, TaskPlacement] = {}
         for member, amount in zip(members, amounts):
-            unit, rate = self._build_unit(
-                member, device_type, amount, preferred=None, device=host
+            t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
+            schedule_span = self.telemetry.span_start(
+                self._now(), member.name, "schedule", "schedule",
+                colocated=True, host=host.device_id,
             )
+            try:
+                unit, rate = self._build_unit(
+                    member, device_type, amount, preferred=None, device=host,
+                    parent=schedule_span,
+                )
+            except SchedulerError:
+                self.telemetry.span_end(schedule_span, self._now(),
+                                        status="error")
+                raise
+            if self.telemetry.enabled:
+                self.telemetry.span_end(schedule_span, self._now())
+                self.telemetry.observe("udc_placement_latency_seconds",
+                                       time.perf_counter() - t_wall)
             placements[member.name] = TaskPlacement(
                 obj=member, device_type=device_type, amount=amount, unit=unit,
                 compute_rate=rate,

@@ -6,17 +6,27 @@ Turns a :class:`~repro.core.report.RunResult` into:
   serializable to JSON for external tooling;
 * an ASCII Gantt chart for terminals — the quickest way to *see* where a
   makespan went (cold starts vs compute vs transfers), which is how the
-  E5 bundling result was first spotted.
+  E5 bundling result was first spotted;
+* a trace-span tree (``udc trace``): the hierarchical
+  :class:`~repro.core.observability.Span` log rendered Dapper-style, one
+  indented line per span with phase, duration, status, and attributes.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.report import RunResult
+from repro.core.telemetry import Telemetry
 
-__all__ = ["ModuleSpan", "ascii_gantt", "build_timeline"]
+__all__ = [
+    "ModuleSpan",
+    "ascii_gantt",
+    "build_timeline",
+    "render_span_tree",
+    "span_gantt",
+]
 
 
 @dataclass(frozen=True)
@@ -106,4 +116,97 @@ def ascii_gantt(result: RunResult, width: int = 64) -> str:
         )
     lines.append("legend: s=startup  #=compute  ~=transfer  c=checkpoint  "
                  "p=protection  !=failure")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ trace view
+
+def _fmt_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    parts = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"  [{parts}]"
+
+
+def render_span_tree(
+    telemetry: Telemetry, module: Optional[str] = None,
+) -> str:
+    """Render the span log as an indented tree (``udc trace``).
+
+    One line per span: start time, duration, module, ``name/phase``,
+    status (when not ok), and attributes.  Children indent under their
+    parent; roots sort by start time then emit order.  ``module`` filters
+    to trees whose root belongs to that module.
+    """
+    children = telemetry.span_children()
+    roots = [
+        s for s in children.get(None, ())
+        if module is None or s.module == module
+    ]
+    if not roots:
+        return "(no spans recorded — was telemetry enabled?)"
+    lines: List[str] = []
+
+    def emit(span, depth: int) -> None:
+        status = "" if span.status == "ok" else f"  <{span.status}>"
+        lines.append(
+            f"{span.start_s:>9.3f}s  {span.duration_s:>8.3f}s  "
+            f"{'  ' * depth}{span.module}:{span.name}/{span.phase}"
+            f"{status}{_fmt_attrs(span.attrs)}"
+        )
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    lines.append(f"{'start':>10}  {'dur':>9}  span")
+    for root in sorted(roots, key=lambda s: (s.start_s, s.span_id)):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def span_gantt(telemetry: Telemetry, width: int = 64) -> str:
+    """Gantt chart over root lifecycle spans, enriched from child spans.
+
+    Unlike :func:`ascii_gantt` (which shades bars from the aggregate
+    execution record), each bar here is painted from the task's actual
+    child spans — so retries, hedges, and recovery windows appear where
+    they happened in time: ``s`` env-acquire, ``#`` execute, ``r``
+    retry/recover, ``h`` hedge, ``.`` waiting.
+    """
+    children = telemetry.span_children()
+    roots = [s for s in children.get(None, ()) if s.phase == "lifecycle"]
+    if not roots:
+        return "(no lifecycle spans recorded — was telemetry enabled?)"
+    horizon = max((s.end_s or s.start_s) for s in roots)
+    if horizon <= 0:
+        return "(zero-length run)"
+    scale = width / horizon
+    shade = {"env-acquire": "s", "execute": "#", "retry": "r",
+             "recover": "r", "hedge": "h"}
+
+    def paint(row: List[str], span) -> None:
+        for child in children.get(span.span_id, ()):
+            char = shade.get(child.phase)
+            if char is not None and child.end_s is not None:
+                lo = int(child.start_s * scale)
+                hi = max(int(child.end_s * scale), lo + 1)
+                for col in range(lo, min(hi, width)):
+                    # execute-phase detail never overpaints a retry mark
+                    if char == "#" and row[col] in ("r", "h"):
+                        continue
+                    row[col] = char
+            paint(row, child)
+
+    lines = [f"trace 0 .. {horizon:.3f}s  (one column = "
+             f"{horizon / width:.3f}s)"]
+    for root in sorted(roots, key=lambda s: (s.start_s, s.module)):
+        row = [" "] * width
+        lo = int(root.start_s * scale)
+        hi = max(int((root.end_s or horizon) * scale), lo + 1)
+        for col in range(lo, min(hi, width)):
+            row[col] = "."
+        paint(row, root)
+        status = "" if root.status == "ok" else f"  <{root.status}>"
+        lines.append(f"{root.module:>8} |{''.join(row).rstrip()}{status}")
+    lines.append("legend: s=env-acquire  #=execute  r=retry/recover  "
+                 "h=hedge  .=waiting")
     return "\n".join(lines)

@@ -211,6 +211,10 @@ class CircuitBreakerRegistry:
         self.breakers: Dict[str, CircuitBreaker] = {}
         #: total open transitions, for reports
         self.opens = 0
+        #: optional Telemetry sink (wired by the runtime): every open
+        #: transition increments ``udc_breaker_trips_total`` and the
+        #: ``udc_breakers_open`` gauge tracks the currently-open count
+        self.telemetry = None
 
     def breaker(self, key: str) -> CircuitBreaker:
         if key not in self.breakers:
@@ -229,6 +233,11 @@ class CircuitBreakerRegistry:
         opened = self.breaker(key).record_failure(now)
         if opened:
             self.opens += 1
+            if self.telemetry is not None and self.telemetry.enabled:
+                self.telemetry.inc("udc_breaker_trips_total")
+                self.telemetry.gauge_set(
+                    "udc_breakers_open", float(len(self.open_keys(now)))
+                )
         return opened
 
     def record_success(self, key: str, now: float) -> None:

@@ -26,9 +26,16 @@ class CostComparison:
 
     @property
     def saving_fraction(self) -> float:
-        """How much cheaper b is than a, as a fraction of a."""
+        """How much cheaper b is than a, as a fraction of a.
+
+        Zero-baseline edge case: with ``cost_a == 0`` there is no
+        baseline to save against.  A strictly more expensive b is an
+        *infinite* loss (``-inf``, consistent with ``ratio == 0``), not
+        the silent "no saving" 0.0 this used to report; two zero costs
+        are a genuine wash (0.0, consistent with ``ratio == 1``).
+        """
         if self.cost_a == 0:
-            return 0.0
+            return 0.0 if self.cost_b == 0 else float("-inf")
         return 1.0 - self.cost_b / self.cost_a
 
     def as_dict(self) -> Dict[str, float]:

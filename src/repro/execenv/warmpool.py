@@ -28,13 +28,19 @@ PoolKey = Tuple[EnvKind, bool]  # (kind, single_tenant)
 
 @dataclass
 class WarmPoolStats:
-    """Hit accounting for the bundling ablation (E5)."""
+    """Hit accounting for the bundling ablation (E5) and the E22 outage."""
 
     hits: int = 0
     misses: int = 0
     prewarmed: int = 0
     #: cold-start seconds avoided by hits
     startup_seconds_saved: float = 0.0
+    #: misses that occurred while an injected outage held the pool empty
+    #: (a subset of ``misses`` — the chaos harness attributes these to
+    #: the fault, not to under-provisioning)
+    outage_misses: int = 0
+    #: prewarm requests suppressed because an outage was in progress
+    prewarms_deferred: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -67,14 +73,38 @@ class WarmPool:
         self._known_keys: Dict[PoolKey, None] = {}
         #: True during an injected warm-pool outage (see exhaust())
         self._exhausted = False
+        #: optional Telemetry sink (wired by the runtime): hit/miss/outage
+        #: counters and the hit-rate gauge are maintained incrementally
+        self.telemetry = None
+
+    def _record_acquire(self, hit: bool, outage: bool) -> None:
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.enabled:
+            return
+        telemetry.inc("udc_warm_pool_hits_total" if hit
+                      else "udc_warm_pool_misses_total")
+        if outage:
+            telemetry.inc("udc_warm_pool_outage_misses_total")
+        telemetry.gauge_set("udc_warm_pool_hit_rate", self.stats.hit_rate)
 
     def prewarm(self, kind: EnvKind, single_tenant: bool, count: int = 1) -> None:
-        """Stock ``count`` shells of the given shape."""
+        """Stock ``count`` shells of the given shape.
+
+        During an injected outage (:meth:`exhaust`) this is a no-op
+        deferred until :meth:`restore`: the key is remembered so the next
+        refill restocks it, but no shells land on the shelf — an explicit
+        prewarm must not silently undo the chaos scenario (E22).
+        """
         key = (kind, single_tenant)
         self._known_keys[key] = None
+        if self._exhausted:
+            self.stats.prewarms_deferred += count
+            return
         for _ in range(count):
             self._shelves[key].append(kind)
             self.stats.prewarmed += 1
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.inc("udc_warm_pool_prewarmed_total", count)
 
     def try_acquire(self, kind: EnvKind, single_tenant: bool) -> bool:
         """Take a shell if available.  Returns True on a hit.
@@ -86,6 +116,7 @@ class WarmPool:
         self._known_keys[key] = None
         if not self.enabled:
             self.stats.misses += 1
+            self._record_acquire(hit=False, outage=False)
             return False
         shelf = self._shelves.get(key)
         if shelf:
@@ -95,8 +126,12 @@ class WarmPool:
             self.stats.startup_seconds_saved += (
                 profile.cold_start_s - profile.warm_start_s
             )
+            self._record_acquire(hit=True, outage=False)
             return True
         self.stats.misses += 1
+        if self._exhausted:
+            self.stats.outage_misses += 1
+        self._record_acquire(hit=False, outage=self._exhausted)
         return False
 
     def refill(self) -> int:
@@ -114,6 +149,8 @@ class WarmPool:
                 shelf.append(key[0])
                 self.stats.prewarmed += 1
                 added += 1
+        if added and self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.inc("udc_warm_pool_prewarmed_total", added)
         return added
 
     def exhaust(self) -> int:

@@ -493,6 +493,23 @@ class ResourcePool:
     def allocations_for(self, tenant: str) -> List[Allocation]:
         return [a for a in self._allocations.values() if a.tenant == tenant]
 
+    def collect_metrics(self, registry) -> None:
+        """Snapshot this pool's capacity gauges into a MetricsRegistry.
+
+        Collector-style (Prometheus idiom): called at scrape/snapshot
+        time — never on the allocate/release hot path — so the indexed
+        placement fast path pays nothing for metrics.  All values come
+        from the incrementally-maintained aggregates.
+        """
+        labels = {"device_type": self.device_type.value}
+        registry.gauge("udc_pool_capacity_units", labels).set(
+            self.total_capacity)
+        registry.gauge("udc_pool_used_units", labels).set(self.total_used)
+        registry.gauge("udc_pool_peak_used_units", labels).set(self.peak_used)
+        registry.gauge("udc_pool_utilization", labels).set(self.utilization())
+        registry.gauge("udc_pool_mean_utilization", labels).set(
+            self.mean_utilization())
+
     def _spec(self) -> Optional[DeviceSpec]:
         return self.devices[0].spec if self.devices else None
 
@@ -563,6 +580,12 @@ class PoolSet:
             dtype.value: pool.mean_utilization()
             for dtype, pool in sorted(self.pools.items(), key=lambda kv: kv[0].value)
         }
+
+    def collect_metrics(self, registry) -> None:
+        """Snapshot every pool's gauges (see ResourcePool.collect_metrics)."""
+        for _dtype, pool in sorted(self.pools.items(),
+                                   key=lambda kv: kv[0].value):
+            pool.collect_metrics(registry)
 
 
 def total_fragmentation(pool: ResourcePool) -> float:
