@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Guard the public API surface against accidental drift.
+
+Renders every name in ``repro.__all__`` with a deterministic signature
+string and diffs the result against the checked-in snapshot
+``docs/api-surface.txt``.  CI fails on any difference, so adding,
+removing, or re-signaturing a public name is always a reviewed,
+intentional act (run with ``--update`` to bless the new surface).
+
+The renderer is deliberately annotation-free: annotation and enum reprs
+vary across Python minor versions, while parameter names, kinds, and
+default *values* do not.  Enum defaults render as ``Class.MEMBER``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import enum
+import inspect
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import repro  # noqa: E402  (needs the path bootstrap above)
+
+SNAPSHOT = REPO / "docs" / "api-surface.txt"
+
+
+def _render_default(value) -> str:
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    return repr(value)
+
+
+def _render_signature(obj) -> str:
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return "(...)"
+    parts = []
+    seen_keyword_only = False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            parts.append(f"*{param.name}")
+            seen_keyword_only = True
+            continue
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            parts.append(f"**{param.name}")
+            continue
+        if param.kind is inspect.Parameter.KEYWORD_ONLY \
+                and not seen_keyword_only:
+            parts.append("*")
+            seen_keyword_only = True
+        text = param.name
+        if param.default is not inspect.Parameter.empty:
+            text += f"={_render_default(param.default)}"
+        parts.append(text)
+    return "(" + ", ".join(parts) + ")"
+
+
+def _render_name(name: str) -> str:
+    obj = getattr(repro, name)
+    if name == "__version__":
+        return f"repro.__version__ = {obj!r}"
+    if inspect.isclass(obj):
+        if issubclass(obj, enum.Enum):
+            members = ", ".join(member.name for member in obj)
+            return f"repro.{name} [enum: {members}]"
+        if issubclass(obj, BaseException):
+            return f"repro.{name}{_render_signature(obj.__init__)}" \
+                .replace("(self, ", "(").replace("(self)", "()")
+        return f"repro.{name}{_render_signature(obj)}"
+    if callable(obj):
+        return f"repro.{name}{_render_signature(obj)}"
+    return f"repro.{name} = {obj!r}"
+
+
+def render_surface() -> str:
+    lines = [
+        "# Public API surface of the `repro` package.",
+        "# Regenerate with: python scripts/check_api_surface.py --update",
+    ]
+    for name in sorted(repro.__all__):
+        lines.append(_render_name(name))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot instead of checking it")
+    args = parser.parse_args(argv)
+
+    current = render_surface()
+    if args.update:
+        SNAPSHOT.write_text(current, encoding="utf-8")
+        print(f"wrote {SNAPSHOT.relative_to(REPO)}")
+        return 0
+
+    if not SNAPSHOT.exists():
+        print(f"missing snapshot {SNAPSHOT.relative_to(REPO)}; "
+              f"run with --update to create it", file=sys.stderr)
+        return 1
+    recorded = SNAPSHOT.read_text(encoding="utf-8")
+    if recorded == current:
+        print(f"API surface matches {SNAPSHOT.relative_to(REPO)} "
+              f"({len(repro.__all__)} public names)")
+        return 0
+    diff = difflib.unified_diff(
+        recorded.splitlines(keepends=True),
+        current.splitlines(keepends=True),
+        fromfile="docs/api-surface.txt (recorded)",
+        tofile="repro.__all__ (actual)",
+    )
+    sys.stderr.writelines(diff)
+    print("\nAPI surface drifted; if intentional, regenerate with "
+          "`python scripts/check_api_surface.py --update`", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,8 +27,10 @@ per-figure/claim benchmark index.
 
 from repro.appmodel import AppBuilder, ModuleDAG, compile_dag, data, task
 from repro.core import (
+    AspectBuilder,
     AspectBundle,
     ConflictPolicy,
+    DefinitionBuilder,
     DistributedAspect,
     DryRunProfiler,
     ExecEnvAspect,
@@ -37,6 +39,7 @@ from repro.core import (
     RunResult,
     UDCRuntime,
     UserDefinition,
+    define,
     parse_definition,
     verify_run,
 )
@@ -47,31 +50,48 @@ from repro.hardware import (
     build_datacenter,
     default_catalog,
 )
+from repro.service import (
+    QuotaExceeded,
+    SubmissionHandle,
+    Tenant,
+    TenantQuota,
+    UDCService,
+    WeightedFairShare,
+)
 from repro.simulator import Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AppBuilder",
+    "AspectBuilder",
     "AspectBundle",
     "ConflictPolicy",
     "Datacenter",
     "DatacenterSpec",
+    "DefinitionBuilder",
     "DeviceType",
     "DistributedAspect",
     "DryRunProfiler",
     "ExecEnvAspect",
     "ModuleDAG",
+    "QuotaExceeded",
     "ResourceAspect",
     "ResourceGoal",
     "RunResult",
     "Simulator",
+    "SubmissionHandle",
+    "Tenant",
+    "TenantQuota",
     "UDCRuntime",
+    "UDCService",
     "UserDefinition",
+    "WeightedFairShare",
     "build_datacenter",
     "compile_dag",
     "data",
     "default_catalog",
+    "define",
     "parse_definition",
     "task",
     "verify_run",

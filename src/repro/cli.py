@@ -22,7 +22,11 @@ Subcommands:
   tree (schedule → allocate → env-acquire → execute → retry/hedge), plus
   an optional span-painted Gantt chart;
 * ``udc metrics APP.json`` — execute and print the run's metrics registry
-  as a Prometheus text snapshot or JSON.
+  as a Prometheus text snapshot or JSON;
+* ``udc serve [--tenants N] [--policy fair|fifo]`` — replay a generated
+  multi-tenant submission stream through the serving layer
+  (:class:`~repro.service.UDCService`) and print per-tenant rollups,
+  Jain's fairness index, and result-cache statistics.
 
 All input formats are documented in each handler's docstring; everything
 is plain JSON so non-Python frontends can target the same entry points.
@@ -43,6 +47,8 @@ from repro.core.verify import verify_run
 from repro.execenv.attestation import Verifier
 from repro.execenv.warmpool import WarmPool
 from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.service import FifoAdmission, UDCService, WeightedFairShare
+from repro.workloads.tenants import default_tenant_profiles, generate_tenant_trace
 
 __all__ = ["main"]
 
@@ -436,6 +442,83 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Replay a synthetic multi-tenant stream through the serving layer.
+
+    Generates a diurnal-skewed submission trace
+    (:func:`repro.workloads.tenants.generate_tenant_trace`), registers
+    each profile's fair-share weight, submits everything in arrival
+    order with a dispatch round every ``--round-every`` submissions,
+    drains, and prints the per-tenant rollup plus Jain's fairness index
+    and result-cache statistics.
+    """
+    profiles = default_tenant_profiles(count=args.tenants, seed=args.seed)
+    trace = generate_tenant_trace(
+        profiles,
+        peak_rate_per_minute=args.rate,
+        horizon_s=args.minutes * 60.0,
+        repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    policy = (WeightedFairShare() if args.policy == "fair"
+              else FifoAdmission())
+    service = UDCService(_build_dc(args), policy=policy)
+    for profile in profiles:
+        service.register_tenant(profile.name, weight=profile.weight)
+    for index, arrival in enumerate(trace.submissions, start=1):
+        service.submit(arrival.tenant, arrival.dag, arrival.definition,
+                       inputs=arrival.inputs)
+        if index % args.round_every == 0:
+            # Each round runs to quiescence so finished results land in
+            # the cache before later re-submissions of the same inputs.
+            service.drain()
+    service.drain()
+
+    rollups = service.rollup()
+    fairness = service.fairness_index()
+    stats = service.cache_stats
+    if args.json:
+        payload = {
+            "policy": args.policy,
+            "rounds": service.rounds,
+            "fairness_completed": fairness,
+            "cache": {"hits": stats.hits, "misses": stats.misses,
+                      "evictions": stats.evictions,
+                      "hit_rate": stats.hit_rate},
+            "tenants": [
+                {"tenant": u.tenant, "submissions": u.submissions,
+                 "completed": u.completed, "cache_hits": u.cache_hits,
+                 "unplaceable": u.unplaceable,
+                 "total_cost": round(u.total_cost, 6),
+                 "cost_saved": round(u.cost_saved, 6)}
+                for u in rollups
+            ],
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+
+    weights = {profile.name: profile.weight for profile in profiles}
+    print(f"{len(trace)} submissions from {len(profiles)} tenants over "
+          f"{args.minutes:g} min ({args.policy} admission, "
+          f"{service.rounds} dispatch rounds)")
+    print()
+    header = (f"{'tenant':<12} {'wt':>4} {'subs':>5} {'cached':>6} "
+              f"{'done':>5} {'unpl':>5} {'cost $':>10} {'saved $':>10}")
+    print(header)
+    print("-" * len(header))
+    for usage in rollups:
+        print(f"{usage.tenant:<12} {weights.get(usage.tenant, 1.0):>4g} "
+              f"{usage.submissions:>5} {usage.cache_hits:>6} "
+              f"{usage.completed:>5} {usage.unplaceable:>5} "
+              f"{usage.total_cost:>10.4f} {usage.cost_saved:>10.4f}")
+    print()
+    print(f"Jain fairness (completed): {fairness:.3f}")
+    print(f"Result cache: {stats.hits} hits / {stats.misses} misses "
+          f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="udc",
@@ -544,6 +627,32 @@ def build_parser() -> argparse.ArgumentParser:
                            default="prom")
     _add_dc_args(metrics_p)
     metrics_p.set_defaults(handler=cmd_metrics)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="replay a multi-tenant stream through the serving layer",
+    )
+    serve_p.add_argument("--tenants", type=int, default=8,
+                         help="tenant population size (default 8)")
+    serve_p.add_argument("--minutes", type=float, default=30.0,
+                         help="trace horizon in minutes (default 30)")
+    serve_p.add_argument("--rate", type=float, default=0.5,
+                         help="peak submissions/min per tenant (default 0.5)")
+    serve_p.add_argument("--repeat-fraction", type=float, default=0.25,
+                         help="fraction of submissions re-using an earlier "
+                              "input payload (default 0.25)")
+    serve_p.add_argument("--round-every", type=int, default=8,
+                         help="dispatch round every N submissions "
+                              "(default 8)")
+    serve_p.add_argument("--policy", choices=("fair", "fifo"),
+                         default="fair",
+                         help="admission ordering (default fair)")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="RNG seed (default 0)")
+    serve_p.add_argument("--json", action="store_true",
+                         help="emit the rollup as JSON")
+    _add_dc_args(serve_p)
+    serve_p.set_defaults(handler=cmd_serve)
     return parser
 
 

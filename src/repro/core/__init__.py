@@ -19,7 +19,9 @@ tuning), :mod:`~repro.core.profiler` (dry-run resource inference),
 :mod:`~repro.core.runtime` (the control plane tying them together).
 """
 
+from repro.core.admission import AdmissionPolicy, FifoAdmission, WeightedFairShare
 from repro.core.autosize import autosize
+from repro.core.builder import AspectBuilder, DefinitionBuilder, define
 from repro.core.aspects import (
     AspectBundle,
     DistributedAspect,
@@ -53,8 +55,14 @@ from repro.core.verify import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "AspectBuilder",
     "AspectBundle",
     "BundleManager",
+    "DefinitionBuilder",
+    "FifoAdmission",
+    "WeightedFairShare",
+    "define",
     "Conflict",
     "ConflictError",
     "ConflictPolicy",

@@ -1,0 +1,155 @@
+"""Typed fluent builder for user definitions.
+
+``repro.define()`` gives the raw-dict specification language
+(:mod:`repro.core.spec`) a chainable, discoverable front end::
+
+    definition = (
+        define()
+        .module("infer").resource(device="gpu", amount=1)
+                        .execenv(isolation="strong")
+        .module("store").resource(media="ssd")
+                        .distributed(replication=3,
+                                     consistency="sequential")
+        .build()
+    )
+
+The builder is a *syntax* layer only: :meth:`DefinitionBuilder.build`
+assembles exactly the nested-dict form and compiles it through
+:func:`~repro.core.spec.parse_definition`, so validation — and every
+:class:`~repro.core.spec.SpecError` diagnostic — is byte-identical to
+hand-written dicts.  Raw dicts keep working everywhere; runtime entry
+points also accept the builder itself (it compiles on admission).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Optional, Union
+
+from repro.core.spec import UserDefinition, parse_definition
+
+__all__ = ["AspectBuilder", "DefinitionBuilder", "define"]
+
+
+def define() -> "DefinitionBuilder":
+    """Start a fluent definition: ``define().module(name).resource(...)``."""
+    return DefinitionBuilder()
+
+
+def _set_present(target: Dict[str, Any], **fields) -> None:
+    """Copy only the fields the caller actually supplied (non-None), so
+    omitted fields keep provider defaults and parse-time semantics."""
+    for key, value in fields.items():
+        if value is not None:
+            target[key] = value
+
+
+class DefinitionBuilder:
+    """Accumulates per-module aspect declarations."""
+
+    def __init__(self):
+        self._modules: Dict[str, Dict[str, Any]] = {}
+
+    def module(self, name: str) -> "AspectBuilder":
+        """Open (or re-open) the aspect declaration for one module."""
+        self._modules.setdefault(name, {})
+        return AspectBuilder(self, name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The raw nested-dict form this builder compiles to."""
+        return copy.deepcopy(self._modules)
+
+    def build(self) -> UserDefinition:
+        """Compile via :func:`parse_definition`; raises
+        :class:`~repro.core.spec.SpecError` with the same diagnostics a
+        hand-written dict would."""
+        return parse_definition(self.to_dict())
+
+    # duck-typing hook consumed by UDCRuntime.admit: a builder passed
+    # where a definition is expected compiles itself on admission
+    build_definition = build
+
+
+class AspectBuilder:
+    """Fluent aspect setters for one module; chains back to the parent
+    builder for the next ``.module()`` or the final ``.build()``."""
+
+    def __init__(self, parent: DefinitionBuilder, name: str):
+        self._parent = parent
+        self._name = name
+
+    def _aspect(self, kind: str) -> Dict[str, Any]:
+        return self._parent._modules[self._name].setdefault(kind, {})
+
+    def resource(
+        self,
+        shorthand: Optional[str] = None,
+        *,
+        device: Optional[str] = None,
+        goal: Optional[str] = None,
+        amount: Optional[float] = None,
+        mem_gb: Optional[float] = None,
+        media: Optional[str] = None,
+    ) -> "AspectBuilder":
+        """Resource aspect.  ``shorthand`` is the Table-1 cell form
+        (``"fastest"``, ``"gpu"``, ...) and replaces the whole aspect;
+        keyword fields merge into the mapping form."""
+        if shorthand is not None:
+            self._parent._modules[self._name]["resource"] = shorthand
+            return self
+        _set_present(self._aspect("resource"), device=device, goal=goal,
+                     amount=amount, mem_gb=mem_gb, media=media)
+        return self
+
+    def execenv(
+        self,
+        *,
+        isolation: Optional[str] = None,
+        env: Optional[str] = None,
+        single_tenant: Optional[bool] = None,
+        protection=None,
+    ) -> "AspectBuilder":
+        _set_present(self._aspect("execenv"), isolation=isolation, env=env,
+                     single_tenant=single_tenant, protection=protection)
+        return self
+
+    def distributed(
+        self,
+        *,
+        replication: Optional[int] = None,
+        anti_affinity: Optional[bool] = None,
+        consistency: Optional[str] = None,
+        preference: Optional[str] = None,
+        recovery: Optional[str] = None,
+        checkpoint: Optional[bool] = None,
+        checkpoint_interval: Optional[float] = None,
+        failure_domain: Optional[str] = None,
+        data_consistency: Optional[Dict[str, str]] = None,
+        retry: Union[int, Dict[str, Any], None] = None,
+        deadline_s: Optional[float] = None,
+        hedge: Union[float, Dict[str, Any], None] = None,
+    ) -> "AspectBuilder":
+        _set_present(
+            self._aspect("distributed"),
+            replication=replication, anti_affinity=anti_affinity,
+            consistency=consistency, preference=preference,
+            recovery=recovery, checkpoint=checkpoint,
+            checkpoint_interval=checkpoint_interval,
+            failure_domain=failure_domain,
+            data_consistency=data_consistency, retry=retry,
+            deadline_s=deadline_s, hedge=hedge,
+        )
+        return self
+
+    # -- chaining ----------------------------------------------------------
+
+    def module(self, name: str) -> "AspectBuilder":
+        return self._parent.module(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self._parent.to_dict()
+
+    def build(self) -> UserDefinition:
+        return self._parent.build()
+
+    build_definition = build

@@ -56,6 +56,7 @@ PHASES = (
     "retry",        # a re-execution attempt after a failure
     "hedge",        # a speculative duplicate attempt
     "recover",      # backoff + migration + checkpoint restore
+    "service",      # serving-layer dispatch rounds and batched placement
 )
 
 
@@ -159,6 +160,29 @@ METRIC_HELP: Dict[str, str] = {
     "udc_pool_used_units": "Live pool capacity currently allocated.",
     "udc_pool_peak_used_units": "High-water mark of allocated capacity.",
     "udc_breakers_open": "Circuit breakers currently open.",
+    "udc_tenant_submissions_total":
+        "Submissions received by the serving layer, per tenant.",
+    "udc_tenant_admitted_total":
+        "Submissions admitted straight into the runtime, per tenant.",
+    "udc_tenant_queued_total":
+        "Submissions parked in the admission queue, per tenant.",
+    "udc_tenant_rejections_total":
+        "Submissions rejected at the front door by quota, per tenant.",
+    "udc_tenant_cache_hits_total":
+        "Submissions served from the result cache, per tenant.",
+    "udc_tenant_cache_misses_total":
+        "Submissions that missed the result cache, per tenant.",
+    "udc_tenant_completed_total":
+        "Submissions that ran to completion, per tenant.",
+    "udc_tenant_unplaceable_total":
+        "Submissions that could never be placed, per tenant.",
+    "udc_tenant_cost_dollars_total":
+        "Settled execution cost, per tenant, in dollars.",
+    "udc_tenant_queue_wait_seconds":
+        "Simulated time a submission waited in the admission queue.",
+    "udc_service_rounds_total": "Serving-layer dispatch rounds executed.",
+    "udc_service_dispatched_total":
+        "Buffered submissions dispatched by scheduling rounds.",
 }
 
 #: Metric families measured in host wall-clock time rather than simulated

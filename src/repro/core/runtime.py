@@ -26,11 +26,14 @@ economic core), data allocations at teardown.
 
 from __future__ import annotations
 
+import itertools
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.appmodel.dag import ModuleDAG
 from repro.appmodel.module import TaskModule
+from repro.core.admission import AdmissionPolicy, FifoAdmission
 from repro.core.aspects import DistributedAspect
 from repro.core.bundle import BundleManager
 from repro.core.conflicts import ConflictPolicy, ConflictResolution, resolve_conflicts
@@ -74,6 +77,31 @@ class RuntimeError_(Exception):
     the builtin in ``from ... import *`` consumers)."""
 
 
+def _resolve_app_kw(method: str, app, legacy: Dict[str, Any]) -> ModuleDAG:
+    """Unify the application-DAG argument name across the public entry
+    points: ``app`` is canonical; ``dag=`` still works but warns."""
+    if "dag" in legacy:
+        warnings.warn(
+            f"UDCRuntime.{method}(dag=...) is deprecated; "
+            f"pass app=... (positional works too)",
+            DeprecationWarning, stacklevel=3,
+        )
+        old = legacy.pop("dag")
+        if app is not None:
+            raise TypeError(
+                f"{method}() got both 'app' and the deprecated 'dag'"
+            )
+        app = old
+    if legacy:
+        raise TypeError(
+            f"{method}() got unexpected keyword argument(s) "
+            f"{sorted(legacy)}"
+        )
+    if app is None:
+        raise TypeError(f"{method}() missing required argument: 'app'")
+    return app
+
+
 @dataclass
 class _LiveTask:
     """Book-keeping for one executing task object."""
@@ -105,6 +133,9 @@ class Submission:
     dag: ModuleDAG
     tenant: str
     inputs: Dict[str, Any]
+    #: unique monotonic id assigned at submit time — the deterministic
+    #: tie-break for admission-policy ordering
+    seq: int = 0
     objects: Dict[str, UDCObject] = field(default_factory=dict)
     records: Dict[str, "FulfillmentRecord"] = field(default_factory=dict)
     stores: Dict[str, ReplicatedStore] = field(default_factory=dict)
@@ -152,6 +183,17 @@ class DeferredSubmission:
     submission: Optional[Submission] = None
 
 
+@dataclass
+class _QueuedEntry:
+    """One parked submission plus everything needed to re-deploy it."""
+
+    submission: Submission
+    definition: Union[UserDefinition, Dict, None]
+    failure_plan: Optional[List[Tuple[float, str]]]
+    dishonest_env: Optional[Dict[str, "EnvKind"]]
+    attach_stores: Optional[Dict[str, ReplicatedStore]]
+
+
 class UDCRuntime:
     """One tenant-facing runtime instance over one datacenter."""
 
@@ -168,6 +210,7 @@ class UDCRuntime:
         rng: Optional[RngRegistry] = None,
         breakers: Optional[CircuitBreakerRegistry] = None,
         telemetry: Optional[Telemetry] = None,
+        admission_policy: Optional[AdmissionPolicy] = None,
     ):
         self.datacenter = datacenter
         self.sim = datacenter.sim
@@ -217,8 +260,19 @@ class UDCRuntime:
         self._owner_of: Dict[str, Submission] = {}
         self._submissions: List[Submission] = []
         self._deferred: List[DeferredSubmission] = []
-        self._admission_queue: List[Tuple] = []
+        self._admission_queue: List[_QueuedEntry] = []
         self._retry_scheduled = False
+        #: who gets freed capacity first — FIFO preserves the historical
+        #: behavior; UDCService installs WeightedFairShare here
+        self.admission_policy: AdmissionPolicy = (
+            admission_policy if admission_policy is not None
+            else FifoAdmission()
+        )
+        #: optional admission-template cache (duck-typed: lookup/store);
+        #: installed by UDCService in batched mode to skip re-validating
+        #: and re-resolving structurally identical applications
+        self.admission_memo = None
+        self._seq_counter = itertools.count()
 
     # ------------------------------------------------------------------ admission
 
@@ -229,26 +283,48 @@ class UDCRuntime:
         tenant: str,
     ) -> Tuple[Dict[str, UDCObject], ConflictResolution]:
         """Validate, default-fill, and conflict-resolve one application."""
+        if hasattr(definition, "build_definition"):
+            # A fluent DefinitionBuilder (repro.define()): compile it
+            # through parse_definition so diagnostics are identical.
+            definition = definition.build_definition()
+        memo = self.admission_memo
+        if memo is not None:
+            cached = memo.lookup(dag, definition, self.conflict_policy)
+            if cached is not None:
+                resolution, bundles = cached
+                objects = {
+                    name: UDCObject(module=module, aspects=bundles[name],
+                                    tenant=tenant)
+                    for name, module in dag.modules.items()
+                }
+                return objects, resolution
         dag.validate()
         if definition is None:
-            definition = UserDefinition()
+            parsed = UserDefinition()
         elif isinstance(definition, dict):
-            definition = parse_definition(definition)
-        unknown = set(definition.bundles) - set(dag.modules)
+            parsed = parse_definition(definition)
+        else:
+            parsed = definition
+        unknown = set(parsed.bundles) - set(dag.modules)
         if unknown:
             raise RuntimeError_(
                 f"definition names modules not in the application: "
                 f"{sorted(unknown)}"
             )
-        resolution = resolve_conflicts(dag, definition, self.conflict_policy)
-        definition = resolution.definition
+        resolution = resolve_conflicts(dag, parsed, self.conflict_policy)
+        resolved = resolution.definition
 
         objects: Dict[str, UDCObject] = {}
+        bundles: Dict[str, Any] = {}
         for name, module in dag.modules.items():
-            bundle = definition.bundle_for(name).with_defaults(
+            bundle = resolved.bundle_for(name).with_defaults(
                 provider_defaults(module)
             )
+            bundles[name] = bundle
             objects[name] = UDCObject(module=module, aspects=bundle, tenant=tenant)
+        if memo is not None:
+            memo.store(dag, definition, self.conflict_policy, resolution,
+                       bundles)
         return objects, resolution
 
     # ------------------------------------------------------------------ placement
@@ -314,7 +390,7 @@ class UDCRuntime:
 
     def run(
         self,
-        dag: ModuleDAG,
+        app: Optional[ModuleDAG] = None,
         definition: Union[UserDefinition, Dict, None] = None,
         tenant: str = "tenant",
         inputs: Optional[Dict[str, Any]] = None,
@@ -322,11 +398,12 @@ class UDCRuntime:
         dishonest_env: Optional[Dict[str, EnvKind]] = None,
         until: Optional[float] = None,
         attach_stores: Optional[Dict[str, ReplicatedStore]] = None,
+        **legacy,
     ) -> RunResult:
         """Admit, deploy, and execute one application to completion.
 
         Args:
-            dag: the validated application.
+            app: the validated application.
             definition: declarative aspects (dict or parsed), or None for
                 all provider defaults.
             inputs: optional per-source-task input values for functional
@@ -338,8 +415,9 @@ class UDCRuntime:
                 different (cheaper) environment than promised — used by the
                 attestation benchmark; claims still state the promise.
         """
+        app = _resolve_app_kw("run", app, legacy)
         submission = self.submit(
-            dag, definition, tenant=tenant, inputs=inputs,
+            app, definition, tenant=tenant, inputs=inputs,
             failure_plan=failure_plan, dishonest_env=dishonest_env,
             attach_stores=attach_stores,
         )
@@ -350,7 +428,7 @@ class UDCRuntime:
 
     def submit(
         self,
-        dag: ModuleDAG,
+        app: Optional[ModuleDAG] = None,
         definition: Union[UserDefinition, Dict, None] = None,
         tenant: str = "tenant",
         inputs: Optional[Dict[str, Any]] = None,
@@ -359,6 +437,7 @@ class UDCRuntime:
         attach_stores: Optional[Dict[str, ReplicatedStore]] = None,
         persistent: bool = False,
         queue_if_full: bool = False,
+        **legacy,
     ) -> Submission:
         """Admit and deploy one application without running the clock.
 
@@ -377,16 +456,20 @@ class UDCRuntime:
         ``queue_if_full``: when placement fails for lack of free capacity,
         park the submission in the admission queue and retry as running
         work releases resources (overload behavior, E21) instead of
-        raising.  Submissions that never fit surface as
+        raising.  Retry order follows :attr:`admission_policy` (FIFO by
+        default).  Submissions that never fit surface as
         ``status == "unplaceable"`` at drain.
         """
         from repro.core.scheduler import SchedulerError
 
-        submission = Submission(dag=dag, tenant=tenant, inputs=inputs or {},
+        app = _resolve_app_kw("submit", app, legacy)
+        submission = Submission(dag=app, tenant=tenant, inputs=inputs or {},
+                                seq=next(self._seq_counter),
                                 persistent=persistent)
         try:
             self._deploy(submission, definition, failure_plan,
                          dishonest_env, attach_stores)
+            self.admission_policy.on_admitted(tenant)
         except SchedulerError as exc:
             self._rollback(submission)
             if not queue_if_full:
@@ -394,11 +477,11 @@ class UDCRuntime:
             submission.status = "queued"
             submission.queued_at = self.sim.now
             self._admission_queue.append(
-                (submission, definition, failure_plan, dishonest_env,
-                 attach_stores)
+                _QueuedEntry(submission, definition, failure_plan,
+                             dishonest_env, attach_stores)
             )
             self.telemetry.event(
-                self.sim.now, dag.name, "admission-queued", str(exc)
+                self.sim.now, app.name, "admission-queued", str(exc)
             )
         self._submissions.append(submission)
         return submission
@@ -420,17 +503,30 @@ class UDCRuntime:
         submission.completions.clear()
 
     def _retry_admissions(self) -> None:
-        """FIFO retry of queued submissions after capacity was released."""
+        """Retry queued submissions after capacity was released.
+
+        The round is ordered by :attr:`admission_policy`: sort keys are
+        computed once per round, the sort is stable, and every key embeds
+        the submission seq — so the retry order is a deterministic
+        function of queue contents, never of insertion accidents.
+        """
         from repro.core.scheduler import SchedulerError
 
         self._retry_scheduled = False
+        policy = self.admission_policy
+        ordered = sorted(
+            self._admission_queue,
+            key=lambda e: policy.sort_key(e.submission.tenant,
+                                          e.submission.seq),
+        )
         still_waiting = []
-        for entry in self._admission_queue:
-            submission, definition, failure_plan, dishonest_env, \
-                attach_stores = entry
+        for entry in ordered:
+            submission = entry.submission
             try:
-                self._deploy(submission, definition, failure_plan,
-                             dishonest_env, attach_stores)
+                self._deploy(submission, entry.definition,
+                             entry.failure_plan, entry.dishonest_env,
+                             entry.attach_stores)
+                policy.on_admitted(submission.tenant)
                 submission.queue_wait_s = self.sim.now - submission.queued_at
                 self.telemetry.event(
                     self.sim.now, submission.dag.name, "admission-admitted",
@@ -535,8 +631,9 @@ class UDCRuntime:
     def submit_at(
         self,
         when: float,
-        dag: ModuleDAG,
+        app: Optional[ModuleDAG] = None,
         definition: Union[UserDefinition, Dict, None] = None,
+        dag: Optional[ModuleDAG] = None,
         **kwargs,
     ) -> "DeferredSubmission":
         """Schedule a submission for simulation time ``when``.
@@ -545,10 +642,12 @@ class UDCRuntime:
         then free — the arrival-churn scenario (benchmark E17).  The
         returned handle's ``submission`` attribute fills in at ``when``.
         """
+        legacy = {"dag": dag} if dag is not None else {}
+        app = _resolve_app_kw("submit_at", app, legacy)
         deferred = DeferredSubmission(arrives_at=when)
 
         def arrive():
-            deferred.submission = self.submit(dag, definition, **kwargs)
+            deferred.submission = self.submit(app, definition, **kwargs)
 
         self.sim.call_at(when, arrive)
         self._deferred.append(deferred)
@@ -556,9 +655,10 @@ class UDCRuntime:
 
     def plan(
         self,
-        dag: ModuleDAG,
+        app: Optional[ModuleDAG] = None,
         definition: Union[UserDefinition, Dict, None] = None,
         tenant: str = "tenant",
+        **legacy,
     ) -> List[Dict[str, Any]]:
         """Placement preview: admit and place, report, release.
 
@@ -568,7 +668,8 @@ class UDCRuntime:
         Raises the same SchedulerError/ConflictError a real submission
         would, with the offending module named.
         """
-        objects, resolution = self.admit(dag, definition, tenant)
+        app = _resolve_app_kw("plan", app, legacy)
+        objects, resolution = self.admit(app, definition, tenant)
         rows: List[Dict[str, Any]] = []
         try:
             for name, obj in sorted(objects.items()):
@@ -585,7 +686,7 @@ class UDCRuntime:
                         "hourly_cost": sum(a.hourly_cost
                                            for a in placement.allocations),
                     })
-            placements = self.scheduler.place_tasks(objects, dag)
+            placements = self.scheduler.place_tasks(objects, app)
             for name, placement in sorted(placements.items()):
                 rows.append({
                     "module": name,
@@ -623,14 +724,15 @@ class UDCRuntime:
         """
         self.sim.run()
         for entry in self._admission_queue:
-            entry[0].status = "unplaceable"
+            submission = entry.submission
+            submission.status = "unplaceable"
             self.telemetry.event(
-                self.sim.now, entry[0].dag.name, "admission-unplaceable",
+                self.sim.now, submission.dag.name, "admission-unplaceable",
                 "capacity never freed before drain",
             )
             self.telemetry.event(
-                self.sim.now, entry[0].dag.name, "shed",
-                f"queued {self.sim.now - entry[0].queued_at:.3f}s, "
+                self.sim.now, submission.dag.name, "shed",
+                f"queued {self.sim.now - submission.queued_at:.3f}s, "
                 f"dropped at drain",
             )
         self._admission_queue = []

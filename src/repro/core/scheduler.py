@@ -24,6 +24,7 @@ Decisions, in order:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -32,7 +33,7 @@ from repro.appmodel.module import DataModule, TaskModule
 from repro.core.aspects import ResourceAspect, ResourceGoal
 from repro.core.bundle import BundleManager, ResourceUnit
 from repro.core.objects import UDCObject
-from repro.core.observability import Span
+from repro.core.observability import NULL_SPAN, Span
 from repro.core.telemetry import Telemetry
 from repro.distsem.replication import PlacementResult, ReplicaPlacer, ReplicationPolicy
 from repro.execenv.environments import EnvKind, environments_for_level
@@ -65,6 +66,54 @@ class TaskPlacement:
     compute_rate: float
 
 
+class _DagMemo:
+    """Pure structural facts about one DAG, computed once per batch round.
+
+    ``pulls`` maps each task to the static half of its locality inputs —
+    (source module name, byte weight) in the exact order the serial path
+    scans them (edges first, then affinity hints), so the memoized cost
+    sums are bit-identical to the uncached ones.
+    """
+
+    __slots__ = ("dag", "groups", "stages", "pulls")
+
+    def __init__(self, dag: ModuleDAG):
+        self.dag = dag  # strong ref: keeps id(dag) stable for the round
+        self.groups = dag.merged_colocation_groups()
+        self.stages = dag.task_stages()
+        pulls: Dict[str, List[Tuple[str, int]]] = {}
+        for edge in dag.edges:
+            pulls.setdefault(edge.dst, []).append(
+                (edge.src, edge.bytes_transferred)
+            )
+        for (task_name, data_name), weight in dag.affinities.items():
+            pulls.setdefault(task_name, []).append((data_name, weight))
+        self.pulls = pulls
+
+
+class _BatchCache:
+    """Round-scoped memos for :meth:`UdcScheduler.batch_round`.
+
+    Everything cached here is a pure function of inputs that cannot
+    change while a round is open: the simulation clock does not advance
+    between placements (no execution, failures, or partitions), so DAG
+    structure, fabric transfer times, and the resulting argmin rack
+    choices are all frozen.  Serial submissions interleave with
+    execution, where none of this holds — which is why these memos only
+    exist inside a round.
+    """
+
+    __slots__ = ("dags", "transfers", "locations")
+
+    def __init__(self):
+        #: id(dag) -> _DagMemo (the memo holds the dag alive)
+        self.dags: Dict[int, _DagMemo] = {}
+        #: (src, dst, size_bytes) -> seconds
+        self.transfers: Dict[Tuple[Location, Location, int], float] = {}
+        #: (pulls tuple, candidate-racks tuple) -> argmin rack
+        self.locations: Dict[Tuple, Location] = {}
+
+
 class UdcScheduler:
     """Places UDC objects onto a disaggregated datacenter."""
 
@@ -86,11 +135,93 @@ class UdcScheduler:
         self.breakers = breakers
         #: round-robin cursor for locality-oblivious spreading
         self._rr_rack = 0
+        #: inside a batch round: per-placement spans and wall-clock
+        #: observations coalesce into one round-level record
+        self._in_batch = False
+        #: round-scoped pure-input memos; non-None only inside batch_round
+        self._batch: Optional[_BatchCache] = None
 
     def _breaker_allows(self, device: Device) -> bool:
         if self.breakers is None:
             return True
         return self.breakers.allows(device.device_id, self._now())
+
+    def _span_start(self, *args, **kwargs) -> Span:
+        """Per-placement span, suppressed inside a batch round (the round
+        span stands in for them; placement *decisions* are unaffected)."""
+        if self._in_batch:
+            return NULL_SPAN
+        return self.telemetry.span_start(*args, **kwargs)
+
+    def _track_placement(self) -> bool:
+        """Whether to emit per-placement latency/span telemetry."""
+        return self.telemetry.enabled and not self._in_batch
+
+    def _dag_memo(self, dag: ModuleDAG) -> Optional[_DagMemo]:
+        """The round's structural memo for ``dag``, or None outside a
+        batch round (serial placements recompute, since the DAG may be
+        mutated between independent submissions)."""
+        batch = self._batch
+        if batch is None:
+            return None
+        memo = batch.dags.get(id(dag))
+        if memo is None or memo.dag is not dag:
+            memo = batch.dags[id(dag)] = _DagMemo(dag)
+        return memo
+
+    # -- batched placement ----------------------------------------------------
+
+    @contextmanager
+    def batch_round(self, size_hint: int = 0):
+        """Amortize placement telemetry over one scheduling round.
+
+        Placements made inside the context take exactly the same
+        decisions as serial calls (same pool state transitions, same
+        aspect inputs), but per-placement ``schedule``/``allocate`` spans
+        and wall-clock histogram samples are replaced by a single
+        ``place-batch`` span and one latency observation for the whole
+        round — the control-plane cost is paid once, not per app.
+
+        The round also installs a :class:`_BatchCache`: because the clock
+        is frozen for the whole round, DAG structure, fabric transfer
+        times, and locality argmins are pure and memoized across the
+        round's placements.  Cached values reproduce the serial
+        computation bit-for-bit (same scan order, same float summation
+        order, same argmin tie-breaks), so decisions stay byte-identical.
+        """
+        if self._in_batch:  # nesting is a no-op: the outer round owns it
+            yield
+            return
+        enabled = self.telemetry.enabled
+        t_wall = time.perf_counter() if enabled else 0.0
+        span = self.telemetry.span_start(
+            self._now(), "scheduler", "place-batch", "schedule",
+            batch=size_hint,
+        )
+        self._in_batch = True
+        self._batch = _BatchCache()
+        try:
+            yield
+        finally:
+            self._in_batch = False
+            self._batch = None
+            if enabled:
+                self.telemetry.span_end(span, self._now())
+                self.telemetry.observe("udc_placement_latency_seconds",
+                                       time.perf_counter() - t_wall)
+
+    def place_batch(
+        self, requests: List[Tuple[Dict[str, UDCObject], ModuleDAG]]
+    ) -> List[Dict[str, TaskPlacement]]:
+        """Batch placement entry point: place several admitted apps in
+        one round.  Equivalent to calling :meth:`place_tasks` per request
+        in order — byte-identical placements — under one
+        :meth:`batch_round`."""
+        placements: List[Dict[str, TaskPlacement]] = []
+        with self.batch_round(len(requests)):
+            for objects, dag in requests:
+                placements.append(self.place_tasks(objects, dag))
+        return placements
 
     # -- data placement -------------------------------------------------------
 
@@ -112,7 +243,7 @@ class UdcScheduler:
             media_order = COLD_MEDIA_ORDER
 
         last_error: Optional[Exception] = None
-        t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
+        t_wall = time.perf_counter() if self._track_placement() else 0.0
         for media in media_order:
             if media not in self.datacenter.pools:
                 continue
@@ -127,6 +258,9 @@ class UdcScheduler:
                 continue
             obj.allocations.extend(result.allocations)
             if self.telemetry.enabled:
+                self.telemetry.inc("udc_placements_total",
+                                   labels={"kind": "data"})
+            if self._track_placement():
                 # Structured replacement for the old "place-data" event:
                 # one zero-sim-duration allocate span carrying the decision.
                 span = self.telemetry.span_start(
@@ -137,8 +271,6 @@ class UdcScheduler:
                              for a in result.allocations],
                 )
                 self.telemetry.span_end(span, self._now())
-                self.telemetry.inc("udc_placements_total",
-                                   labels={"kind": "data"})
                 self.telemetry.observe("udc_placement_latency_seconds",
                                        time.perf_counter() - t_wall)
             return result
@@ -155,7 +287,8 @@ class UdcScheduler:
     ) -> Dict[str, TaskPlacement]:
         """Place every task object, honoring co-location groups."""
         placements: Dict[str, TaskPlacement] = {}
-        groups = dag.merged_colocation_groups()
+        memo = self._dag_memo(dag)
+        groups = memo.groups if memo else dag.merged_colocation_groups()
         grouped: Set[str] = set().union(*groups) if groups else set()
 
         for group in groups:
@@ -163,7 +296,7 @@ class UdcScheduler:
             if members:
                 placements.update(self._place_group(members, objects, dag))
 
-        for stage in dag.task_stages():
+        for stage in memo.stages if memo else dag.task_stages():
             for name in stage:
                 if name in grouped or name not in objects:
                     continue
@@ -237,19 +370,27 @@ class UdcScheduler:
                 return None
             self._rr_rack += 1
             return racks[self._rr_rack % len(racks)]
+        batch = self._batch
         pulls: List[Tuple[Location, int]] = []
-        for edge in dag.edges:
-            if edge.dst != name:
-                continue
-            upstream = objects.get(edge.src)
-            if upstream is not None and upstream.location is not None:
-                pulls.append((upstream.location, edge.bytes_transferred))
-        for (task_name, data_name), weight in dag.affinities.items():
-            if task_name != name:
-                continue
-            data_obj = objects.get(data_name)
-            if data_obj is not None and data_obj.location is not None:
-                pulls.append((data_obj.location, weight))
+        memo = self._dag_memo(dag)
+        if memo is not None:
+            for src_name, size in memo.pulls.get(name, ()):
+                upstream = objects.get(src_name)
+                if upstream is not None and upstream.location is not None:
+                    pulls.append((upstream.location, size))
+        else:
+            for edge in dag.edges:
+                if edge.dst != name:
+                    continue
+                upstream = objects.get(edge.src)
+                if upstream is not None and upstream.location is not None:
+                    pulls.append((upstream.location, edge.bytes_transferred))
+            for (task_name, data_name), weight in dag.affinities.items():
+                if task_name != name:
+                    continue
+                data_obj = objects.get(data_name)
+                if data_obj is not None and data_obj.location is not None:
+                    pulls.append((data_obj.location, weight))
         if not pulls:
             return None
 
@@ -258,6 +399,30 @@ class UdcScheduler:
         candidate_racks = pool.live_rack_locations()
         if not candidate_racks:
             return None
+
+        if batch is not None:
+            # The full argmin is pure given (inputs, candidates): clock
+            # frozen => fabric costs frozen; the key captures the exact
+            # candidate order, so min()'s first-wins tie-break matches.
+            loc_key = (tuple(pulls), tuple(candidate_racks))
+            rack = batch.locations.get(loc_key)
+            if rack is None:
+                transfers = batch.transfers
+
+                def cost(rack: Location) -> float:
+                    total = 0.0
+                    for src, size in pulls:
+                        t_key = (src, rack, size)
+                        t = transfers.get(t_key)
+                        if t is None:
+                            t = fabric.transfer_time(src, rack, size)
+                            transfers[t_key] = t
+                        total += t
+                    return total
+
+                rack = batch.locations[loc_key] = min(candidate_racks,
+                                                      key=cost)
+            return rack
 
         def cost(rack: Location) -> float:
             return sum(
@@ -310,7 +475,7 @@ class UdcScheduler:
     ) -> Tuple[ResourceUnit, float]:
         aspect = obj.aspects.resource or ResourceAspect()
         env_kind, single_tenant = self._resolve_env_kind(obj, device_type)
-        alloc_span = self.telemetry.span_start(
+        alloc_span = self._span_start(
             self._now(), obj.name, "allocate", "allocate", parent=parent,
             device_type=device_type.value, amount=amount,
         )
@@ -411,8 +576,8 @@ class UdcScheduler:
         task = obj.module
         assert isinstance(task, TaskModule)
         aspect = obj.aspects.resource or ResourceAspect()
-        t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
-        schedule_span = self.telemetry.span_start(
+        t_wall = time.perf_counter() if self._track_placement() else 0.0
+        schedule_span = self._span_start(
             self._now(), obj.name, "schedule", "schedule",
         )
         try:
@@ -431,7 +596,7 @@ class UdcScheduler:
             self.telemetry.span_end(schedule_span, self._now(),
                                     status="error")
             raise
-        if self.telemetry.enabled:
+        if self._track_placement():
             schedule_span.attrs.update(
                 device_type=device_type.value, amount=amount,
                 goal=(aspect.goal or ResourceGoal.CHEAPEST).value,
@@ -556,8 +721,8 @@ class UdcScheduler:
             )
         placements: Dict[str, TaskPlacement] = {}
         for member, amount in zip(members, amounts):
-            t_wall = time.perf_counter() if self.telemetry.enabled else 0.0
-            schedule_span = self.telemetry.span_start(
+            t_wall = time.perf_counter() if self._track_placement() else 0.0
+            schedule_span = self._span_start(
                 self._now(), member.name, "schedule", "schedule",
                 colocated=True, host=host.device_id,
             )
@@ -570,7 +735,7 @@ class UdcScheduler:
                 self.telemetry.span_end(schedule_span, self._now(),
                                         status="error")
                 raise
-            if self.telemetry.enabled:
+            if self._track_placement():
                 self.telemetry.span_end(schedule_span, self._now())
                 self.telemetry.observe("udc_placement_latency_seconds",
                                        time.perf_counter() - t_wall)

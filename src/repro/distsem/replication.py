@@ -140,9 +140,12 @@ class ReplicaPlacer:
                 preferred_location is not None
                 and device.location.same_rack(preferred_location)
             ) else 1
-            return (local, device.free, device.device_id)
+            return (local, device.free, device.seq)
 
-        # min() equals sorted(...)[0] (device_id makes the key unique)
+        # min() equals sorted(...)[0] (seq makes the key unique; unlike
+        # device_id strings, seq sorts numerically and is monotonic with
+        # position, so the winner does not depend on how many datacenters
+        # were built earlier in the process)
         # without the O(N log N) sort on every replica placement.
         chosen = min(candidates, key=key)
         return self.pool.allocate(size, tenant, device=chosen)

@@ -143,7 +143,7 @@ class ReplicatedStore:
             raise RuntimeError(f"store {self.name}: all replicas failed")
         return min(
             live,
-            key=lambda r: (self.fabric.latency(client, r.location), r.device.device_id),
+            key=lambda r: (self.fabric.latency(client, r.location), r.device.seq),
         )
 
     # -- write protocols -------------------------------------------------------
@@ -481,7 +481,7 @@ class ReplicatedStore:
             )
         targets = sorted(
             live, key=lambda r: (self.fabric.latency(client, r.location),
-                                 r.device.device_id)
+                                 r.device.seq)
         )[:quorum]
 
         def query(replica: Replica):

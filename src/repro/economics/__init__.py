@@ -20,12 +20,16 @@ from repro.economics.devops_matrix import (
 )
 from repro.economics.pricing import PricingWindow, pricing_window
 from repro.economics.provider import ProviderLedger, account_run, powered_devices
+from repro.economics.tenants import TenantLedger, TenantUsage, jain_index
 
 __all__ = [
     "CostComparison",
     "GrowthScenario",
     "PricingWindow",
     "ProviderLedger",
+    "TenantLedger",
+    "TenantUsage",
+    "jain_index",
     "account_run",
     "powered_devices",
     "compare_costs",

@@ -1,0 +1,106 @@
+"""Per-tenant cost and usage rollups for the serving layer.
+
+The paper's economics are per-user: each tenant pays exactly for what
+its definitions consumed (§2, C10).  :class:`TenantLedger` aggregates
+the serving layer's outcomes — submissions, completions, queue waits,
+settled cost, and the cost *not* spent thanks to result-cache hits —
+into one :class:`TenantUsage` row per tenant, and :func:`jain_index`
+scores how evenly any per-tenant metric is spread (the fairness measure
+benchmark E23 asserts on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.report import RunResult
+
+__all__ = ["TenantLedger", "TenantUsage", "jain_index"]
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even; ``1/n`` means one tenant got everything.
+    An empty or all-zero input scores 1.0 (nothing was distributed, so
+    nothing was distributed unfairly).
+    """
+    xs = list(values)
+    if not xs:
+        return 1.0
+    square_sum = sum(x * x for x in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+@dataclass
+class TenantUsage:
+    """One tenant's aggregate consumption under a service."""
+
+    tenant: str
+    submissions: int = 0
+    completed: int = 0
+    unplaceable: int = 0
+    rejected: int = 0
+    cache_hits: int = 0
+    total_cost: float = 0.0
+    #: cost of executions served from the result cache instead of re-run
+    cost_saved: float = 0.0
+    queue_wait_s: float = 0.0
+    makespan_s: float = 0.0
+
+
+class TenantLedger:
+    """Accumulates per-tenant rollups as the service observes outcomes."""
+
+    def __init__(self):
+        self._usages: Dict[str, TenantUsage] = {}
+
+    def usage(self, tenant: str) -> TenantUsage:
+        if tenant not in self._usages:
+            self._usages[tenant] = TenantUsage(tenant=tenant)
+        return self._usages[tenant]
+
+    def record_submission(self, tenant: str) -> None:
+        self.usage(tenant).submissions += 1
+
+    def record_rejection(self, tenant: str) -> None:
+        self.usage(tenant).rejected += 1
+
+    def record_cache_hit(self, tenant: str, result: RunResult) -> None:
+        usage = self.usage(tenant)
+        usage.cache_hits += 1
+        usage.cost_saved += result.total_cost
+
+    def record_result(self, tenant: str, result: RunResult,
+                      queue_wait_s: float = 0.0) -> None:
+        usage = self.usage(tenant)
+        usage.completed += 1
+        usage.total_cost += result.total_cost
+        usage.queue_wait_s += queue_wait_s
+        usage.makespan_s += result.makespan_s
+
+    def record_unplaceable(self, tenant: str) -> None:
+        self.usage(tenant).unplaceable += 1
+
+    def rollup(self) -> List[TenantUsage]:
+        """All usages, sorted by tenant name (deterministic reporting)."""
+        return [self._usages[name] for name in sorted(self._usages)]
+
+    def fairness(self, metric: str = "completed",
+                 tenants: Optional[Iterable[str]] = None) -> float:
+        """Jain's index over one :class:`TenantUsage` field.
+
+        ``tenants`` restricts (and zero-fills) the population — pass the
+        registered tenant set so a tenant that got *nothing* counts
+        against fairness instead of vanishing from the denominator.
+        """
+        if tenants is not None:
+            values = [getattr(self.usage(name), metric)
+                      for name in tenants]
+        else:
+            values = [getattr(usage, metric) for usage in self.rollup()]
+        return jain_index(float(v) for v in values)

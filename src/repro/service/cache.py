@@ -1,0 +1,260 @@
+"""Fingerprints and bounded caches for the serving layer.
+
+Two caches ride on the same structural fingerprints:
+
+* :class:`ResultCache` — memoizes completed executions keyed by
+  ``(dag fingerprint incl. code hashes, definition, inputs)``: a tenant
+  re-submitting byte-identical work gets the finished
+  :class:`~repro.core.report.RunResult` back without consuming capacity
+  (the provider pockets the saved cost; the tenant skips the queue).
+* :class:`AdmissionMemo` — caches the *admission* work (DAG validation,
+  definition parsing, conflict resolution, provider-default filling) for
+  structurally identical applications, keyed without code hashes, app
+  name, or tenant: two tenants submitting the same app shape share one
+  resolved template.  Placement still runs per submission against live
+  pool state, so placements are byte-identical to the uncached path.
+
+Fingerprints are canonical nested tuples (hashable, order-normalized) —
+no serialization library, no timestamps, fully deterministic in-process.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import TaskModule
+from repro.core.conflicts import ConflictPolicy, ConflictResolution
+from repro.core.report import RunResult
+from repro.core.spec import UserDefinition
+
+__all__ = [
+    "AdmissionMemo",
+    "CacheStats",
+    "ResultCache",
+    "dag_fingerprint",
+    "definition_fingerprint",
+    "inputs_fingerprint",
+]
+
+
+def _canon(value: Any) -> Any:
+    """Canonical, hashable form of a JSON-ish value (dict order ignored)."""
+    if isinstance(value, dict):
+        return ("d",) + tuple(
+            (str(k), _canon(v))
+            for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+    if isinstance(value, (list, tuple)):
+        return ("l",) + tuple(_canon(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return ("s",) + tuple(sorted(repr(_canon(v)) for v in value))
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    return repr(value)
+
+
+def dag_fingerprint(dag: ModuleDAG, include_identity: bool = True) -> Tuple:
+    """Structural fingerprint of an application DAG.
+
+    ``include_identity=True`` (result caching) also folds in the app name
+    and each task's ``code_hash`` so different code never shares results.
+    With ``include_identity=False`` (admission memoization) only the
+    shape that admission examines remains — everything ``validate()``,
+    conflict resolution, and provider defaults can observe.
+    """
+    modules = []
+    for name in sorted(dag.modules):
+        module = dag.modules[name]
+        if isinstance(module, TaskModule):
+            modules.append((
+                "task", name, module.work,
+                tuple(sorted(d.value for d in module.device_candidates)),
+                module.output_bytes, module.state_bytes,
+                module.max_parallelism,
+                module.code_hash if include_identity else "",
+            ))
+        else:
+            modules.append((
+                "data", name, module.size_gb, module.record_bytes,
+                module.hot,
+            ))
+    edges = tuple(sorted(
+        (e.src, e.dst, e.bytes_transferred) for e in dag.edges
+    ))
+    groups = tuple(sorted(
+        tuple(sorted(group)) for group in dag.colocate_groups
+    ))
+    affinities = tuple(sorted(
+        (task, data, weight)
+        for (task, data), weight in dag.affinities.items()
+    ))
+    name = dag.name if include_identity else ""
+    return (name, tuple(modules), edges, groups, affinities)
+
+
+def definition_fingerprint(
+    definition: "UserDefinition | Dict | None",
+) -> Tuple:
+    """Canonical key for a definition in any accepted form.
+
+    Raw dicts are canonicalized without parsing (the whole point of the
+    admission memo is to skip ``parse_definition``); parsed definitions
+    key off their frozen-dataclass repr.
+    """
+    if definition is None:
+        return ("none",)
+    if isinstance(definition, dict):
+        return ("dict", _canon(definition))
+    if isinstance(definition, UserDefinition):
+        return ("parsed", tuple(
+            (name, repr(bundle))
+            for name, bundle in sorted(definition.bundles.items())
+        ))
+    return ("other", repr(definition))
+
+
+def inputs_fingerprint(inputs: Optional[Dict[str, Any]]) -> Tuple:
+    return _canon(inputs or {})
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Bounded LRU over completed :class:`RunResult`\\ s.
+
+    ``capacity <= 0`` disables the cache (every get misses, puts drop).
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, RunResult]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key(dag: ModuleDAG, definition, inputs: Optional[Dict[str, Any]]) -> Tuple:
+        return (
+            dag_fingerprint(dag, include_identity=True),
+            definition_fingerprint(definition),
+            inputs_fingerprint(inputs),
+        )
+
+    def get(self, key: Tuple) -> Optional[RunResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Tuple, result: RunResult) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.size = len(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class AdmissionMemo:
+    """Bounded LRU of admission templates, consumed by
+    :meth:`~repro.core.runtime.UDCRuntime.admit` when installed on the
+    runtime (``runtime.admission_memo``).
+
+    A template holds one app shape's :class:`ConflictResolution` and the
+    default-filled (frozen, shareable) per-module aspect bundles; hitting
+    it skips DAG validation, definition parsing, and conflict resolution
+    for every subsequent structurally identical submission.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, Tuple[ConflictResolution, Dict]]" \
+            = OrderedDict()
+        self.stats = CacheStats()
+        #: (id(dag), id(definition)) -> (dag, definition, key), alive only
+        #: inside identity_round(); strong refs keep the ids stable
+        self._round_keys: Optional[Dict[Tuple[int, int], Tuple]] = None
+
+    @staticmethod
+    def key(dag: ModuleDAG, definition, policy: ConflictPolicy) -> Tuple:
+        return (
+            dag_fingerprint(dag, include_identity=False),
+            definition_fingerprint(definition),
+            policy.value,
+        )
+
+    @contextmanager
+    def identity_round(self):
+        """Skip re-fingerprinting repeated (dag, definition) *objects*.
+
+        Sound only while no caller code runs between submissions — one
+        service dispatch round flushes its buffer atomically, so the same
+        object cannot have been mutated between two of the round's
+        submissions.  Serial submissions return to the caller in between
+        (the dict may be mutated), hence no identity shortcut there.
+        """
+        self._round_keys = {}
+        try:
+            yield
+        finally:
+            self._round_keys = None
+
+    def _key_for(self, dag, definition, policy: ConflictPolicy) -> Tuple:
+        round_keys = self._round_keys
+        if round_keys is None:
+            return self.key(dag, definition, policy)
+        id_key = (id(dag), id(definition), policy.value)
+        entry = round_keys.get(id_key)
+        if entry is None or entry[0] is not dag or entry[1] is not definition:
+            entry = (dag, definition, self.key(dag, definition, policy))
+            round_keys[id_key] = entry
+        return entry[2]
+
+    def lookup(
+        self, dag: ModuleDAG, definition, policy: ConflictPolicy
+    ) -> Optional[Tuple[ConflictResolution, Dict]]:
+        key = self._key_for(dag, definition, policy)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def store(
+        self,
+        dag: ModuleDAG,
+        definition,
+        policy: ConflictPolicy,
+        resolution: ConflictResolution,
+        bundles: Dict,
+    ) -> None:
+        if self.capacity <= 0:
+            return
+        self._entries[self._key_for(dag, definition, policy)] = (resolution, bundles)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.size = len(self._entries)

@@ -1,0 +1,362 @@
+"""`UDCService`: a long-lived, multi-tenant serving layer.
+
+One provider control plane serving many user-defined clouds (§2): the
+service accepts a continuous stream of ``(tenant, app, definition)``
+submissions on top of one :class:`~repro.core.runtime.UDCRuntime`, and
+adds the four things a single-shot runtime lacks:
+
+* **Quotas** — per-tenant in-flight / lifetime caps enforced at the
+  front door (:class:`~repro.service.tenants.TenantQuota`), raising
+  :class:`~repro.service.tenants.QuotaExceeded` before any control-plane
+  work is spent.
+* **Weighted fair share** — the runtime's admission queue is ordered by
+  a pluggable :class:`~repro.core.admission.AdmissionPolicy`; the
+  service defaults to stride-scheduled
+  :class:`~repro.core.admission.WeightedFairShare` over tenant weights,
+  and orders its own dispatch rounds with the same policy.
+* **Batched placement** — in batched mode (default) submissions buffer
+  into scheduling rounds: each round reuses admission templates
+  (:class:`~repro.service.cache.AdmissionMemo`) for structurally
+  identical apps and runs under the scheduler's
+  :meth:`~repro.core.scheduler.UdcScheduler.batch_round`, amortizing
+  control-plane work while keeping placements byte-identical to serial
+  submission in the same order.
+* **Result memoization** — identical ``(dag, definition, inputs)``
+  re-submissions are served from a bounded
+  :class:`~repro.service.cache.ResultCache` without consuming capacity,
+  with the saved cost credited on the tenant's rollup.
+
+Per-tenant outcomes land on an
+:class:`~repro.economics.tenants.TenantLedger` and as
+``udc_tenant_*`` / ``udc_service_*`` metric families.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.appmodel.dag import ModuleDAG
+from repro.core.admission import AdmissionPolicy, WeightedFairShare
+from repro.core.report import RunResult
+from repro.core.runtime import Submission, UDCRuntime
+from repro.economics.tenants import TenantLedger, TenantUsage, jain_index
+from repro.hardware.topology import Datacenter
+from repro.service.cache import AdmissionMemo, CacheStats, ResultCache
+from repro.service.tenants import QuotaExceeded, Tenant, TenantQuota
+
+__all__ = ["SubmissionHandle", "UDCService"]
+
+#: handle states that still occupy a tenant's in-flight quota slot
+_LIVE_STATES = frozenset({"pending", "queued", "running"})
+
+
+@dataclass
+class SubmissionHandle:
+    """What a tenant holds after :meth:`UDCService.submit`.
+
+    ``status`` is ``"cached"`` for result-cache hits, ``"pending"``
+    until the submission is dispatched to the runtime (batched mode
+    buffers until the next round), then tracks the underlying
+    :class:`~repro.core.runtime.Submission` (``queued`` / ``running`` /
+    ``done`` / ``unplaceable``).
+    """
+
+    tenant: str
+    app: str
+    #: service-wide monotonic id: the deterministic dispatch tie-break
+    seq: int
+    cached: bool = False
+    submission: Optional[Submission] = None
+    result: Optional[RunResult] = None
+    _cache_key: Optional[tuple] = field(default=None, repr=False, init=False)
+
+    @property
+    def status(self) -> str:
+        if self.cached:
+            return "cached"
+        if self.submission is None:
+            return "pending"
+        return self.submission.status
+
+    @property
+    def done(self) -> bool:
+        """Finished executing (cache hits are born done)."""
+        if self.cached:
+            return True
+        return self.submission is not None and self.submission.done
+
+    @property
+    def outputs(self) -> Dict[str, Any]:
+        return self.result.outputs if self.result is not None else {}
+
+
+class UDCService:
+    """Multi-tenant serving layer over one :class:`UDCRuntime`."""
+
+    def __init__(
+        self,
+        datacenter: Optional[Datacenter] = None,
+        *,
+        runtime: Optional[UDCRuntime] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        batched: bool = True,
+        result_cache_capacity: int = 128,
+        admission_memo_capacity: int = 256,
+        **runtime_kwargs,
+    ):
+        if runtime is None:
+            if datacenter is None:
+                raise ValueError("UDCService needs a datacenter or a runtime")
+            runtime = UDCRuntime(datacenter, **runtime_kwargs)
+        elif runtime_kwargs:
+            raise ValueError(
+                f"runtime kwargs {sorted(runtime_kwargs)} conflict with an "
+                f"explicit runtime instance"
+            )
+        self.runtime = runtime
+        self.telemetry = runtime.telemetry
+        self.policy = policy if policy is not None else WeightedFairShare()
+        runtime.admission_policy = self.policy
+        self.batched = batched
+        if batched:
+            runtime.admission_memo = AdmissionMemo(admission_memo_capacity)
+        self.cache = ResultCache(result_cache_capacity)
+        self.ledger = TenantLedger()
+        self.tenants: Dict[str, Tenant] = {}
+        self._handles: List[SubmissionHandle] = []
+        self._pending: List[SubmissionHandle] = []
+        self._seq = itertools.count()
+        self.rounds = 0
+
+    # ------------------------------------------------------------- tenants
+
+    def register_tenant(
+        self,
+        name: str,
+        weight: float = 1.0,
+        quota: Optional[TenantQuota] = None,
+    ) -> Tenant:
+        """Register (or re-configure) a tenant; weights feed fair share."""
+        tenant = Tenant(name=name, weight=weight, quota=quota)
+        existing = self.tenants.get(name)
+        if existing is not None:
+            tenant.submitted = existing.submitted
+        self.tenants[name] = tenant
+        if isinstance(self.policy, WeightedFairShare):
+            self.policy.set_weight(name, weight)
+        return tenant
+
+    def _tenant_of(self, tenant: Union[Tenant, str]) -> Tenant:
+        if isinstance(tenant, Tenant):
+            if self.tenants.get(tenant.name) is not tenant:
+                raise ValueError(
+                    f"tenant {tenant.name!r} is not registered with this "
+                    f"service (use register_tenant)"
+                )
+            return tenant
+        if tenant not in self.tenants:
+            # Unknown names self-register with defaults: an open service.
+            return self.register_tenant(tenant)
+        return self.tenants[tenant]
+
+    def in_flight(self, tenant: str) -> int:
+        """Submissions currently occupying one of the tenant's slots."""
+        return sum(
+            1 for handle in self._handles
+            if handle.tenant == tenant and handle.status in _LIVE_STATES
+        )
+
+    # -------------------------------------------------------------- submit
+
+    def submit(
+        self,
+        tenant: Union[Tenant, str],
+        app: ModuleDAG,
+        definition=None,
+        inputs: Optional[Dict[str, Any]] = None,
+    ) -> SubmissionHandle:
+        """Accept one submission; raises
+        :class:`~repro.service.tenants.QuotaExceeded` over quota.
+
+        In batched mode the submission buffers until the next
+        :meth:`dispatch_round` (or :meth:`drain`, which flushes); in
+        serial mode it reaches the runtime immediately.
+        """
+        record = self._tenant_of(tenant)
+        name = record.name
+        labels = {"tenant": name}
+        self.telemetry.inc("udc_tenant_submissions_total", labels=labels)
+        handle = SubmissionHandle(tenant=name, app=app.name,
+                                  seq=next(self._seq))
+        if self.cache.capacity > 0:
+            key = ResultCache.key(app, definition, inputs)
+            cached = self.cache.get(key)
+            if cached is not None:
+                # Served without consuming capacity: no quota charge.
+                handle.cached = True
+                handle.result = cached
+                handle._cache_key = key
+                self._handles.append(handle)
+                self.ledger.record_submission(name)
+                self.ledger.record_cache_hit(name, cached)
+                self.telemetry.inc("udc_tenant_cache_hits_total",
+                                   labels=labels)
+                return handle
+            handle._cache_key = key
+            self.telemetry.inc("udc_tenant_cache_misses_total", labels=labels)
+        try:
+            record.check_quota(self.in_flight(name))
+        except QuotaExceeded:
+            self.ledger.record_rejection(name)
+            self.telemetry.inc("udc_tenant_rejections_total", labels=labels)
+            raise
+        record.submitted += 1
+        self.ledger.record_submission(name)
+        self._handles.append(handle)
+        pending = _PendingWork(handle, app, definition, inputs)
+        if self.batched:
+            self._pending.append(pending)
+        else:
+            self._dispatch(pending)
+        return handle
+
+    def _dispatch(self, work: "_PendingWork") -> None:
+        handle = work.handle
+        submission = self.runtime.submit(
+            work.app, work.definition, tenant=handle.tenant,
+            inputs=work.inputs, queue_if_full=True,
+        )
+        handle.submission = submission
+        labels = {"tenant": handle.tenant}
+        if submission.status == "queued":
+            self.telemetry.inc("udc_tenant_queued_total", labels=labels)
+        else:
+            self.telemetry.inc("udc_tenant_admitted_total", labels=labels)
+
+    def dispatch_round(self) -> int:
+        """Flush buffered submissions as one scheduling round.
+
+        The round is ordered by the admission policy (fair share by
+        default; seq breaks ties deterministically) and placed under one
+        scheduler batch span, so control-plane telemetry is paid once
+        per round instead of once per app.
+        """
+        if not self._pending:
+            return 0
+        batch = sorted(
+            self._pending,
+            key=lambda w: self.policy.sort_key(w.handle.tenant,
+                                               w.handle.seq),
+        )
+        self._pending = []
+        self.rounds += 1
+        span = self.telemetry.span_start(
+            self.runtime.sim.now, "service", "dispatch-round", "service",
+            round=self.rounds, batch=len(batch),
+        )
+        memo = self.runtime.admission_memo
+        memo_scope = (memo.identity_round() if memo is not None
+                      else nullcontext())
+        with self.runtime.scheduler.batch_round(len(batch)), memo_scope:
+            for work in batch:
+                self._dispatch(work)
+        self.telemetry.span_end(span, self.runtime.sim.now)
+        self.telemetry.inc("udc_service_rounds_total")
+        self.telemetry.inc("udc_service_dispatched_total", len(batch))
+        return len(batch)
+
+    # --------------------------------------------------------------- drain
+
+    def drain(self, until: Optional[float] = None) -> List[SubmissionHandle]:
+        """Dispatch anything buffered and run the clock.
+
+        With ``until`` the clock stops early (statuses update, results
+        wait); without it the runtime drains to quiescence and every
+        newly finished handle is finalized — results collected, tenant
+        ledger and metrics updated, the result cache fed.  Returns the
+        handles finalized by this call.
+        """
+        self.dispatch_round()
+        if until is not None:
+            self.runtime.sim.run(until=until)
+            return []
+        self.runtime.drain()
+        finished: List[SubmissionHandle] = []
+        for handle in self._handles:
+            if handle.cached or handle.result is not None:
+                continue
+            submission = handle.submission
+            if submission is None or submission.result is None:
+                continue
+            self._finalize(handle)
+            finished.append(handle)
+        return finished
+
+    def _finalize(self, handle: SubmissionHandle) -> None:
+        submission = handle.submission
+        handle.result = submission.result
+        labels = {"tenant": handle.tenant}
+        if submission.status == "unplaceable":
+            self.ledger.record_unplaceable(handle.tenant)
+            self.telemetry.inc("udc_tenant_unplaceable_total", labels=labels)
+            return
+        self.ledger.record_result(
+            handle.tenant, submission.result,
+            queue_wait_s=submission.queue_wait_s,
+        )
+        self.telemetry.inc("udc_tenant_completed_total", labels=labels)
+        self.telemetry.inc("udc_tenant_cost_dollars_total",
+                           submission.result.total_cost, labels=labels)
+        if submission.queue_wait_s > 0:
+            self.telemetry.observe("udc_tenant_queue_wait_seconds",
+                                   submission.queue_wait_s, labels=labels)
+        if handle._cache_key is not None:
+            self.cache.put(handle._cache_key, submission.result)
+
+    # ----------------------------------------------------------- reporting
+
+    def completed_by_tenant(self) -> Dict[str, int]:
+        """Executed completions per registered tenant (cache hits are
+        served, not executed, so they do not count).  Works mid-run."""
+        counts = {name: 0 for name in self.tenants}
+        for handle in self._handles:
+            if not handle.cached and handle.done:
+                counts[handle.tenant] = counts.get(handle.tenant, 0) + 1
+        return counts
+
+    def fairness_index(self, metric: str = "completed") -> float:
+        """Jain's index across registered tenants.
+
+        ``metric="completed"`` scores executed completions (usable
+        mid-run, before results are collected); any other name reads
+        that field off the tenant ledger rollups.
+        """
+        if metric == "completed":
+            counts = self.completed_by_tenant()
+            return jain_index(float(counts[name])
+                              for name in sorted(counts))
+        return self.ledger.fairness(metric, tenants=sorted(self.tenants))
+
+    def rollup(self) -> List[TenantUsage]:
+        return self.ledger.rollup()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    @property
+    def handles(self) -> List[SubmissionHandle]:
+        return list(self._handles)
+
+
+@dataclass
+class _PendingWork:
+    """A buffered submission awaiting its dispatch round."""
+
+    handle: SubmissionHandle
+    app: ModuleDAG
+    definition: Any
+    inputs: Optional[Dict[str, Any]]

@@ -1,0 +1,85 @@
+"""Tenant identities and quotas for the serving layer.
+
+The paper's provider multiplexes many user-defined clouds over one
+substrate (§2); :class:`Tenant` is the serving layer's unit of isolation
+for admission accounting: a fair-share weight (consumed by
+:class:`~repro.core.admission.WeightedFairShare`) and an optional
+:class:`TenantQuota` capping concurrent work.  Quota violations raise
+:class:`QuotaExceeded` at submit time — load shedding at the front door,
+before any control-plane work is spent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["QuotaExceeded", "Tenant", "TenantQuota"]
+
+
+class QuotaExceeded(Exception):
+    """A submission would push the tenant past its quota."""
+
+    def __init__(self, tenant: str, message: str):
+        super().__init__(f"tenant {tenant!r}: {message}")
+        self.tenant = tenant
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits, enforced at submit time.
+
+    ``max_in_flight`` caps submissions that are pending, queued, or
+    running at once (completed and cache-served submissions free their
+    slot).  ``max_submissions`` caps lifetime submissions accepted.
+    ``None`` means unlimited.
+    """
+
+    max_in_flight: Optional[int] = None
+    max_submissions: Optional[int] = None
+
+    def __post_init__(self):
+        for label, value in (("max_in_flight", self.max_in_flight),
+                             ("max_submissions", self.max_submissions)):
+            if value is not None and value < 1:
+                raise ValueError(f"{label} must be >= 1, got {value}")
+
+
+@dataclass
+class Tenant:
+    """One registered tenant of a :class:`~repro.service.UDCService`."""
+
+    name: str
+    #: fair-share weight: long-run admission rate is proportional to this
+    weight: float = 1.0
+    quota: Optional[TenantQuota] = None
+    #: lifetime submissions accepted (cache hits included)
+    submitted: int = 0
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(
+                f"tenant {self.name!r}: weight must be positive, "
+                f"got {self.weight}"
+            )
+
+    def check_quota(self, in_flight: int) -> None:
+        """Raise :class:`QuotaExceeded` if one more submission would
+        exceed this tenant's limits (``in_flight`` counts live work
+        *before* the new submission)."""
+        if self.quota is None:
+            return
+        quota = self.quota
+        if quota.max_submissions is not None \
+                and self.submitted >= quota.max_submissions:
+            raise QuotaExceeded(
+                self.name,
+                f"lifetime submission quota {quota.max_submissions} reached",
+            )
+        if quota.max_in_flight is not None \
+                and in_flight >= quota.max_in_flight:
+            raise QuotaExceeded(
+                self.name,
+                f"{in_flight} submissions in flight "
+                f"(quota {quota.max_in_flight})",
+            )

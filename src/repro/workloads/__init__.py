@@ -18,14 +18,26 @@ from repro.workloads.generators import (
 )
 from repro.workloads.inference import InferenceTrace, poisson_inference_trace
 from repro.workloads.medical import build_medical_app, table1_definition
+from repro.workloads.tenants import (
+    TenantProfile,
+    TenantSubmission,
+    TenantTrace,
+    default_tenant_profiles,
+    generate_tenant_trace,
+)
 
 __all__ = [
     "ArrivingApp",
     "ClusterTrace",
     "InferenceTrace",
+    "TenantProfile",
+    "TenantSubmission",
+    "TenantTrace",
+    "default_tenant_profiles",
     "diurnal_inference_trace",
     "diurnal_rate",
     "generate_cluster_trace",
+    "generate_tenant_trace",
     "WorkloadMix",
     "build_medical_app",
     "heterogeneous_mix",

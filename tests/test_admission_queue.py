@@ -3,6 +3,7 @@
 import pytest
 
 from repro.appmodel.annotations import AppBuilder
+from repro.core.admission import WeightedFairShare
 from repro.core.runtime import UDCRuntime
 from repro.core.scheduler import SchedulerError
 from repro.hardware.devices import DeviceType
@@ -96,6 +97,34 @@ def test_rollback_leaves_no_partial_allocations():
     for pool in runtime.datacenter.pools:
         assert pool.total_used == 0.0
     assert not runtime._owner_of
+
+
+def test_weighted_retry_order_is_deterministic():
+    """Regression: retry rounds under WeightedFairShare follow stride
+    order, and equal virtual times break ties by submission seq — the
+    same tenant's queued entries never reorder, and the first round's
+    all-tied sort is submission order, not dict/hash order."""
+    runtime = UDCRuntime(
+        build_datacenter(TINY),
+        admission_policy=WeightedFairShare(weights={"heavy": 3.0,
+                                                    "light": 1.0}),
+    )
+    dag, spec = gpu_job("holder", gpus=16, work=50.0)
+    runtime.submit(dag, spec, tenant="holder")
+    queued = {}
+    for index in range(3):  # interleaved: h0, l0, h1, l1, h2, l2
+        for tenant in ("heavy", "light"):
+            name = f"{tenant[0]}{index}"
+            dag, spec = gpu_job(name, gpus=16, work=10.0)
+            queued[name] = runtime.submit(dag, spec, tenant=tenant,
+                                          queue_if_full=True)
+    runtime.drain()
+    assert all(s.status == "done" for s in queued.values())
+    order = sorted(queued, key=lambda n: queued[n].submitted_at)
+    # h0 admits first (all virtual times tied at the floor, lowest seq
+    # wins); thereafter heavy earns 3 admissions per light one, and
+    # light's own entries stay in seq order.
+    assert order == ["h0", "l0", "h1", "h2", "l1", "l2"]
 
 
 def test_queued_and_running_mix_all_complete():

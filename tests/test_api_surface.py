@@ -1,0 +1,25 @@
+"""The public API snapshot stays in lockstep with ``repro.__all__``."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_api_surface_matches_snapshot():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "scripts" / "check_api_surface.py")],
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, (
+        f"public API surface drifted from docs/api-surface.txt:\n"
+        f"{proc.stdout}{proc.stderr}"
+    )
+
+
+def test_every_public_name_importable():
+    import repro
+
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert not missing, f"__all__ names missing from package: {missing}"
