@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Run ``udc lint`` over every definition the examples ship.
+
+Two sources of definitions:
+
+* the Table 1 medical workload (app + definition), linted in full —
+  structure and information-flow passes included;
+* top-level definition dicts harvested **statically** from
+  ``examples/*.py``.  The examples execute whole pipelines at import
+  time (``quickstart.py`` runs a runtime at module level), so importing
+  them here is off the table; instead this walks each file's AST and
+  evaluates assignments whose target is ``definition`` or ``*_SPEC``.
+  A tiny resolver follows references between harvested names (e.g.
+  ``RECOGNITION_SPEC`` reusing ``LEDGER_SPEC["ledger"]``); anything
+  built dynamically is skipped and listed as such.
+
+Harvested specs are linted without their app DAG (the DAG is built in
+code), which still covers parse validity, conflicts, and feasibility
+against the default catalog.  Any error-severity finding fails the
+script; warnings are reported but do not gate.
+
+Exit status: 0 clean, 1 on error findings or an unparseable example.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import analyze_definition  # noqa: E402
+from repro.hardware.topology import build_datacenter  # noqa: E402
+from repro.workloads.medical import build_medical_app  # noqa: E402
+
+EXAMPLES = REPO / "examples"
+
+
+def _wanted(name: str) -> bool:
+    return name == "definition" or name.endswith("_SPEC")
+
+
+class _Unresolvable(Exception):
+    pass
+
+
+def _resolve(node: ast.expr, known: Dict[str, object]) -> object:
+    """Evaluate a definition expression: literals plus references to
+    previously harvested names (``NAME`` or ``NAME["key"]``)."""
+    if isinstance(node, ast.Dict):
+        return {_resolve(k, known): _resolve(v, known)
+                for k, v in zip(node.keys, node.values)}
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return [_resolve(el, known) for el in node.elts]
+    if isinstance(node, ast.Name):
+        if node.id in known:
+            return known[node.id]
+        raise _Unresolvable(node.id)
+    if isinstance(node, ast.Subscript):
+        container = _resolve(node.value, known)
+        return container[_resolve(node.slice, known)]
+    try:
+        return ast.literal_eval(node)
+    except ValueError:
+        raise _Unresolvable(ast.dump(node))
+
+
+def harvest(path: Path) -> Tuple[Dict[str, dict], List[str]]:
+    """All top-level definition dicts in one example file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    known: Dict[str, object] = {}
+    specs: Dict[str, dict] = {}
+    skipped: List[str] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        try:
+            value = _resolve(node.value, known)
+        except (_Unresolvable, KeyError, TypeError):
+            if _wanted(target.id):
+                skipped.append(target.id)
+            continue
+        known[target.id] = value
+        if _wanted(target.id) and isinstance(value, dict):
+            specs[target.id] = value
+    return specs, skipped
+
+
+def report(label: str, rep) -> bool:
+    """Print one lint report; return True when it has errors."""
+    if len(rep) == 0:
+        print(f"  {label}: clean")
+        return False
+    print(f"  {label}:")
+    for line in rep.format_text().splitlines():
+        print(f"    {line}")
+    return not rep.ok
+
+
+def main() -> int:
+    datacenter = build_datacenter()
+    failed = False
+
+    print("medical workload (full lint: app + definition)")
+    dag, definition = build_medical_app()
+    rep = analyze_definition(definition, app=dag, datacenter=datacenter)
+    failed |= report("workloads.medical", rep)
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        specs, skipped = harvest(path)
+        if not specs and not skipped:
+            continue
+        print(f"{path.relative_to(REPO)}")
+        for name in sorted(specs):
+            rep = analyze_definition(specs[name], datacenter=datacenter)
+            failed |= report(name, rep)
+        for name in sorted(skipped):
+            print(f"  {name}: skipped (built dynamically)")
+
+    if failed:
+        print("example lint: error findings above")
+        return 1
+    print("example lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,14 @@ See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 per-figure/claim benchmark index.
 """
 
+from repro.analysis import (
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Sensitivity,
+    Severity,
+    analyze_definition,
+)
 from repro.appmodel import AppBuilder, ModuleDAG, compile_dag, data, task
 from repro.core import (
     AspectBuilder,
@@ -60,9 +68,11 @@ from repro.service import (
 )
 from repro.simulator import Simulator
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
     "AppBuilder",
     "AspectBuilder",
     "AspectBundle",
@@ -71,6 +81,7 @@ __all__ = [
     "DatacenterSpec",
     "DefinitionBuilder",
     "DeviceType",
+    "Diagnostic",
     "DistributedAspect",
     "DryRunProfiler",
     "ExecEnvAspect",
@@ -79,6 +90,8 @@ __all__ = [
     "ResourceAspect",
     "ResourceGoal",
     "RunResult",
+    "Sensitivity",
+    "Severity",
     "Simulator",
     "SubmissionHandle",
     "Tenant",
@@ -87,6 +100,7 @@ __all__ = [
     "UDCService",
     "UserDefinition",
     "WeightedFairShare",
+    "analyze_definition",
     "build_datacenter",
     "compile_dag",
     "data",

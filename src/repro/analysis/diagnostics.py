@@ -1,0 +1,203 @@
+"""Diagnostics framework for the static analyzer (``udc lint``).
+
+The paper's §3.4 requires UDC to *"detect such conflicts and either
+choose the strictest specification or return an error to the user"*, and
+§4's verification story only catches violations after a run has been paid
+for.  The analyzer moves that whole error class to admission time; this
+module is its vocabulary: stable ``UDC0xx`` codes, severities, source
+locations (module + aspect), optional fix-it hints, and a report type
+whose orderings and JSON form are byte-deterministic.
+
+Code ranges, one block per pass:
+
+* ``UDC001``          — the definition failed to parse at all;
+* ``UDC010``–``019``  — aspect-conflict pass (cross-module contradictions);
+* ``UDC020``–``029``  — feasibility pass (definition vs datacenter catalog);
+* ``UDC030``–``039``  — DAG structural pass;
+* ``UDC040``–``049``  — information-flow pass (sensitivity lattice).
+
+Codes are append-only: a released code never changes meaning, so scripts
+and CI gates can match on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "AnalysisError",
+    "AnalysisReport",
+    "CODE_CATALOG",
+    "Diagnostic",
+    "Severity",
+]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ``ERROR`` gates admission."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {
+    Severity.ERROR: 2,
+    Severity.WARNING: 1,
+    Severity.INFO: 0,
+}
+
+
+#: Every code the analyzer can emit, with its one-line meaning.  The
+#: error-code catalog in docs/analysis.md renders from the same text.
+CODE_CATALOG: Dict[str, str] = {
+    "UDC001": "definition failed to parse (SpecError)",
+    # -- aspect-conflict pass -------------------------------------------------
+    "UDC010": "task demands stricter consistency than the data module declares",
+    "UDC011": "worst-case retry x hedge cost exceeds the declared cost cap",
+    "UDC012": "deadline below the critical-path lower bound",
+    "UDC013": "cheapest-goal module with a hedge policy (duplicates cost)",
+    "UDC014": "definition names a module the application does not contain",
+    # -- feasibility pass -----------------------------------------------------
+    "UDC020": "no single device of the requested type can hold the demand",
+    "UDC021": "requested device/media type has no pool in this datacenter",
+    "UDC022": "aggregate demand exceeds the pool's total capacity",
+    "UDC023": "declared device is not among the task's device candidates",
+    "UDC024": "requested amount is not allocatable on this device type",
+    "UDC025": "co-location group's shared device types are absent from the catalog",
+    "UDC026": "tenant quota cannot admit this submission",
+    # -- DAG structural pass --------------------------------------------------
+    "UDC030": "task graph contains a cycle",
+    "UDC031": "task module is disconnected from the application DAG",
+    "UDC032": "data module is never read or written",
+    "UDC033": "edge references an unknown module",
+    "UDC034": "module has a self-loop edge",
+    # -- information-flow pass ------------------------------------------------
+    "UDC040": "task clearance is below the sensitivity of data it receives",
+    "UDC041": "labeled data would flow to a lower-sensitivity sink "
+              "without a sanitizer",
+    "UDC042": "phi-labeled data module stored without encryption",
+    "UDC043": "sanitizer task receives no sensitive data",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a stable code, a location, and what to do about it.
+
+    ``module`` is the offending module's name (or ``"*"`` for whole-app
+    findings); ``aspect`` narrows the location to one aspect
+    (``resource`` / ``execenv`` / ``distributed``) when the finding is
+    aspect-specific.
+    """
+
+    code: str
+    severity: Severity
+    module: str
+    message: str
+    aspect: Optional[str] = None
+    hint: Optional[str] = None
+
+    def __post_init__(self):
+        if self.code != "UDC001" and self.code not in CODE_CATALOG:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def location(self) -> str:
+        return f"{self.module}.{self.aspect}" if self.aspect else self.module
+
+    def sort_key(self):
+        """Deterministic report order: by module, then code, then text."""
+        return (self.module, self.code, self.aspect or "", self.message)
+
+    def format(self) -> str:
+        line = f"{self.code} {self.severity.value:<7} {self.location}: " \
+               f"{self.message}"
+        if self.hint:
+            line += f"\n    fix: {self.hint}"
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "module": self.module,
+            "aspect": self.aspect,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """Every diagnostic from one analyzer invocation, in stable order."""
+
+    diagnostics: List[Diagnostic]
+
+    def __post_init__(self):
+        self.diagnostics = sorted(self.diagnostics,
+                                  key=Diagnostic.sort_key)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings/info do not gate)."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def format_text(self) -> str:
+        if not self.diagnostics:
+            return "no findings"
+        lines = [d.format() for d in self.diagnostics]
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.diagnostics) - len(self.errors) - len(self.warnings)}"
+            f" info"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Byte-deterministic JSON form (dump with ``sort_keys=True``)."""
+        return {
+            "findings": [d.to_dict() for d in self.diagnostics],
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": (len(self.diagnostics) - len(self.errors)
+                         - len(self.warnings)),
+            },
+            "ok": self.ok,
+        }
+
+
+class AnalysisError(Exception):
+    """Raised by the opt-in ``analyze=`` paths and the service front door
+    when a definition has error-severity findings."""
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        super().__init__(
+            "; ".join(f"{d.code} {d.location}: {d.message}"
+                      for d in report.errors)
+        )

@@ -1,0 +1,241 @@
+"""Feasibility pass (``UDC020``–``UDC026``).
+
+The definition against the datacenter catalog, before any placement: is
+there *any* assignment of modules to devices that could satisfy the
+declared resource aspects?  These checks mirror the scheduler's runtime
+errors (:class:`~repro.core.scheduler.SchedulerError` for a device
+outside the candidate set, an unallocatable amount, an exhausted pool)
+but fire at admission, where the user can still fix the definition.
+
+Goal-directed modules (``fastest`` / ``cheapest`` with no pinned device
+or media) are deliberately skipped by the single-type checks — the
+provider may satisfy them anywhere — and excluded from per-pool
+aggregate demand for the same reason.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.spec import UserDefinition
+from repro.hardware.devices import DeviceType
+from repro.hardware.pools import is_amount_valid
+from repro.hardware.topology import Datacenter
+from repro.service.tenants import TenantQuota
+
+__all__ = ["feasibility_pass"]
+
+
+def feasibility_pass(
+    definition: UserDefinition,
+    app: Optional[ModuleDAG] = None,
+    datacenter: Optional[Datacenter] = None,
+    quota: Optional[TenantQuota] = None,
+    in_flight: int = 0,
+    submitted: int = 0,
+) -> List[Diagnostic]:
+    """Static placement feasibility of one definition.
+
+    ``quota`` / ``in_flight`` / ``submitted`` let the serving layer lint
+    a submission against the tenant's admission state (UDC026); the CLI
+    leaves them unset.
+    """
+    findings: List[Diagnostic] = []
+
+    # UDC026 — the tenant's quota cannot admit one more submission.
+    if quota is not None:
+        if quota.max_submissions is not None \
+                and submitted >= quota.max_submissions:
+            findings.append(Diagnostic(
+                code="UDC026", severity=Severity.ERROR, module="*",
+                message=f"lifetime submission quota "
+                        f"{quota.max_submissions} already reached",
+                hint="raise the tenant's max_submissions or stop submitting",
+            ))
+        if quota.max_in_flight is not None and in_flight >= quota.max_in_flight:
+            findings.append(Diagnostic(
+                code="UDC026", severity=Severity.ERROR, module="*",
+                message=f"{in_flight} submission(s) already in flight "
+                        f"(quota {quota.max_in_flight})",
+                hint="drain in-flight work or raise max_in_flight",
+            ))
+
+    pools = datacenter.pools.pools if datacenter is not None else None
+    dc_spec = datacenter.spec if datacenter is not None else None
+
+    #: device type -> summed demand pinned to that type by the definition
+    demand: Dict[DeviceType, float] = {}
+    #: device type -> (module, share) contributions, for the UDC022 text
+    contributors: Dict[DeviceType, List[str]] = {}
+
+    def add_demand(module: str, device_type: DeviceType, amount: float):
+        demand[device_type] = demand.get(device_type, 0.0) + amount
+        contributors.setdefault(device_type, []).append(module)
+
+    def check_type_exists(module: str, aspect: str,
+                          device_type: DeviceType) -> bool:
+        """UDC021 — the catalog has no pool of this type."""
+        if pools is None or device_type in pools:
+            return True
+        findings.append(Diagnostic(
+            code="UDC021", severity=Severity.ERROR, module=module,
+            aspect=aspect,
+            message=f"requests {device_type.value}, but this datacenter "
+                    f"has no {device_type.value} pool",
+            hint=f"add {device_type.value} sleds to the datacenter spec "
+                 f"or request a different type",
+        ))
+        return False
+
+    def spec_of(device_type: DeviceType):
+        if dc_spec is not None:
+            return dc_spec.spec_for(device_type)
+        from repro.hardware.devices import DEFAULT_SPECS
+        return DEFAULT_SPECS[device_type]
+
+    def check_single_device(module: str, aspect: str,
+                            device_type: DeviceType, amount: float,
+                            what: str):
+        """UDC020 — one device must hold ``amount`` whole.
+
+        Applies where the scheduler does *not* shard: a data replica and
+        a task's working memory each land on a single device.  Task
+        compute amounts split across devices, so they are checked against
+        pool capacity (UDC022) instead.
+        """
+        spec = spec_of(device_type)
+        if is_amount_valid(spec, amount):
+            return
+        if amount > spec.capacity:
+            findings.append(Diagnostic(
+                code="UDC020", severity=Severity.ERROR, module=module,
+                aspect=aspect,
+                message=f"{what} of {amount:g} {device_type.unit} exceeds "
+                        f"a single {device_type.value} device's capacity "
+                        f"({spec.capacity:g} {device_type.unit})",
+                hint=f"shard the module or request at most "
+                     f"{spec.capacity:g} {device_type.unit}",
+            ))
+        else:
+            check_allocatable(module, aspect, device_type, amount, what)
+
+    def check_allocatable(module: str, aspect: str,
+                          device_type: DeviceType, amount: float,
+                          what: str) -> bool:
+        """UDC024 — the request must be a positive, finite amount."""
+        if amount > 0 and math.isfinite(amount):
+            return True
+        findings.append(Diagnostic(
+            code="UDC024", severity=Severity.ERROR, module=module,
+            aspect=aspect,
+            message=f"{what} of {amount!r} {device_type.unit} is not "
+                    f"an allocatable {device_type.value} request",
+            hint="request a positive, finite amount",
+        ))
+        return False
+
+    for name in sorted(definition.bundles):
+        bundle = definition.bundle_for(name)
+        resource = bundle.resource
+        if resource is None:
+            continue
+        module = app.modules.get(name) if app is not None else None
+
+        # -- task-side resource demands ----------------------------------
+        if resource.device is not None:
+            if check_type_exists(name, "resource", resource.device):
+                amount = resource.amount if resource.amount is not None else 1.0
+                if check_allocatable(name, "resource", resource.device,
+                                     amount, "amount"):
+                    add_demand(name, resource.device, amount)
+            # UDC023 — the declared device must be one the developer said
+            # the code can run on.
+            if isinstance(module, TaskModule) \
+                    and resource.device not in module.device_candidates:
+                candidates = ", ".join(
+                    sorted(d.value for d in module.device_candidates))
+                findings.append(Diagnostic(
+                    code="UDC023", severity=Severity.ERROR, module=name,
+                    aspect="resource",
+                    message=f"declares device {resource.device.value}, but "
+                            f"the task's candidates are [{candidates}]",
+                    hint=f"pick one of [{candidates}] or extend the "
+                         f"task's device_candidates",
+                ))
+
+        if resource.mem_gb > 0:
+            if pools is not None and DeviceType.DRAM not in pools:
+                # The runtime silently skips the memory grant in this
+                # case — surface it, but it does not gate admission.
+                findings.append(Diagnostic(
+                    code="UDC021", severity=Severity.WARNING, module=name,
+                    aspect="resource",
+                    message=f"requests {resource.mem_gb:g} GB of working "
+                            f"memory, but this datacenter has no dram "
+                            f"pool (the grant would be skipped)",
+                    hint="add dram sleds to the datacenter spec or drop "
+                         "mem_gb",
+                ))
+            else:
+                check_single_device(name, "resource", DeviceType.DRAM,
+                                    resource.mem_gb, "working memory")
+                add_demand(name, DeviceType.DRAM, resource.mem_gb)
+
+        # -- data-side media demands --------------------------------------
+        if resource.media is not None and isinstance(module, DataModule):
+            if check_type_exists(name, "resource", resource.media):
+                check_single_device(name, "resource", resource.media,
+                                    module.size_gb, "data size")
+                dist = bundle.distributed
+                replicas = (dist.replication.factor
+                            if dist is not None and dist.replication is not None
+                            else 1)
+                add_demand(name, resource.media,
+                           module.size_gb * max(replicas, 1))
+
+    # UDC022 — summed pinned demand vs each pool's total capacity.
+    if pools is not None:
+        for device_type in sorted(demand, key=lambda d: d.value):
+            pool = pools.get(device_type)
+            if pool is None:
+                continue  # UDC021 already reported per module
+            total = sum(d.spec.capacity for d in pool.devices)
+            if demand[device_type] > total:
+                who = ", ".join(sorted(set(contributors[device_type])))
+                findings.append(Diagnostic(
+                    code="UDC022", severity=Severity.ERROR, module="*",
+                    message=f"aggregate {device_type.value} demand "
+                            f"{demand[device_type]:g} {device_type.unit} "
+                            f"(from {who}) exceeds pool capacity "
+                            f"{total:g} {device_type.unit}",
+                    hint=f"grow the {device_type.value} pool or shrink "
+                         f"the declared demand",
+                ))
+
+    # UDC025 — a co-location group needs at least one pooled device type
+    # every member can run on; otherwise no rack can host the group.
+    if app is not None and pools is not None:
+        for group in app.merged_colocation_groups():
+            members = sorted(group)
+            tasks = [app.modules[n] for n in members
+                     if isinstance(app.modules.get(n), TaskModule)]
+            if len(tasks) < 2:
+                continue
+            shared = frozenset.intersection(
+                *(t.device_candidates for t in tasks))
+            if shared and not any(t in pools for t in shared):
+                types = ", ".join(sorted(t.value for t in shared))
+                findings.append(Diagnostic(
+                    code="UDC025", severity=Severity.ERROR,
+                    module=members[0],
+                    message=f"co-location group [{', '.join(members)}] "
+                            f"shares only [{types}], none of which this "
+                            f"datacenter pools",
+                    hint=f"add a [{types}] pool or relax the co-location",
+                ))
+
+    return findings

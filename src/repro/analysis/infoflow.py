@@ -1,0 +1,191 @@
+"""Information-flow pass (``UDC040``–``UDC043``).
+
+A small sensitivity lattice, ``public < anonymized < phi``, over the
+medical scenario of Fig. 2 / Table 1: patient records (S1-S3) are PHI,
+the anonymized research store (S4) is not, and the only legal path from
+one to the other is through B1's consent-filter/anonymize step.
+
+* **data modules** carry a label (:attr:`DataModule.sensitivity`);
+* **task modules** derive a *clearance* from their exec-env aspect — an
+  environment strong enough for PHI (``STRONG``/``STRONGEST``: enclaves,
+  single-tenant VMs) clears ``phi``, a shared/weak one only
+  ``anonymized``, no isolation at all only ``public``;
+* labels propagate along DAG edges (reads join labels upward, direct
+  task→task edges carry the producer's label);
+* **declassification** is only legal through a task flagged as a
+  sanitizer (:attr:`TaskModule.sanitizer`), which caps its output label
+  at ``anonymized``.
+
+Violations: a task receiving data above its clearance (UDC040), a write
+that would silently downgrade a label without a sanitizer (UDC041), PHI
+at rest without encryption (UDC042), and a sanitizer that sanitizes
+nothing (UDC043).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.appmodel.dag import ModuleDAG
+from repro.appmodel.module import DataModule, TaskModule
+from repro.core.spec import UserDefinition
+from repro.execenv.isolation import IsolationLevel
+
+__all__ = ["Sensitivity", "clearance_of", "infoflow_pass"]
+
+
+class Sensitivity(enum.Enum):
+    """The data-sensitivity lattice: ``public < anonymized < phi``."""
+
+    PUBLIC = "public"
+    ANONYMIZED = "anonymized"
+    PHI = "phi"
+
+    @property
+    def rank(self) -> int:
+        return _SENSITIVITY_RANK[self]
+
+    @classmethod
+    def from_label(cls, label: Optional[str]) -> "Sensitivity":
+        """Unlabeled data is public — labels are opt-in."""
+        return cls(label) if label is not None else cls.PUBLIC
+
+
+_SENSITIVITY_RANK = {
+    Sensitivity.PUBLIC: 0,
+    Sensitivity.ANONYMIZED: 1,
+    Sensitivity.PHI: 2,
+}
+
+
+def _join(a: Sensitivity, b: Sensitivity) -> Sensitivity:
+    return a if a.rank >= b.rank else b
+
+
+def clearance_of(definition: UserDefinition, name: str) -> Sensitivity:
+    """The sensitivity a task's execution environment may handle.
+
+    Strong isolation (enclaves, single-tenant VMs — ``STRONG`` and up)
+    clears PHI; some isolation (``WEAK``/``MEDIUM``) clears anonymized
+    data; a module with no isolation demand at all only public data.
+    """
+    execenv = definition.bundle_for(name).execenv
+    level = execenv.effective_isolation if execenv is not None else None
+    if level is None or level == IsolationLevel.NONE:
+        return Sensitivity.PUBLIC
+    if level.at_least(IsolationLevel.STRONG):
+        return Sensitivity.PHI
+    return Sensitivity.ANONYMIZED
+
+
+def infoflow_pass(definition: UserDefinition,
+                  app: ModuleDAG) -> List[Diagnostic]:
+    """Label-propagation checks; needs the app (labels live on modules)."""
+    findings: List[Diagnostic] = []
+
+    data_label: Dict[str, Sensitivity] = {
+        m.name: Sensitivity.from_label(m.sensitivity)
+        for m in app.data_modules
+    }
+    tasks = {t.name for t in app.tasks}
+
+    # UDC042 — PHI at rest without encryption.  The paper's §3.3 lets
+    # data modules demand protection "when these data leave the execution
+    # environment"; for PHI that is not optional.
+    for name in sorted(data_label):
+        if data_label[name] is not Sensitivity.PHI:
+            continue
+        execenv = definition.bundle_for(name).execenv
+        if execenv is None or not execenv.protection.encrypt:
+            findings.append(Diagnostic(
+                code="UDC042", severity=Severity.ERROR, module=name,
+                aspect="execenv",
+                message=f"data module {name!r} is labeled phi but its "
+                        f"protection policy does not request encryption",
+                hint="set protection {'encrypt': true} on the module's "
+                     "execenv aspect",
+            ))
+
+    # Propagate labels to a fixpoint.  A topological walk would do on a
+    # DAG, but the structural pass may have found task cycles; fixpoint
+    # iteration (bounded by lattice height x tasks) is robust to both and
+    # order-independent, so the result stays deterministic.
+    in_label: Dict[str, Sensitivity] = {t: Sensitivity.PUBLIC for t in tasks}
+    out_label: Dict[str, Sensitivity] = dict(in_label)
+
+    def reads_of(task: str) -> List[str]:
+        return sorted(e.src for e in app.edges
+                      if e.dst == task and e.src in data_label)
+
+    def task_preds_of(task: str) -> List[str]:
+        return sorted(e.src for e in app.edges
+                      if e.dst == task and e.src in tasks)
+
+    changed = True
+    while changed:
+        changed = False
+        for task in sorted(tasks):
+            incoming = Sensitivity.PUBLIC
+            for data_name in reads_of(task):
+                incoming = _join(incoming, data_label[data_name])
+            for pred in task_preds_of(task):
+                incoming = _join(incoming, out_label[pred])
+            outgoing = incoming
+            if app.task(task).sanitizer:
+                # Declassification: a sanitizer's output is at most
+                # anonymized, whatever flowed in.
+                if outgoing.rank > Sensitivity.ANONYMIZED.rank:
+                    outgoing = Sensitivity.ANONYMIZED
+            if incoming != in_label[task] or outgoing != out_label[task]:
+                in_label[task] = incoming
+                out_label[task] = outgoing
+                changed = True
+
+    for task in sorted(tasks):
+        clearance = clearance_of(definition, task)
+
+        # UDC040 — the environment is too weak for what flows in.
+        if in_label[task].rank > clearance.rank:
+            findings.append(Diagnostic(
+                code="UDC040", severity=Severity.ERROR, module=task,
+                aspect="execenv",
+                message=f"receives {in_label[task].value} data but its "
+                        f"execution environment only clears "
+                        f"{clearance.value}",
+                hint="demand stronger isolation (e.g. a single-tenant VM "
+                     "or enclave) or sanitize the inputs upstream",
+            ))
+
+        # UDC041 — a write that would downgrade the label.  Sanitizers
+        # already capped their output, so any remaining mismatch is a
+        # silent declassification.
+        for edge in app.edges:
+            if edge.src != task or edge.dst not in data_label:
+                continue
+            sink = data_label[edge.dst]
+            if out_label[task].rank > sink.rank:
+                findings.append(Diagnostic(
+                    code="UDC041", severity=Severity.ERROR, module=task,
+                    message=f"writes {out_label[task].value} data to "
+                            f"{edge.dst!r}, which is labeled {sink.value}; "
+                            f"only a sanitizer may declassify",
+                    hint=f"route the flow through a sanitizer task, or "
+                         f"raise {edge.dst}'s sensitivity label to "
+                         f"{out_label[task].value}",
+                ))
+
+        # UDC043 — a sanitizer whose inputs are all public sanitizes
+        # nothing; almost certainly a mislabeled graph.
+        if app.task(task).sanitizer \
+                and in_label[task] is Sensitivity.PUBLIC:
+            findings.append(Diagnostic(
+                code="UDC043", severity=Severity.WARNING, module=task,
+                message=f"task {task!r} is flagged as a sanitizer but "
+                        f"receives no sensitive data",
+                hint="drop the sanitizer flag or label its input data "
+                     "modules",
+            ))
+
+    return findings

@@ -39,6 +39,7 @@ def task(
     output_bytes: int = 1024,
     state_bytes: int = 1024,
     max_parallelism: Optional[float] = None,
+    sanitizer: bool = False,
 ) -> Callable[[Callable], TaskModule]:
     """Standalone decorator: wrap a function as a TaskModule."""
 
@@ -51,15 +52,17 @@ def task(
             state_bytes=state_bytes,
             max_parallelism=max_parallelism,
             fn=fn,
+            sanitizer=sanitizer,
         )
 
     return wrap
 
 
 def data(name: str, size_gb: float = 1.0, record_bytes: int = 4096,
-         hot: bool = False) -> DataModule:
+         hot: bool = False, sensitivity: Optional[str] = None) -> DataModule:
     """Standalone declaration of a data module."""
-    return DataModule(name=name, size_gb=size_gb, record_bytes=record_bytes, hot=hot)
+    return DataModule(name=name, size_gb=size_gb, record_bytes=record_bytes,
+                      hot=hot, sensitivity=sensitivity)
 
 
 def _name_of(ref: ModuleRef) -> str:
@@ -88,6 +91,7 @@ class AppBuilder:
         output_bytes: int = 1024,
         state_bytes: int = 1024,
         max_parallelism: Optional[float] = None,
+        sanitizer: bool = False,
     ) -> Callable[[Callable], TaskModule]:
         """Decorator form: declare a task and register it with the app."""
 
@@ -95,7 +99,7 @@ class AppBuilder:
             module = task(
                 name=name, work=work, devices=devices,
                 output_bytes=output_bytes, state_bytes=state_bytes,
-                max_parallelism=max_parallelism,
+                max_parallelism=max_parallelism, sanitizer=sanitizer,
             )(fn)
             self.dag.add_module(module)
             return module
@@ -107,8 +111,9 @@ class AppBuilder:
         return module
 
     def data(self, name: str, size_gb: float = 1.0, record_bytes: int = 4096,
-             hot: bool = False) -> DataModule:
-        module = data(name, size_gb=size_gb, record_bytes=record_bytes, hot=hot)
+             hot: bool = False, sensitivity: Optional[str] = None) -> DataModule:
+        module = data(name, size_gb=size_gb, record_bytes=record_bytes,
+                      hot=hot, sensitivity=sensitivity)
         self.dag.add_module(module)
         return module
 

@@ -51,6 +51,10 @@ class IRModule:
     outputs: Tuple[str, ...]        # downstream module names
     colocate_with: Tuple[str, ...] = ()
     affinities: Tuple[Tuple[str, int], ...] = ()
+    #: information-flow label for data modules (None = public)
+    sensitivity: Optional[str] = None
+    #: task is a declassification point for the information-flow analysis
+    sanitizer: bool = False
 
     def to_dict(self) -> Dict:
         """Serializable form (the cross-language wire format)."""
@@ -67,6 +71,8 @@ class IRModule:
             "outputs": list(self.outputs),
             "colocate_with": list(self.colocate_with),
             "affinities": [list(a) for a in self.affinities],
+            "sensitivity": self.sensitivity,
+            "sanitizer": self.sanitizer,
         }
 
 
@@ -159,6 +165,7 @@ def compile_dag(
                 outputs=tuple(sorted(dag.successors(name))),
                 colocate_with=tuple(sorted(colocate)),
                 affinities=affinities,
+                sanitizer=module.sanitizer,
             )
         else:
             assert isinstance(module, DataModule)
@@ -173,6 +180,7 @@ def compile_dag(
                 device_candidates=(),
                 inputs=tuple(sorted(dag.predecessors(name))),
                 outputs=tuple(sorted(dag.successors(name))),
+                sensitivity=module.sensitivity,
             )
         program.modules[name] = ir_module
 

@@ -65,12 +65,17 @@ def load_program(
                 state_bytes=int(raw.get("size_bytes", 1024)),
                 fn=functions.get(name),
                 code_hash=str(raw.get("code_hash", "")),
+                sanitizer=bool(raw.get("sanitizer", False)),
             )
             if raw.get("colocate_with"):
                 colocations.append({name, *raw["colocate_with"]})
         elif kind == "data":
             size_gb = max(float(raw.get("size_bytes", 1e9)) / 1e9, 1e-9)
-            module = DataModule(name=name, size_gb=size_gb)
+            sensitivity = raw.get("sensitivity")
+            module = DataModule(
+                name=name, size_gb=size_gb,
+                sensitivity=str(sensitivity) if sensitivity is not None else None,
+            )
         else:
             raise DagValidationError(
                 f"module {name}: unknown kind {kind!r} (expected task/data)"

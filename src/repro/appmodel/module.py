@@ -59,6 +59,9 @@ class TaskModule:
             tuner corrects (§3.2's fine tuning).
         fn: optional Python callable executed functionally during the
             simulated run (lets examples compute real values end-to-end).
+        sanitizer: the task reduces data sensitivity (Table 1's B1
+            consent-filter/anonymize); the information-flow analysis only
+            permits declassification through sanitizer tasks.
     """
 
     name: str
@@ -69,6 +72,7 @@ class TaskModule:
     max_parallelism: Optional[float] = None
     fn: Optional[Callable] = None
     code_hash: str = ""
+    sanitizer: bool = False
     kind: ModuleKind = field(default=ModuleKind.TASK, init=False)
 
     def __post_init__(self):
@@ -120,12 +124,17 @@ class DataModule:
     (Figure 2's S3 medical image vs S4's archival output); the scheduler
     biases hot data toward memory-class media when the user's resource
     aspect does not pin one.
+
+    ``sensitivity`` is the module's information-flow label — one of
+    ``"public"``, ``"anonymized"``, ``"phi"`` (``None`` means public);
+    the static analyzer propagates it along DAG edges.
     """
 
     name: str
     size_gb: float = 1.0
     record_bytes: int = 4096
     hot: bool = False
+    sensitivity: Optional[str] = None
     kind: ModuleKind = field(default=ModuleKind.DATA, init=False)
 
     def __post_init__(self):
@@ -133,6 +142,12 @@ class DataModule:
             raise ValueError(f"data module {self.name}: size must be positive")
         if self.record_bytes <= 0:
             raise ValueError(f"data module {self.name}: record size must be positive")
+        if self.sensitivity is not None \
+                and self.sensitivity not in ("public", "anonymized", "phi"):
+            raise ValueError(
+                f"data module {self.name}: sensitivity must be one of "
+                f"public/anonymized/phi, got {self.sensitivity!r}"
+            )
 
     @property
     def size_bytes(self) -> int:

@@ -26,7 +26,11 @@ Subcommands:
 * ``udc serve [--tenants N] [--policy fair|fifo]`` — replay a generated
   multi-tenant submission stream through the serving layer
   (:class:`~repro.service.UDCService`) and print per-tenant rollups,
-  Jain's fairness index, and result-cache statistics.
+  Jain's fairness index, and result-cache statistics;
+* ``udc lint [APP.json] --spec SPEC.json`` — statically analyze a
+  definition (conflicts, feasibility vs the datacenter, DAG structure,
+  information flow) without executing anything; ``--json`` emits a
+  byte-deterministic report, exit 2 on error-severity findings.
 
 All input formats are documented in each handler's docstring; everything
 is plain JSON so non-Python frontends can target the same entry points.
@@ -442,6 +446,47 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Statically analyze a definition against an app and a datacenter.
+
+    ``APP.json`` (optional) is :meth:`IRProgram.to_dict` output and
+    unlocks the structural, information-flow, and deadline checks;
+    ``--spec`` is the declarative definition JSON.  At least one of the
+    two is required.  Exit codes: 0 clean (warnings allowed unless
+    ``--strict``), 2 on gating findings, 2 on unreadable inputs.
+    """
+    from repro.analysis import analyze_definition
+
+    if not args.app and not args.spec:
+        print("lint: nothing to analyze (give APP.json and/or --spec)",
+              file=sys.stderr)
+        return 2
+    definition = {}
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    dag = None
+    if args.app:
+        from repro.appmodel.dag import DagValidationError
+
+        try:
+            dag = load_program_file(args.app)
+        except DagValidationError as exc:
+            print(f"lint: {args.app}: {exc}", file=sys.stderr)
+            return 2
+    report = analyze_definition(definition, app=dag,
+                                datacenter=_build_dc(args))
+    if args.json:
+        json.dump(report.to_json_dict(), sys.stdout, indent=2,
+                  sort_keys=True)
+        print()
+    else:
+        print(report.format_text())
+    gating = report.errors if not args.strict \
+        else report.errors + report.warnings
+    return 2 if gating else 0
+
+
 def cmd_serve(args) -> int:
     """Replay a synthetic multi-tenant stream through the serving layer.
 
@@ -627,6 +672,21 @@ def build_parser() -> argparse.ArgumentParser:
                            default="prom")
     _add_dc_args(metrics_p)
     metrics_p.set_defaults(handler=cmd_metrics)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="statically analyze a definition (exit 2 on error findings)",
+    )
+    lint_p.add_argument("app", nargs="?", default=None,
+                        help="IR program JSON (optional; unlocks DAG "
+                             "structure, flow, and deadline checks)")
+    lint_p.add_argument("--spec", help="declarative aspect spec JSON")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="warnings also gate (exit 2)")
+    lint_p.add_argument("--json", action="store_true",
+                        help="emit the report as deterministic JSON")
+    _add_dc_args(lint_p)
+    lint_p.set_defaults(handler=cmd_lint)
 
     serve_p = sub.add_parser(
         "serve",

@@ -142,8 +142,15 @@ class DistributedAspect:
     deadline_s: Optional[float] = None
     #: speculative duplicate execution against stragglers
     hedge: Optional[HedgePolicy] = None
+    #: declared spending ceiling for this module across retries/hedges;
+    #: the analyzer's UDC011 checks the worst case against it
+    cost_cap_dollars: Optional[float] = None
 
     def __post_init__(self):
+        if self.cost_cap_dollars is not None and self.cost_cap_dollars <= 0:
+            raise ValueError(
+                f"cost_cap_dollars must be positive, got {self.cost_cap_dollars}"
+            )
         if not 0.0 < self.checkpoint_interval <= 1.0:
             raise ValueError(
                 f"checkpoint_interval must be in (0, 1], got {self.checkpoint_interval}"

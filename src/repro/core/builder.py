@@ -59,15 +59,21 @@ class DefinitionBuilder:
         """The raw nested-dict form this builder compiles to."""
         return copy.deepcopy(self._modules)
 
-    def build(self) -> UserDefinition:
+    def build(self, analyze: bool = False, app: Any = None,
+              datacenter: Any = None) -> UserDefinition:
         """Compile via :func:`parse_definition`; raises
         :class:`~repro.core.spec.SpecError` with the same diagnostics a
-        hand-written dict would."""
-        return parse_definition(self.to_dict())
+        hand-written dict would.  ``analyze=True`` additionally runs the
+        static analyzer (against ``app``/``datacenter`` when given) and
+        raises :class:`~repro.analysis.AnalysisError` on error findings."""
+        return parse_definition(self.to_dict(), analyze=analyze, app=app,
+                                datacenter=datacenter)
 
     # duck-typing hook consumed by UDCRuntime.admit: a builder passed
-    # where a definition is expected compiles itself on admission
-    build_definition = build
+    # where a definition is expected compiles itself on admission.
+    # (Zero-argument on purpose: admission already parsed/validated.)
+    def build_definition(self) -> UserDefinition:
+        return parse_definition(self.to_dict())
 
 
 class AspectBuilder:
@@ -128,6 +134,7 @@ class AspectBuilder:
         retry: Union[int, Dict[str, Any], None] = None,
         deadline_s: Optional[float] = None,
         hedge: Union[float, Dict[str, Any], None] = None,
+        cost_cap_dollars: Optional[float] = None,
     ) -> "AspectBuilder":
         _set_present(
             self._aspect("distributed"),
@@ -138,6 +145,7 @@ class AspectBuilder:
             failure_domain=failure_domain,
             data_consistency=data_consistency, retry=retry,
             deadline_s=deadline_s, hedge=hedge,
+            cost_cap_dollars=cost_cap_dollars,
         )
         return self
 
@@ -149,7 +157,10 @@ class AspectBuilder:
     def to_dict(self) -> Dict[str, Any]:
         return self._parent.to_dict()
 
-    def build(self) -> UserDefinition:
-        return self._parent.build()
+    def build(self, analyze: bool = False, app: Any = None,
+              datacenter: Any = None) -> UserDefinition:
+        return self._parent.build(analyze=analyze, app=app,
+                                  datacenter=datacenter)
 
-    build_definition = build
+    def build_definition(self) -> UserDefinition:
+        return self._parent.build_definition()

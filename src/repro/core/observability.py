@@ -183,6 +183,12 @@ METRIC_HELP: Dict[str, str] = {
     "udc_service_rounds_total": "Serving-layer dispatch rounds executed.",
     "udc_service_dispatched_total":
         "Buffered submissions dispatched by scheduling rounds.",
+    "udc_lint_checks_total":
+        "Submissions run through the static analyzer at the front door.",
+    "udc_lint_findings_total":
+        "Static-analysis findings surfaced at the front door, by severity.",
+    "udc_lint_rejections_total":
+        "Submissions rejected by error-severity lint findings, per tenant.",
 }
 
 #: Metric families measured in host wall-clock time rather than simulated

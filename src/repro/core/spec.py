@@ -81,10 +81,21 @@ _RECOVERY_NAMES = {r.value: r for r in RecoveryStrategy}
 _PROTECTION_FLAGS = {"encrypt", "integrity", "replay"}
 
 
-def parse_definition(raw: Dict[str, Any]) -> UserDefinition:
+def parse_definition(
+    raw: Dict[str, Any],
+    *,
+    analyze: bool = False,
+    app: Any = None,
+    datacenter: Any = None,
+) -> UserDefinition:
     """Parse and validate a whole user definition.
 
     Raises :class:`SpecError` carrying every problem found.
+
+    With ``analyze=True`` the parsed definition is additionally run
+    through the static analyzer (:func:`repro.analysis.analyze_definition`
+    — optionally against ``app`` and ``datacenter``), and any
+    error-severity finding raises :class:`repro.analysis.AnalysisError`.
     """
     if not isinstance(raw, dict):
         raise SpecError(["definition must be a mapping of module name -> aspects"])
@@ -110,6 +121,13 @@ def parse_definition(raw: Dict[str, Any]) -> UserDefinition:
         )
     if problems:
         raise SpecError(problems)
+    if analyze:
+        # Imported here: repro.analysis depends on this module.
+        from repro.analysis import AnalysisError, analyze_definition
+
+        report = analyze_definition(definition, app=app, datacenter=datacenter)
+        if not report.ok:
+            raise AnalysisError(report)
     return definition
 
 
@@ -236,6 +254,9 @@ def _parse_distributed(
         deadline_s = raw.get("deadline_s")
         if deadline_s is not None:
             deadline_s = float(deadline_s)
+        cost_cap = raw.get("cost_cap_dollars")
+        if cost_cap is not None:
+            cost_cap = float(cost_cap)
         return DistributedAspect(
             replication=replication,
             consistency=consistency,
@@ -248,6 +269,7 @@ def _parse_distributed(
             retry=retry,
             deadline_s=deadline_s,
             hedge=hedge,
+            cost_cap_dollars=cost_cap,
         )
     except (ValueError, KeyError, TypeError) as exc:
         problems.append(f"{module}.distributed: {exc}")

@@ -19,8 +19,6 @@ from repro.simulator.engine import Simulator
 
 __all__ = ["Checkpoint", "CheckpointStore"]
 
-_ckpt_ids = itertools.count()
-
 
 @dataclass(frozen=True)
 class Checkpoint:
@@ -43,6 +41,9 @@ class CheckpointStore:
         self.fabric = fabric
         self.device = device
         self._by_module: Dict[str, List[Checkpoint]] = {}
+        # Per-store, so checkpoint ids depend only on this run's order,
+        # not on prior runs in the same process.
+        self._ckpt_ids = itertools.count()
         self.bytes_written = 0
         self.checkpoint_seconds = 0.0
 
@@ -73,7 +74,7 @@ class CheckpointStore:
         yield self.fabric.send(source, self.location, size_bytes)
         yield self.sim.timeout(self._media_time(size_bytes))
         snapshot = Checkpoint(
-            checkpoint_id=f"ckpt-{next(_ckpt_ids)}",
+            checkpoint_id=f"ckpt-{next(self._ckpt_ids)}",
             module=module,
             progress=progress,
             size_bytes=size_bytes,

@@ -38,8 +38,6 @@ __all__ = ["OpStats", "Replica", "ReplicatedStore"]
 ACK_BYTES = 64
 REQUEST_BYTES = 64
 
-_op_ids = itertools.count()
-
 
 @dataclass
 class OpStats:
@@ -120,6 +118,10 @@ class ReplicatedStore:
             for a in placement.allocations
         ]
         self._version_counter: Dict[str, int] = {}
+        # Per-store, so synthetic bulk-write keys depend only on this
+        # run's operation order, not on how many stores ran before it
+        # in the same process (cross-run metric determinism).
+        self._op_ids = itertools.count()
         #: (key, version, value, size) pending propagation under RELEASE
         self._pending_release: List[Tuple[str, int, Any, int]] = []
         self.op_log: List[OpStats] = []
@@ -594,7 +596,7 @@ class ReplicatedStore:
     def bulk_write(self, client: Location, nbytes: int, tag: str = "bulk"):
         """Generator: persist ``nbytes`` from a task into this data module,
         paying the store's consistency protocol; returns :class:`OpStats`."""
-        key = f"__{tag}-{next(_op_ids)}"
+        key = f"__{tag}-{next(self._op_ids)}"
         stats = yield self.sim.process(
             self.write(client, key, _Blob(nbytes), nbytes)
         )

@@ -25,6 +25,12 @@ adds the four things a single-shot runtime lacks:
   re-submissions are served from a bounded
   :class:`~repro.service.cache.ResultCache` without consuming capacity,
   with the saved cost credited on the tenant's rollup.
+* **Static lint** — every executed submission is first run through the
+  static analyzer (:func:`repro.analysis.analyze_definition`) against
+  this datacenter; error-severity findings reject with
+  :class:`~repro.analysis.AnalysisError` — the same diagnostics ``udc
+  lint`` prints — before any placement work is spent (``udc_lint_*``
+  metrics).  Opt out per service with ``lint=False``.
 
 Per-tenant outcomes land on an
 :class:`~repro.economics.tenants.TenantLedger` and as
@@ -105,6 +111,7 @@ class UDCService:
         batched: bool = True,
         result_cache_capacity: int = 128,
         admission_memo_capacity: int = 256,
+        lint: bool = True,
         **runtime_kwargs,
     ):
         if runtime is None:
@@ -117,6 +124,7 @@ class UDCService:
                 f"explicit runtime instance"
             )
         self.runtime = runtime
+        self.lint = lint
         self.telemetry = runtime.telemetry
         self.policy = policy if policy is not None else WeightedFairShare()
         runtime.admission_policy = self.policy
@@ -213,6 +221,8 @@ class UDCService:
             self.ledger.record_rejection(name)
             self.telemetry.inc("udc_tenant_rejections_total", labels=labels)
             raise
+        if self.lint:
+            self._lint(name, app, definition)
         record.submitted += 1
         self.ledger.record_submission(name)
         self._handles.append(handle)
@@ -222,6 +232,34 @@ class UDCService:
         else:
             self._dispatch(pending)
         return handle
+
+    def _lint(self, tenant: str, app: ModuleDAG, definition) -> None:
+        """Static front-door check; raises
+        :class:`~repro.analysis.AnalysisError` on error findings.
+
+        Runs the same passes — and produces the same diagnostics — as
+        ``udc lint`` against this service's datacenter, so a rejected
+        tenant can reproduce the report offline.
+        """
+        # Imported here: repro.analysis imports service types at load.
+        from repro.analysis import AnalysisError, analyze_definition
+
+        labels = {"tenant": tenant}
+        self.telemetry.inc("udc_lint_checks_total", labels=labels)
+        report = analyze_definition(
+            definition if definition is not None else {},
+            app=app, datacenter=self.runtime.datacenter,
+        )
+        for diag in report:
+            self.telemetry.inc(
+                "udc_lint_findings_total",
+                labels={"severity": diag.severity.value},
+            )
+        if not report.ok:
+            self.ledger.record_rejection(tenant)
+            self.telemetry.inc("udc_tenant_rejections_total", labels=labels)
+            self.telemetry.inc("udc_lint_rejections_total", labels=labels)
+            raise AnalysisError(report)
 
     def _dispatch(self, work: "_PendingWork") -> None:
         handle = work.handle

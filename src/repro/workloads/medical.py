@@ -174,15 +174,24 @@ def build_medical_app(image_mb: float = 8.0) -> Tuple[ModuleDAG, Dict]:
                   output_bytes=16 * 1024, state_bytes=1 * MB,
                   max_parallelism=2)(_diagnose)
     b1 = app.task(name="B1", work=4.0, devices={DeviceType.CPU},
-                  output_bytes=128 * MB, state_bytes=4 * MB)(_anonymize)
+                  output_bytes=128 * MB, state_bytes=4 * MB,
+                  sanitizer=True)(_anonymize)
     b2 = app.task(name="B2", work=20.0,
                   devices={DeviceType.CPU, DeviceType.GPU},
                   output_bytes=1 * MB, state_bytes=8 * MB)(_analytics)
 
-    s1 = app.data("S1", size_gb=50.0, record_bytes=64 * 1024)
-    s2 = app.data("S2", size_gb=2.0, record_bytes=4 * 1024)
-    s3 = app.data("S3", size_gb=1.0, record_bytes=int(image_mb * MB), hot=True)
-    s4 = app.data("S4", size_gb=20.0, record_bytes=64 * 1024)
+    # Sensitivity labels for the information-flow analysis: patient
+    # records, consent forms, and the live image are PHI; S4 is, by
+    # construction, the anonymized research store.  B1 (consent filter +
+    # anonymize) is the one legal declassification point.
+    s1 = app.data("S1", size_gb=50.0, record_bytes=64 * 1024,
+                  sensitivity="phi")
+    s2 = app.data("S2", size_gb=2.0, record_bytes=4 * 1024,
+                  sensitivity="phi")
+    s3 = app.data("S3", size_gb=1.0, record_bytes=int(image_mb * MB),
+                  hot=True, sensitivity="phi")
+    s4 = app.data("S4", size_gb=20.0, record_bytes=64 * 1024,
+                  sensitivity="anonymized")
 
     # Diagnosis path.
     app.reads(a1, s3, bytes_per_run=int(image_mb * MB))

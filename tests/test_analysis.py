@@ -1,0 +1,508 @@
+"""Golden tests for the static analysis framework (PR 5).
+
+Three layers of guarantees:
+
+* **clean baseline** — the Table 1 medical definition produces zero
+  findings, so the analyzer never cries wolf on the paper's own example;
+* **seeded defects** — a corpus of mutated definitions/apps exercises
+  every UDC0xx code, pinning each finding's code, module, and message
+  wording so diagnostics stay stable for tooling built on them;
+* **wiring** — the CLI's ``--json`` output is byte-deterministic, and
+  :meth:`UDCService.submit` rejects with the *same* diagnostics the CLI
+  prints (admission and lint can never disagree).
+"""
+
+import copy
+import json
+import math
+
+import pytest
+
+from repro.analysis import (
+    CODE_CATALOG,
+    AnalysisError,
+    Sensitivity,
+    Severity,
+    analyze_definition,
+    clearance_of,
+)
+from repro.appmodel.annotations import AppBuilder
+from repro.appmodel.dag import Edge, ModuleDAG
+from repro.appmodel.ir import compile_dag
+from repro.appmodel.module import DataModule, TaskModule
+from repro.cli import main as cli_main
+from repro.core.spec import parse_definition
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.service import TenantQuota, UDCService
+from repro.workloads.medical import build_medical_app
+
+#: CPU-only rack — no GPU pool, no NVM pool (for UDC021/UDC025)
+CPU_ONLY = DatacenterSpec(
+    pods=1, racks_per_pod=1,
+    devices_per_rack={DeviceType.CPU: 2, DeviceType.DRAM: 1,
+                      DeviceType.SSD: 1},
+)
+
+
+@pytest.fixture()
+def medical():
+    dag, definition = build_medical_app()
+    return dag, definition
+
+
+def codes_of(report):
+    return sorted({d.code for d in report})
+
+
+# ------------------------------------------------------------ clean baseline
+
+
+def test_clean_medical_app_has_zero_findings(medical):
+    dag, definition = medical
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert len(report) == 0
+    assert report.ok
+    assert report.format_text() == "no findings"
+
+
+def test_catalog_covers_every_emitted_code():
+    assert sorted(CODE_CATALOG) == [
+        "UDC001",
+        "UDC010", "UDC011", "UDC012", "UDC013", "UDC014",
+        "UDC020", "UDC021", "UDC022", "UDC023", "UDC024", "UDC025",
+        "UDC026",
+        "UDC030", "UDC031", "UDC032", "UDC033", "UDC034",
+        "UDC040", "UDC041", "UDC042", "UDC043",
+    ]
+
+
+# ------------------------------------------------------------ parse failures
+
+
+def test_udc001_parse_failure_is_a_report_not_an_exception():
+    report = analyze_definition({"A1": {"resource": "warpdrive"}})
+    assert codes_of(report) == ["UDC001"]
+    assert not report.ok
+    (diag,) = report
+    assert diag.severity is Severity.ERROR
+    assert "warpdrive" in diag.message
+
+
+# ---------------------------------------------------------- conflict corpus
+
+
+def test_udc010_consistency_demand_exceeds_declaration(medical):
+    dag, definition = medical
+    # S4 declares release; A3 demanding sequential of it is a conflict.
+    definition["A3"]["distributed"]["data_consistency"] = {
+        "S4": "sequential"}
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC010"]
+    (diag,) = report
+    assert diag.module == "A3"
+    assert diag.aspect == "distributed"
+    assert diag.message == ("demands sequential consistency of S4, "
+                            "but S4 declares release")
+
+
+def test_udc011_resilience_budget_breaks_cost_cap(medical):
+    dag, definition = medical
+    definition["A4"]["distributed"].update({
+        "retry": {"max_attempts": 3, "base_backoff_s": 0.1, "jitter": 0.0},
+        "hedge": 1.5,
+        "cost_cap_dollars": 1e-9,
+    })
+    report = analyze_definition(definition, app=dag)
+    assert "UDC011" in codes_of(report)
+    diag = next(d for d in report if d.code == "UDC011")
+    assert diag.module == "A4"
+    assert "3 retry attempts x 2x hedging" in diag.message
+    assert "exceeds the declared cost cap" in diag.message
+
+
+def test_udc012_unmeetable_deadline(medical):
+    dag, definition = medical
+    definition["A4"]["distributed"]["deadline_s"] = 1e-6
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC012"]
+    (diag,) = report
+    assert diag.module == "A4"
+    assert "below the critical-path lower bound" in diag.message
+    assert diag.hint.startswith("raise deadline_s to at least")
+
+
+def test_udc013_cheapest_goal_with_hedging(medical):
+    dag, definition = medical
+    definition["B2"]["distributed"]["hedge"] = 1.5
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC013"]
+    (diag,) = report
+    assert diag.module == "B2"
+    assert diag.severity is Severity.WARNING
+    assert "resource goal is cheapest" in diag.message
+
+
+def test_udc014_stray_definition_module(medical):
+    dag, definition = medical
+    definition["ZZ"] = {"resource": "cheapest"}
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC014"]
+    (diag,) = report
+    assert diag.module == "ZZ"
+    assert diag.severity is Severity.WARNING
+    assert "which app 'medical-information-processing' does not contain" \
+        in diag.message
+
+
+# -------------------------------------------------------- feasibility corpus
+
+
+def test_udc020_memory_does_not_fit_one_device(medical):
+    dag, definition = medical
+    # Default DRAM devices hold 512 GB; working memory lands whole.
+    definition["A4"]["resource"] = {"device": "cpu", "amount": 2,
+                                    "mem_gb": 600}
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert codes_of(report) == ["UDC020"]
+    (diag,) = report
+    assert diag.module == "A4"
+    assert "working memory of 600 GB" in diag.message
+    assert "exceeds a single dram device's capacity (512 GB)" \
+        in diag.message
+
+
+def test_udc021_requested_pool_absent(medical):
+    dag, definition = medical
+    definition["S1"]["resource"] = "nvm"
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter(CPU_ONLY))
+    diags = [d for d in report if d.code == "UDC021"
+             and d.module == "S1"]
+    assert len(diags) == 1
+    assert diags[0].severity is Severity.ERROR
+    assert "has no nvm pool" in diags[0].message
+
+
+def test_udc022_aggregate_replicated_demand_exceeds_pool(medical):
+    dag, definition = medical
+    # 50 GB x 400 replicas = 20 000 GB against a 16 384 GB SSD pool;
+    # each replica alone still fits one device, so only UDC022 fires.
+    definition["S1"]["distributed"]["replication"] = 400
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert codes_of(report) == ["UDC022"]
+    (diag,) = report
+    assert diag.module == "*"
+    assert "aggregate ssd demand 20000 GB (from S1)" in diag.message
+
+
+def test_udc023_pinned_device_outside_candidates(medical):
+    dag, definition = medical
+    # A2's developer declared GPU-only code.
+    definition["A2"]["resource"] = {"device": "cpu", "amount": 1}
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert codes_of(report) == ["UDC023"]
+    (diag,) = report
+    assert diag.module == "A2"
+    assert diag.message == ("declares device cpu, but the task's "
+                            "candidates are [gpu]")
+
+
+def test_udc024_unallocatable_amount(medical):
+    dag, definition = medical
+    definition["A2"]["resource"] = {"device": "gpu",
+                                    "amount": math.nan}
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert codes_of(report) == ["UDC024"]
+    (diag,) = report
+    assert diag.module == "A2"
+    assert "not an allocatable gpu request" in diag.message
+
+
+def test_udc025_colocation_group_unplaceable(medical):
+    dag, definition = medical
+    # A1 and A2 co-locate and share only the GPU candidate; a CPU-only
+    # datacenter cannot host the group (A2's pinned GPU also reports
+    # its own missing pool).
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter(CPU_ONLY))
+    assert "UDC025" in codes_of(report)
+    diag = next(d for d in report if d.code == "UDC025")
+    assert "co-location group [A1, A2] shares only [gpu]" in diag.message
+
+
+def test_udc026_quota_cannot_admit(medical):
+    dag, definition = medical
+    report = analyze_definition(
+        definition, app=dag, datacenter=build_datacenter(),
+        quota=TenantQuota(max_in_flight=1), in_flight=1)
+    assert codes_of(report) == ["UDC026"]
+    (diag,) = report
+    assert diag.module == "*"
+    assert "1 submission(s) already in flight (quota 1)" in diag.message
+
+
+# --------------------------------------------------------- structure corpus
+
+
+def _task(name):
+    return TaskModule(name=name, work=1.0, fn=None,
+                      device_candidates=frozenset({DeviceType.CPU}))
+
+
+def test_udc030_to_034_structural_defects():
+    app = ModuleDAG(
+        name="bad-shape",
+        modules={
+            "T1": _task("T1"), "T2": _task("T2"), "T3": _task("T3"),
+            "LONER": _task("LONER"),
+            "D1": DataModule(name="D1", size_gb=1.0),
+        },
+        edges=[
+            Edge("T1", "T2"), Edge("T2", "T1"),      # task cycle
+            Edge("T3", "T3"),                        # self-loop
+            Edge("T3", "GHOST"),                     # missing endpoint
+        ],
+    )
+    report = analyze_definition({}, app=app)
+    assert codes_of(report) == [
+        "UDC030", "UDC031", "UDC032", "UDC033", "UDC034"]
+    by_code = {d.code: d for d in report}
+    assert by_code["UDC030"].message == "task cycle: T1 -> T2 -> T1"
+    assert by_code["UDC031"].module == "LONER"
+    assert by_code["UDC032"].module == "D1"
+    assert by_code["UDC033"].module == "GHOST"
+    assert "edge T3 -> GHOST" in by_code["UDC033"].message
+    assert by_code["UDC034"].module == "T3"
+    # Warnings don't gate: only the structural errors block admission.
+    assert {d.code for d in report.errors} \
+        == {"UDC030", "UDC033", "UDC034"}
+
+
+# --------------------------------------------------------- infoflow corpus
+
+
+def test_udc040_clearance_too_weak_for_inflow(medical):
+    dag, definition = medical
+    # Route raw PHI records straight into B2's weak (container) env.
+    dag.edges.append(Edge("S1", "B2"))
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC040"]
+    (diag,) = report
+    assert diag.module == "B2"
+    assert diag.message == ("receives phi data but its execution "
+                            "environment only clears anonymized")
+
+
+def test_udc041_write_downgrades_label_without_sanitizer(medical):
+    dag, definition = medical
+    # A4 (not a sanitizer, phi output) writing the anonymized store.
+    dag.edges.append(Edge("A4", "S4"))
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC041"]
+    (diag,) = report
+    assert diag.module == "A4"
+    assert diag.message == ("writes phi data to 'S4', which is labeled "
+                            "anonymized; only a sanitizer may declassify")
+
+
+def test_udc042_phi_at_rest_without_encryption(medical):
+    dag, definition = medical
+    definition["S1"]["execenv"]["protection"] = ["integrity"]
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC042"]
+    (diag,) = report
+    assert diag.module == "S1"
+    assert diag.aspect == "execenv"
+    assert "labeled phi but its protection policy does not request " \
+           "encryption" in diag.message
+
+
+def test_udc043_sanitizer_with_nothing_to_sanitize():
+    app = AppBuilder("pointless")
+
+    @app.task(name="scrub", work=1.0, sanitizer=True)
+    def scrub(ctx):
+        return ctx
+
+    public = app.data("open", size_gb=1.0)   # unlabeled => public
+    app.reads("scrub", public)
+    report = analyze_definition({}, app=app.build())
+    assert codes_of(report) == ["UDC043"]
+    (diag,) = report
+    assert diag.module == "scrub"
+    assert diag.severity is Severity.WARNING
+
+
+def test_sensitivity_lattice_and_clearance(medical):
+    _dag, definition = medical
+    assert Sensitivity.PUBLIC.rank < Sensitivity.ANONYMIZED.rank \
+        < Sensitivity.PHI.rank
+    assert Sensitivity.from_label(None) is Sensitivity.PUBLIC
+    parsed = parse_definition(definition)
+    # A4: sgx enclave => phi; B2: containers => anonymized.
+    assert clearance_of(parsed, "A4") is Sensitivity.PHI
+    assert clearance_of(parsed, "B2") is Sensitivity.ANONYMIZED
+    assert clearance_of(parsed, "NO_SUCH") is Sensitivity.PUBLIC
+
+
+# ----------------------------------------------------- determinism & order
+
+
+def seeded_defect_definition():
+    """One definition carrying several independent defects at once."""
+    _dag, definition = build_medical_app()
+    definition["A4"]["distributed"]["deadline_s"] = 1e-6
+    definition["B2"]["distributed"]["hedge"] = 1.5
+    definition["S1"]["execenv"]["protection"] = ["integrity"]
+    definition["ZZ"] = {"resource": "cheapest"}
+    return definition
+
+
+def test_report_ordering_is_deterministic(medical):
+    dag, _definition = medical
+    definition = seeded_defect_definition()
+    report = analyze_definition(definition, app=dag,
+                                datacenter=build_datacenter())
+    assert codes_of(report) == ["UDC012", "UDC013", "UDC014", "UDC042"]
+    keys = [d.sort_key() for d in report]
+    assert keys == sorted(keys)
+    # Same input, same report — object identity aside.
+    again = analyze_definition(copy.deepcopy(definition), app=dag,
+                               datacenter=build_datacenter())
+    assert report.to_json_dict() == again.to_json_dict()
+
+
+def test_parse_definition_analyze_flag_raises(medical):
+    dag, _definition = medical
+    definition = seeded_defect_definition()
+    with pytest.raises(AnalysisError) as err:
+        parse_definition(definition, analyze=True, app=dag)
+    assert "UDC012" in str(err.value)
+    assert not err.value.report.ok
+    # Clean definitions pass through untouched.
+    _dag2, clean = build_medical_app()
+    parsed = parse_definition(clean, analyze=True, app=dag)
+    assert sorted(parsed.bundles) == sorted(clean)
+
+
+# ------------------------------------------------------------- CLI wiring
+
+
+@pytest.fixture()
+def lint_files(tmp_path, medical):
+    dag, definition = medical
+    app_json = tmp_path / "app.json"
+    app_json.write_text(json.dumps(compile_dag(dag).to_dict()))
+    clean_json = tmp_path / "clean.json"
+    clean_json.write_text(json.dumps(definition))
+    bad_json = tmp_path / "bad.json"
+    bad_json.write_text(json.dumps(seeded_defect_definition()))
+    return str(app_json), str(clean_json), str(bad_json)
+
+
+def test_cli_lint_clean_exits_zero(lint_files, capsys):
+    app_json, clean_json, _bad = lint_files
+    assert cli_main(["lint", app_json, "--spec", clean_json]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_lint_errors_exit_two_with_hints(lint_files, capsys):
+    app_json, _clean, bad_json = lint_files
+    assert cli_main(["lint", app_json, "--spec", bad_json]) == 2
+    out = capsys.readouterr().out
+    assert "UDC012 error" in out
+    assert "UDC042 error" in out
+    assert "fix:" in out
+    assert "2 error(s), 2 warning(s)" in out
+
+
+def test_cli_lint_strict_gates_on_warnings(lint_files, capsys):
+    app_json, clean_json, _bad = lint_files
+    # A hedged cheapest module is warning-only: 0 normally, 2 --strict.
+    _dag, definition = build_medical_app()
+    definition["B2"]["distributed"]["hedge"] = 1.5
+    warn_json = clean_json.replace("clean.json", "warn.json")
+    with open(warn_json, "w") as handle:
+        json.dump(definition, handle)
+    assert cli_main(["lint", app_json, "--spec", warn_json]) == 0
+    capsys.readouterr()
+    assert cli_main(["lint", app_json, "--spec", warn_json,
+                     "--strict"]) == 2
+    assert "UDC013" in capsys.readouterr().out
+
+
+def test_cli_lint_json_is_byte_deterministic(lint_files, capsys):
+    app_json, _clean, bad_json = lint_files
+    argv = ["lint", app_json, "--spec", bad_json, "--json"]
+    assert cli_main(argv) == 2
+    first = capsys.readouterr().out
+    assert cli_main(argv) == 2
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["ok"] is False
+    assert payload["counts"] == {"error": 2, "warning": 2, "info": 0}
+    assert [f["code"] for f in payload["findings"]] \
+        == ["UDC012", "UDC013", "UDC042", "UDC014"]
+
+
+def test_cli_lint_requires_some_input(capsys):
+    assert cli_main(["lint"]) == 2
+    assert "nothing to analyze" in capsys.readouterr().err
+
+
+# --------------------------------------------------------- service wiring
+
+
+def test_service_rejects_with_cli_identical_diagnostics(medical):
+    dag, _definition = medical
+    definition = seeded_defect_definition()
+    service = UDCService(build_datacenter())
+    with pytest.raises(AnalysisError) as err:
+        service.submit("hospital", dag, definition)
+    rejected = err.value.report
+
+    expected = analyze_definition(definition, app=dag,
+                                  datacenter=build_datacenter())
+    assert rejected.to_json_dict() == expected.to_json_dict()
+
+    # Rejection is visible in the lint metric family and the ledger.
+    metrics = service.telemetry.metrics
+    assert metrics.value("udc_lint_checks_total",
+                         {"tenant": "hospital"}) == 1.0
+    assert metrics.value("udc_lint_rejections_total",
+                         {"tenant": "hospital"}) == 1.0
+    assert metrics.value("udc_lint_findings_total",
+                         {"severity": "error"}) == 2.0
+    assert metrics.value("udc_lint_findings_total",
+                         {"severity": "warning"}) == 2.0
+    assert service.ledger.usage("hospital").rejected == 1
+
+    # The defective submission never consumed quota.
+    assert service.ledger.usage("hospital").submissions == 0
+
+
+def test_service_lint_can_be_disabled(medical):
+    dag, _definition = medical
+    definition = seeded_defect_definition()
+    definition.pop("ZZ")   # stray module would fail placement later
+    service = UDCService(build_datacenter(), lint=False)
+    handle = service.submit("hospital", dag, definition)
+    service.drain()
+    assert handle.status == "done"
+
+
+def test_clean_submission_passes_lint_and_runs(medical):
+    dag, definition = medical
+    service = UDCService(build_datacenter())
+    handle = service.submit("hospital", dag, definition)
+    service.drain()
+    assert handle.status == "done"
+    assert service.telemetry.metrics.value(
+        "udc_lint_checks_total", {"tenant": "hospital"}) == 1.0

@@ -435,13 +435,7 @@ def test_fig2_metrics_snapshot(fig2_run):
 
 
 def test_fig2_metric_counters_deterministic_across_runs():
-    # Counters are exact and must match run to run.  (Sim-time histogram
-    # sums inherit a known ~1e-5 s in-process jitter that predates this
-    # layer: process-global id counters — alloc/op/checkpoint ids — grow
-    # across runs and their string lengths leak into modeled payload
-    # sizes.  Full byte-identical report reproducibility is covered by
-    # test_retry_schedule_deterministic_across_runs on a workload that
-    # does not exercise those ids.)
+    # Counters are exact and must match run to run.
     def counters(result):
         return {name: family["values"]
                 for name, family in result.metrics.items()
@@ -450,6 +444,46 @@ def test_fig2_metric_counters_deterministic_across_runs():
     _, first = run_fig2_with_faults()
     _, second = run_fig2_with_faults()
     assert counters(first) == counters(second)
+
+
+def test_fig2_report_identical_across_runs_despite_global_counters():
+    # Regression for the cross-run histogram jitter once blamed on id
+    # counters: store op ids and checkpoint ids are now per-instance, and
+    # the remaining process-global counters (device, env, allocation,
+    # unit ids) only name things — their values never feed modeled
+    # payload sizes or placement order.  Inflate every one of them
+    # between two identical runs and the full reports, histogram sums
+    # included, must stay byte-for-byte equal.
+    import itertools
+
+    from repro.core import bundle as core_bundle
+    from repro.execenv import environments as execenv_environments
+    from repro.hardware import devices as hardware_devices
+    from repro.hardware import pools as hardware_pools
+    from repro.hardware import server as hardware_server
+
+    _, first = run_fig2_with_faults()
+
+    globals_to_inflate = [
+        (hardware_devices, "_device_ids"),
+        (hardware_server, "_server_ids"),
+        (hardware_pools, "_alloc_ids"),
+        (core_bundle, "_unit_ids"),
+        (execenv_environments, "_env_ids"),
+    ]
+    originals = {}
+    for mod, name in globals_to_inflate:
+        originals[(mod, name)] = getattr(mod, name)
+        # Jump far enough that every generated id string gets longer.
+        setattr(mod, name, itertools.count(10_000_000))
+    try:
+        _, second = run_fig2_with_faults()
+    finally:
+        for (mod, name), counter in originals.items():
+            setattr(mod, name, counter)
+
+    assert json.dumps(first.to_json_dict(), sort_keys=True) \
+        == json.dumps(second.to_json_dict(), sort_keys=True)
 
 
 def test_fig2_span_tree_rendering(fig2_run):
