@@ -43,10 +43,14 @@ REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 
 #: files and directories whose iteration order feeds placement decisions
+#: — or, for simulator/ and replay/, journaled fingerprints: a salted
+#: set order there shows up as a false divergence in ``udc bisect``
 TARGETS = [
     SRC / "core" / "scheduler.py",
     SRC / "hardware" / "pools.py",
     SRC / "service",
+    SRC / "simulator",
+    SRC / "replay",
 ]
 
 SUPPRESS_MARK = "# det: ok"

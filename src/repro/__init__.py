@@ -58,8 +58,17 @@ from repro.hardware import (
     build_datacenter,
     default_catalog,
 )
+from repro.replay import (
+    ReplayDivergence,
+    ReplayRunner,
+    RunConfig,
+    SimulatedCrash,
+    first_divergence,
+    read_journal,
+)
 from repro.service import (
     QuotaExceeded,
+    ResultNotReady,
     SubmissionHandle,
     Tenant,
     TenantQuota,
@@ -68,7 +77,7 @@ from repro.service import (
 )
 from repro.simulator import Simulator
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisError",
@@ -87,11 +96,16 @@ __all__ = [
     "ExecEnvAspect",
     "ModuleDAG",
     "QuotaExceeded",
+    "ReplayDivergence",
+    "ReplayRunner",
     "ResourceAspect",
     "ResourceGoal",
+    "ResultNotReady",
+    "RunConfig",
     "RunResult",
     "Sensitivity",
     "Severity",
+    "SimulatedCrash",
     "Simulator",
     "SubmissionHandle",
     "Tenant",
@@ -106,7 +120,9 @@ __all__ = [
     "data",
     "default_catalog",
     "define",
+    "first_divergence",
     "parse_definition",
+    "read_journal",
     "task",
     "verify_run",
     "__version__",

@@ -30,7 +30,19 @@ Subcommands:
 * ``udc lint [APP.json] --spec SPEC.json`` — statically analyze a
   definition (conflicts, feasibility vs the datacenter, DAG structure,
   information flow) without executing anything; ``--json`` emits a
-  byte-deterministic report, exit 2 on error-severity findings.
+  byte-deterministic report, exit 2 on error-severity findings;
+* ``udc record --workload NAME --journal J.jsonl`` — execute a named
+  deterministic workload, journaling every control-plane event, with
+  optional cadenced snapshots and a crash injector (``--crash-at N``
+  exits 3 with the journal durable through event N);
+* ``udc replay J.jsonl [--until N] [--resume]`` — re-execute a journal
+  (config comes from its header), verifying every recorded fingerprint;
+  ``--resume`` restarts a crashed run from the newest snapshot plus a
+  journal-tail replay and finishes it — byte-identical to an
+  uninterrupted run (exit 2 on divergence);
+* ``udc bisect A.jsonl [B.jsonl]`` — binary-search two journals (or one
+  journal against fresh re-execution) to the first divergent event id
+  (exit 4 when a divergence is found).
 
 All input formats are documented in each handler's docstring; everything
 is plain JSON so non-Python frontends can target the same entry points.
@@ -564,6 +576,141 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _replay_runner_for(args, config=None):
+    """Build a ReplayRunner either from CLI args or a journal header."""
+    from repro.replay import ReplayRunner, RunConfig
+
+    if config is None:
+        params = json.loads(args.params) if args.params else {}
+        config = RunConfig(
+            workload=args.workload, params=params, seed=args.seed,
+            pods=args.pods, racks=args.racks, policy=args.policy,
+            warm=args.warm,
+        )
+    return ReplayRunner(config)
+
+
+def _write_report(runner, service, path: Optional[str]) -> None:
+    if not path:
+        return
+    with open(path, "wb") as handle:
+        handle.write(runner.report_bytes(service))
+
+
+def cmd_record(args) -> int:
+    """Execute a named workload, journaling every control-plane event.
+
+    ``--workload`` names a :data:`repro.replay.workloads.REPLAY_WORKLOADS`
+    entry; ``--params`` is its JSON parameter object.  ``--snapshot-dir``
+    + ``--snapshot-every N`` snapshot the full control plane after every
+    Nth event; ``--crash-at K`` kills the run right after event K's
+    journal line is durable (exit 3) — ``udc replay --resume`` finishes
+    it.  ``--report`` writes the canonical final-report bytes, the
+    artifact crash-resume equivalence is asserted on.
+    """
+    from repro.replay import SimulatedCrash
+
+    runner = _replay_runner_for(args)
+    try:
+        service = runner.record(
+            args.journal,
+            snapshot_dir=args.snapshot_dir,
+            snapshot_every=args.snapshot_every,
+            crash_at=args.crash_at,
+        )
+    except SimulatedCrash as crash:
+        print(f"record: simulated crash after event {crash.eid} "
+              f"(journal intact at {args.journal})")
+        return 3
+    _write_report(runner, service, args.report)
+    print(f"record: {len(runner.script.commands)} events journaled to "
+          f"{args.journal}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-execute a journal, verifying every recorded fingerprint.
+
+    The run config comes from the journal header — a journal is
+    self-contained.  Plain replay rebuilds the journaled prefix from
+    scratch (``--until N`` stops early); ``--resume`` restarts a crashed
+    run from the newest loadable snapshot in ``--snapshot-dir``, replays
+    the journal tail, and finishes the remaining script, appending new
+    events to the same journal.  Exit 2 if replay diverges from what the
+    journal recorded.
+    """
+    from repro.replay import (
+        ReplayDivergence,
+        RunConfig,
+        read_journal,
+    )
+
+    config_dict, events, torn = read_journal(args.journal)
+    if torn:
+        print(f"replay: dropped a torn final line in {args.journal} "
+              f"(crash landed mid-append)", file=sys.stderr)
+    runner = _replay_runner_for(args, RunConfig.from_json_dict(config_dict))
+    try:
+        if args.resume:
+            service = runner.resume(
+                args.journal,
+                snapshot_dir=args.snapshot_dir,
+                snapshot_every=args.snapshot_every,
+            )
+            print(f"replay: resumed {args.journal} to completion "
+                  f"({len(runner.script.commands)} events)")
+        else:
+            service, replayed = runner.replay(
+                args.journal, until=args.until,
+                verify=not args.no_verify,
+            )
+            print(f"replay: {len(replayed)} of {len(events)} journaled "
+                  f"events re-executed"
+                  + ("" if args.no_verify else ", fingerprints verified"))
+    except ReplayDivergence as div:
+        print(f"replay: DIVERGED: {div}", file=sys.stderr)
+        return 2
+    _write_report(runner, service, args.report)
+    return 0
+
+
+def cmd_bisect(args) -> int:
+    """Find the first divergent event between two runs.
+
+    With two journals, binary-searches their shared prefix.  With one
+    journal, probes fresh re-executions of the header config's script
+    (O(log n) prefix runs) — where did the recorded run depart from what
+    its config deterministically produces?  Exit 0 when identical, 4
+    when a divergence is found.
+    """
+    from repro.replay import (
+        RunConfig,
+        bisect_replay,
+        first_divergence,
+        read_journal,
+    )
+
+    _config_a, events_a, _ = read_journal(args.journal_a)
+    if args.journal_b:
+        _config_b, events_b, _ = read_journal(args.journal_b)
+        divergence = first_divergence(events_a, events_b)
+    else:
+        runner = _replay_runner_for(
+            args, RunConfig.from_json_dict(_config_a)
+        )
+        divergence = bisect_replay(events_a, runner.fingerprint_at)
+    if divergence is None:
+        print("bisect: runs are identical")
+        return 0
+    print(f"bisect: {divergence.describe()}")
+    event = (events_a[divergence.eid] if divergence.eid < len(events_a)
+             else None)
+    if event is not None:
+        print(f"bisect: event {event.eid} is {event.op!r} "
+              f"args={json.dumps(event.args, sort_keys=True)}")
+    return 4
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="udc",
@@ -713,6 +860,68 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the rollup as JSON")
     _add_dc_args(serve_p)
     serve_p.set_defaults(handler=cmd_serve)
+
+    record_p = sub.add_parser(
+        "record",
+        help="journal a deterministic workload run (exit 3 on --crash-at)",
+    )
+    record_p.add_argument("--workload", required=True,
+                          help="named workload (fig2-medical, tenant-trace)")
+    record_p.add_argument("--journal", required=True,
+                          help="journal JSONL path to write")
+    record_p.add_argument("--params", default=None,
+                          help="workload parameter JSON object")
+    record_p.add_argument("--seed", type=int, default=0,
+                          help="RNG seed (default 0)")
+    record_p.add_argument("--policy", choices=("fair", "fifo"),
+                          default="fair")
+    record_p.add_argument("--warm", action="store_true",
+                          help="enable warm bundled resource units")
+    record_p.add_argument("--snapshot-dir", default=None,
+                          help="directory for cadenced snapshots")
+    record_p.add_argument("--snapshot-every", type=int, default=None,
+                          help="snapshot after every Nth event")
+    record_p.add_argument("--crash-at", type=int, default=None,
+                          help="simulate a control-plane crash after "
+                               "this event id (exit 3)")
+    record_p.add_argument("--report", default=None,
+                          help="write the canonical final report here")
+    _add_dc_args(record_p)
+    record_p.set_defaults(handler=cmd_record)
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="re-execute a journal, verifying fingerprints "
+             "(exit 2 on divergence)",
+    )
+    replay_p.add_argument("journal", help="journal JSONL recorded by "
+                                          "udc record")
+    replay_p.add_argument("--until", type=int, default=None,
+                          help="replay only through this event id")
+    replay_p.add_argument("--resume", action="store_true",
+                          help="finish a crashed run (snapshot + journal "
+                               "tail), appending to the journal")
+    replay_p.add_argument("--snapshot-dir", default=None,
+                          help="snapshot directory for --resume")
+    replay_p.add_argument("--snapshot-every", type=int, default=None,
+                          help="keep snapshotting on this cadence while "
+                               "resuming")
+    replay_p.add_argument("--no-verify", action="store_true",
+                          help="skip fingerprint verification")
+    replay_p.add_argument("--report", default=None,
+                          help="write the canonical final report here")
+    replay_p.set_defaults(handler=cmd_replay)
+
+    bisect_p = sub.add_parser(
+        "bisect",
+        help="binary-search to the first divergent event "
+             "(exit 4 when found)",
+    )
+    bisect_p.add_argument("journal_a", help="journal JSONL")
+    bisect_p.add_argument("journal_b", nargs="?", default=None,
+                          help="second journal; omitted = probe fresh "
+                               "re-executions of journal_a's config")
+    bisect_p.set_defaults(handler=cmd_bisect)
     return parser
 
 

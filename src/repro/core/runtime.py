@@ -852,10 +852,22 @@ class UDCRuntime:
                     )
                     if outcome.checkpoint is not None:
                         t0 = self.sim.now
-                        yield from checkpoint_store.restore(
+                        restored = yield from checkpoint_store.restore(
                             obj.name, task_state.placement.unit.location
                         )
                         record.checkpoint_s += self.sim.now - t0
+                        if restored is None:
+                            # The backing storage device failed mid-run:
+                            # degrade to re-execution from scratch rather
+                            # than crash the recovery itself.
+                            outcome = plan_recovery(
+                                RecoveryStrategy.RERUN, obj.name, None
+                            )
+                            self.telemetry.event(
+                                self.sim.now, obj.name, "restore-degraded",
+                                "checkpoint device failed; rerunning from "
+                                "scratch",
+                            )
                     progress = outcome.resume_progress
                     record.recovered_from_progress = progress
                     placement = task_state.placement

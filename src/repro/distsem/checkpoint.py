@@ -17,7 +17,7 @@ from repro.hardware.devices import Device
 from repro.hardware.fabric import Fabric, Location
 from repro.simulator.engine import Simulator
 
-__all__ = ["Checkpoint", "CheckpointStore"]
+__all__ = ["Checkpoint", "CheckpointStore", "CheckpointStoreStats"]
 
 
 @dataclass(frozen=True)
@@ -33,6 +33,17 @@ class Checkpoint:
     payload: object = None
 
 
+@dataclass
+class CheckpointStoreStats:
+    """Recovery-path accounting for one store."""
+
+    checkpoints: int = 0
+    restores: int = 0
+    #: restore attempts that found the backing device failed and degraded
+    #: to re-execution from scratch instead of raising
+    restore_failures: int = 0
+
+
 class CheckpointStore:
     """Snapshots for one tenant on one storage device."""
 
@@ -46,6 +57,7 @@ class CheckpointStore:
         self._ckpt_ids = itertools.count()
         self.bytes_written = 0
         self.checkpoint_seconds = 0.0
+        self.stats = CheckpointStoreStats()
 
     @property
     def location(self) -> Location:
@@ -84,6 +96,7 @@ class CheckpointStore:
         self._by_module.setdefault(module, []).append(snapshot)
         self.bytes_written += size_bytes
         self.checkpoint_seconds += self.sim.now - start
+        self.stats.checkpoints += 1
         return snapshot
 
     def latest(self, module: str) -> Optional[Checkpoint]:
@@ -94,17 +107,22 @@ class CheckpointStore:
         """Generator: fetch the latest snapshot; returns it (or None).
 
         Cost = media read + fabric transfer to the recovering module.
+
+        A failed backing device degrades gracefully: the restore answers
+        None — the caller re-executes from scratch, exactly as if no
+        snapshot existed — and the miss is counted in ``stats``.
+        Raising here would turn a storage failure into a control-plane
+        crash in the middle of recovering from a *compute* failure.
         """
         snapshot = self.latest(module)
         if snapshot is None:
             return None
         if self.device.failed:
-            raise RuntimeError(
-                f"checkpoint device {self.device.device_id} failed; "
-                f"snapshots for {module} are unavailable"
-            )
+            self.stats.restore_failures += 1
+            return None
         yield self.sim.timeout(self._media_time(snapshot.size_bytes))
         yield self.fabric.send(self.location, destination, snapshot.size_bytes)
+        self.stats.restores += 1
         return snapshot
 
     def count(self, module: str) -> int:

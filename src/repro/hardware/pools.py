@@ -46,6 +46,13 @@ __all__ = ["Allocation", "AllocationError", "PoolSet", "ResourcePool"]
 _alloc_ids = itertools.count()
 
 
+def _frozen_clock() -> float:
+    """Default pool clock for pools built without a simulator (unit
+    tests): time stands still.  A named function, not a lambda, so
+    pools stay picklable for replay snapshots."""
+    return 0.0
+
+
 class AllocationError(Exception):
     """Raised when a pool cannot satisfy a request."""
 
@@ -91,9 +98,12 @@ class ResourcePool:
         self.device_type = device_type
         self.devices: List[Device] = []
         self._allocations: Dict[str, Allocation] = {}
-        #: callable returning current time; wired to Simulator.now by the
-        #: datacenter builder.  Defaults to a frozen clock for unit tests.
-        self._clock = clock or (lambda: 0.0)
+        #: callable returning current time; wired to the simulator via a
+        #: picklable SimClock by the datacenter builder.  Defaults to a
+        #: frozen clock for unit tests.  Must stay picklable: snapshots
+        #: (repro.replay) serialize pools, and a lambda here would break
+        #: them.
+        self._clock = clock if clock is not None else _frozen_clock
         self._last_sample_time = 0.0
         self._used_time_integral = 0.0  # ∫ used(t) dt
         self.peak_used = 0.0

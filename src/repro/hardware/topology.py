@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 from repro.hardware.devices import DEFAULT_SPECS, Device, DeviceSpec, DeviceType
 from repro.hardware.fabric import Fabric, Location
 from repro.hardware.pools import PoolSet, ResourcePool
-from repro.simulator.engine import Simulator
+from repro.simulator.engine import SimClock, Simulator
 
 __all__ = ["Datacenter", "DatacenterSpec", "build_datacenter"]
 
@@ -122,7 +122,7 @@ def build_datacenter(
 
     for device_type in spec.all_device_types():
         pool = ResourcePool(
-            device_type, clock=lambda: sim.now, indexed=indexed_pools
+            device_type, clock=SimClock(sim), indexed=indexed_pools
         )
         pools.pools[device_type] = pool
 

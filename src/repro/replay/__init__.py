@@ -1,0 +1,73 @@
+"""Deterministic checkpoint/replay for the UDC control plane.
+
+The repo fought hard for byte-determinism (indexed placements proven
+byte-identical, per-instance id counters, deterministic admission
+ordering); this package cashes that in.  Three layers:
+
+* :mod:`~repro.replay.journal` — an append-only, versioned JSONL log of
+  every externally visible control-plane event (tenant registrations,
+  submissions, failure injections, dispatch/drain rounds), each with a
+  monotonic event id and a post-state fingerprint (clock, named-RNG
+  stream states, service-state digest).
+* :mod:`~repro.replay.snapshot` — versioned on-disk snapshots of the
+  whole control plane (simulator clock + heap, hardware pools and their
+  indexes, service quotas/strides/caches/ledgers), taken only at
+  quiescent points between events — never inside one, so no live
+  generator frame is ever serialized.
+* :mod:`~repro.replay.runner` — :class:`ReplayRunner` drives a named
+  deterministic workload, journaling every event, snapshotting on a
+  cadence, optionally crashing at an arbitrary event index
+  (:class:`SimulatedCrash`), and resuming from the latest snapshot plus
+  a journal-tail replay — provably byte-identical to the uninterrupted
+  run.  :mod:`~repro.replay.divergence` binary-searches two runs'
+  journals to the first divergent event id (``udc bisect``).
+"""
+
+from repro.replay.divergence import (
+    Divergence,
+    bisect_replay,
+    first_divergence,
+)
+from repro.replay.journal import (
+    JOURNAL_VERSION,
+    JournalError,
+    JournalEvent,
+    JournalWriter,
+    read_journal,
+)
+from repro.replay.runner import (
+    ReplayDivergence,
+    ReplayRunner,
+    RunConfig,
+    SimulatedCrash,
+)
+from repro.replay.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    list_snapshots,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.replay.workloads import REPLAY_WORKLOADS, build_script
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "REPLAY_WORKLOADS",
+    "SNAPSHOT_VERSION",
+    "Divergence",
+    "JournalError",
+    "JournalEvent",
+    "JournalWriter",
+    "ReplayDivergence",
+    "ReplayRunner",
+    "RunConfig",
+    "SimulatedCrash",
+    "SnapshotError",
+    "bisect_replay",
+    "build_script",
+    "first_divergence",
+    "list_snapshots",
+    "load_snapshot",
+    "read_journal",
+    "save_snapshot",
+]

@@ -1,0 +1,135 @@
+"""Divergence localization: binary-search two runs to the first bad event.
+
+Two flavors:
+
+* :func:`first_divergence` — compare two *journals* (lists of
+  :class:`~repro.replay.journal.JournalEvent`).  Under determinism,
+  divergence is monotone: once two runs differ at event *k* their
+  fingerprints differ at every event ``>= k`` (the state digest chains
+  all prior state; the RNG digest covers every stream's position).  That
+  monotonicity is what makes binary search valid — and because it is an
+  *assumption* about the runs, the result is safety-checked (the found
+  event must differ and its predecessor must match) with a linear-scan
+  fallback for non-monotone inputs.
+* :func:`bisect_replay` — compare a journal against *re-execution*,
+  probing ``fingerprint_at(eid)`` O(log n) times instead of replaying
+  all n prefixes.  This is ``udc bisect JOURNAL --against-config``: find
+  where a journaled run departs from what the config says should happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.replay.journal import JournalEvent
+
+__all__ = ["Divergence", "bisect_replay", "first_divergence"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first event at which two runs disagree."""
+
+    eid: int
+    #: which part disagreed: "op" | "args" | "fingerprint" | "missing"
+    field: str
+    a: object
+    b: object
+
+    def describe(self) -> str:
+        if self.field == "missing":
+            return (f"event {self.eid}: present in only one journal "
+                    f"(lengths {self.a} vs {self.b})")
+        return (f"event {self.eid}: first divergence in {self.field} "
+                f"(a={self.a!r}, b={self.b!r})")
+
+
+def _event_diff(a: JournalEvent, b: JournalEvent) -> Optional[Divergence]:
+    """The specific field where two same-eid events disagree, if any."""
+    if a.op != b.op:
+        return Divergence(a.eid, "op", a.op, b.op)
+    if a.args != b.args:
+        return Divergence(a.eid, "args", a.args, b.args)
+    if a.fingerprint != b.fingerprint:
+        return Divergence(a.eid, "fingerprint", a.fingerprint, b.fingerprint)
+    return None
+
+
+def first_divergence(
+    events_a: Sequence[JournalEvent],
+    events_b: Sequence[JournalEvent],
+) -> Optional[Divergence]:
+    """Smallest event id where the two journals disagree, or None.
+
+    O(log n) comparisons via binary search on the shared prefix
+    (divergence is monotone for deterministic runs), then a safety
+    check; non-monotone inputs fall back to a linear scan rather than
+    returning a wrong answer.  A journal that is a strict prefix of the
+    other (no disagreement inside the overlap) diverges at its end with
+    ``field="missing"``.
+    """
+    shared = min(len(events_a), len(events_b))
+    if shared == 0:
+        if len(events_a) == len(events_b):
+            return None
+        return Divergence(0, "missing", len(events_a), len(events_b))
+
+    # Invariant: everything before `lo` matches; if any index in
+    # [lo, shared) differs, the first one is in [lo, hi].
+    lo, hi = 0, shared - 1
+    found: Optional[Divergence] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        diff = _event_diff(events_a[mid], events_b[mid])
+        if diff is None:
+            lo = mid + 1
+        else:
+            found = diff
+            hi = mid - 1
+    if found is None:
+        if len(events_a) != len(events_b):
+            return Divergence(shared, "missing",
+                              len(events_a), len(events_b))
+        return None
+    # Safety check for the monotonicity assumption: the predecessor of
+    # the found event must match.  If it doesn't, the divergence is not
+    # monotone — scan for the true first disagreement.
+    index = found.eid if found.eid < shared else shared - 1
+    if index > 0 and _event_diff(events_a[index - 1],
+                                 events_b[index - 1]) is not None:
+        for probe in range(shared):
+            diff = _event_diff(events_a[probe], events_b[probe])
+            if diff is not None:
+                return diff
+    return found
+
+
+def bisect_replay(
+    events: Sequence[JournalEvent],
+    probe: Callable[[int], Dict[str, str]],
+) -> Optional[Divergence]:
+    """First journaled event whose fingerprint disagrees with ``probe``.
+
+    ``probe(eid)`` re-executes the config-derived script through event
+    ``eid`` and returns the post-state fingerprint (see
+    :meth:`~repro.replay.runner.ReplayRunner.fingerprint_at`).  Binary
+    search costs O(log n) probes — each probe is a full prefix
+    re-execution, so this is the difference between a bisect that takes
+    seconds and one that takes hours on long journals.
+    """
+    if not events:
+        return None
+    lo, hi = 0, len(events) - 1
+    found: Optional[Divergence] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        recorded = events[mid].fingerprint
+        replayed = probe(events[mid].eid)
+        if recorded == replayed:
+            lo = mid + 1
+        else:
+            found = Divergence(events[mid].eid, "fingerprint",
+                               recorded, replayed)
+            hi = mid - 1
+    return found

@@ -1,0 +1,211 @@
+"""The event journal: an append-only, versioned JSONL run log.
+
+One line per record.  The first line is a header carrying the journal
+format version and the full :class:`~repro.replay.runner.RunConfig`
+(everything needed to re-derive the run's command script); every
+subsequent line is one event::
+
+    {"kind": "header", "version": 1, "config": {...}}
+    {"kind": "event", "eid": 0, "op": "register-tenant",
+     "args": {...}, "info": {...},
+     "fp": {"clock": "0.0", "rng": "<sha256>", "state": "<sha256>"}}
+
+Event ids are contiguous and monotonic from 0.  ``fp`` is the
+*post-state* fingerprint — the clock, every named RNG stream's state
+digest, and a digest over the externally visible service state — which
+is what divergence bisection compares.  ``info`` records the event's
+observable outcome (dispatch counts, finalized handles, rejections).
+
+Each append is flushed and fsync'd before the caller proceeds, so a
+crash loses at most the event *in flight*; a torn final line (the crash
+landed mid-write) is detected and dropped on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalEvent",
+    "JournalWriter",
+    "read_journal",
+]
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(Exception):
+    """Raised for malformed, incompatible, or inconsistent journals."""
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One journaled control-plane event and its post-state fingerprint."""
+
+    eid: int
+    op: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    #: observable outcome (dispatched counts, finalized handles, ...)
+    info: Dict[str, Any] = field(default_factory=dict)
+    #: post-state fingerprint: {"clock", "rng", "state"} digests
+    fingerprint: Dict[str, str] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "event",
+            "eid": self.eid,
+            "op": self.op,
+            "args": self.args,
+            "info": self.info,
+            "fp": self.fingerprint,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict[str, Any]) -> "JournalEvent":
+        try:
+            return cls(
+                eid=int(payload["eid"]),
+                op=str(payload["op"]),
+                args=payload.get("args", {}),
+                info=payload.get("info", {}),
+                fingerprint=payload.get("fp", {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise JournalError(f"malformed event record: {exc}") from exc
+
+
+def _encode(payload: Dict[str, Any]) -> str:
+    """Canonical single-line JSON: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class JournalWriter:
+    """Append events to a journal file, durably.
+
+    ``resume=False`` (the default) truncates and writes a fresh header;
+    ``resume=True`` validates the existing header against ``config``,
+    drops a torn final line if the previous writer crashed mid-append,
+    and continues appending after the last intact event.
+    """
+
+    def __init__(self, path: str, config: Dict[str, Any],
+                 resume: bool = False):
+        self.path = str(path)
+        self.config = config
+        self.last_eid = -1
+        if resume:
+            existing_config, events, _torn = read_journal(self.path)
+            if existing_config != config:
+                raise JournalError(
+                    f"journal {self.path} was recorded under a different "
+                    f"run config; refusing to append"
+                )
+            # Re-write the intact prefix: drops any torn tail byte-exactly.
+            lines = [_encode({"kind": "header",
+                              "version": JOURNAL_VERSION,
+                              "config": config})]
+            lines += [_encode(e.to_json_dict()) for e in events]
+            with open(self.path, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(lines) + "\n")
+            self.last_eid = events[-1].eid if events else -1
+            self._fh = open(self.path, "a", encoding="utf-8")
+        else:
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._write_line(_encode({
+                "kind": "header",
+                "version": JOURNAL_VERSION,
+                "config": config,
+            }))
+
+    def _write_line(self, line: str) -> None:
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, event: JournalEvent) -> None:
+        if event.eid != self.last_eid + 1:
+            raise JournalError(
+                f"event ids must be contiguous: got {event.eid} after "
+                f"{self.last_eid}"
+            )
+        self._write_line(_encode(event.to_json_dict()))
+        self.last_eid = event.eid
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_journal(
+    path: str,
+) -> Tuple[Dict[str, Any], List["JournalEvent"], bool]:
+    """Parse a journal; returns ``(config, events, torn_tail)``.
+
+    A torn (crash-truncated or otherwise unparsable) final line is
+    dropped and reported via ``torn_tail=True`` — every intact record
+    before it is still usable, which is the whole point of an
+    append-only log.  Corruption anywhere *else* raises
+    :class:`JournalError`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise JournalError(f"journal {path} is empty")
+
+    def _parse(index: int, line: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                return None  # torn tail: the crash landed mid-append
+            raise JournalError(
+                f"journal {path} line {index + 1} is corrupt"
+            ) from None
+
+    header = _parse(0, lines[0])
+    if header is None:
+        raise JournalError(f"journal {path} has no intact header")
+    if header.get("kind") != "header":
+        raise JournalError(f"journal {path} does not start with a header")
+    version = header.get("version")
+    if version != JOURNAL_VERSION:
+        raise JournalError(
+            f"journal {path} is format version {version!r}; this reader "
+            f"supports {JOURNAL_VERSION}"
+        )
+    config = header.get("config", {})
+
+    events: List[JournalEvent] = []
+    torn = False
+    for index, line in enumerate(lines[1:], start=1):
+        payload = _parse(index, line)
+        if payload is None:
+            torn = True
+            break
+        if payload.get("kind") != "event":
+            raise JournalError(
+                f"journal {path} line {index + 1}: unexpected record kind "
+                f"{payload.get('kind')!r}"
+            )
+        event = JournalEvent.from_json_dict(payload)
+        expected = events[-1].eid + 1 if events else 0
+        if event.eid != expected:
+            raise JournalError(
+                f"journal {path} line {index + 1}: event id {event.eid} "
+                f"breaks the contiguous sequence (expected {expected})"
+            )
+        events.append(event)
+    return config, events, torn

@@ -1,0 +1,155 @@
+"""Named deterministic workloads and their command scripts.
+
+A replayable run is a *script*: an ordered list of externally visible
+control-plane commands (tenant registrations, submissions, failure
+injections, drains).  Scripts are derived purely from a
+:class:`~repro.replay.runner.RunConfig` — same config, same script,
+byte for byte — which is what makes a journal self-contained: its
+header carries the config, so any reader can rebuild the exact command
+sequence and re-execute any prefix of it.
+
+Two workload families ship:
+
+* ``fig2-medical`` — the paper's Figure 2 hospital pipeline, submitted
+  once per patient with distinct inputs, a drain every ``round_every``
+  submissions, and an optional deterministic fault schedule
+  (``faults=[[t, domain], ...]``).
+* ``tenant-trace`` — the diurnal multi-tenant stream from
+  :func:`repro.workloads.tenants.generate_tenant_trace`, mirroring
+  ``udc serve``: register every profile, submit arrivals in order,
+  drain every ``round_every`` submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.appmodel.dag import ModuleDAG
+from repro.workloads.medical import build_medical_app
+from repro.workloads.tenants import (
+    default_tenant_profiles,
+    generate_tenant_trace,
+)
+
+__all__ = ["Command", "REPLAY_WORKLOADS", "RunScript", "build_script"]
+
+
+@dataclass(frozen=True)
+class Command:
+    """One externally visible control-plane command.
+
+    ``args`` must be JSON-serializable — it is journaled verbatim and
+    cross-checked on replay.  Applications are referenced by key into
+    the script's app registry, never embedded (DAGs carry callables).
+    """
+
+    op: str  # "register-tenant" | "submit" | "inject-failure" | "drain"
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RunScript:
+    """The full deterministic command sequence for one run."""
+
+    commands: List[Command] = field(default_factory=list)
+    #: app key -> application DAG (rebuilt deterministically from config)
+    apps: Dict[str, ModuleDAG] = field(default_factory=dict)
+    #: app key -> definition dict submitted alongside the app
+    definitions: Dict[str, Dict] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+
+def _medical_inputs(patient: str) -> Dict[str, Any]:
+    """Figure 2 input payloads, parameterized by patient id."""
+    return {
+        "A1": {"pixels": list(range(256)), "patient": patient},
+        "A3": {"patient": patient},
+        "B1": {"consented": True},
+    }
+
+
+def _fig2_script(params: Dict[str, Any], seed: int) -> RunScript:
+    patients = int(params.get("patients", 4))
+    round_every = max(1, int(params.get("round_every", 2)))
+    faults = [tuple(f) for f in params.get("faults", [])]
+    if patients < 1:
+        raise ValueError("fig2-medical needs patients >= 1")
+    dag, definition = build_medical_app()
+    script = RunScript(apps={"medical": dag},
+                       definitions={"medical": definition})
+    script.commands.append(
+        Command("register-tenant", {"tenant": "hospital", "weight": 1.0})
+    )
+    for when, domain in faults:
+        script.commands.append(
+            Command("inject-failure",
+                    {"at": float(when), "domain": str(domain)})
+        )
+    for index in range(patients):
+        script.commands.append(Command("submit", {
+            "tenant": "hospital",
+            "app": "medical",
+            "inputs": _medical_inputs(f"p-{index:03d}"),
+        }))
+        if (index + 1) % round_every == 0:
+            script.commands.append(Command("drain", {}))
+    script.commands.append(Command("drain", {}))
+    return script
+
+
+def _tenant_trace_script(params: Dict[str, Any], seed: int) -> RunScript:
+    tenants = int(params.get("tenants", 6))
+    minutes = float(params.get("minutes", 20.0))
+    rate = float(params.get("rate", 0.5))
+    repeat_fraction = float(params.get("repeat_fraction", 0.25))
+    round_every = max(1, int(params.get("round_every", 8)))
+    profiles = default_tenant_profiles(count=tenants, seed=seed)
+    trace = generate_tenant_trace(
+        profiles,
+        peak_rate_per_minute=rate,
+        horizon_s=minutes * 60.0,
+        repeat_fraction=repeat_fraction,
+        seed=seed,
+    )
+    script = RunScript()
+    for profile in profiles:
+        script.commands.append(Command("register-tenant", {
+            "tenant": profile.name, "weight": profile.weight,
+        }))
+    # One app per tenant, rebuilt deterministically by archetype.
+    for submission in trace.submissions:
+        if submission.tenant not in script.apps:
+            script.apps[submission.tenant] = submission.dag
+            script.definitions[submission.tenant] = submission.definition
+    for index, submission in enumerate(trace.submissions, start=1):
+        script.commands.append(Command("submit", {
+            "tenant": submission.tenant,
+            "app": submission.tenant,
+            "inputs": submission.inputs,
+        }))
+        if index % round_every == 0:
+            script.commands.append(Command("drain", {}))
+    script.commands.append(Command("drain", {}))
+    return script
+
+
+#: workload name -> (params, seed) -> RunScript
+REPLAY_WORKLOADS: Dict[str, Callable[[Dict[str, Any], int], RunScript]] = {
+    "fig2-medical": _fig2_script,
+    "tenant-trace": _tenant_trace_script,
+}
+
+
+def build_script(workload: str, params: Dict[str, Any], seed: int) -> RunScript:
+    """Build the deterministic command script for a named workload."""
+    try:
+        builder = REPLAY_WORKLOADS[workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown replay workload {workload!r} "
+            f"(expected one of {sorted(REPLAY_WORKLOADS)})"
+        ) from None
+    return builder(dict(params or {}), seed)

@@ -21,7 +21,7 @@ from repro.service.cache import (
     definition_fingerprint,
     inputs_fingerprint,
 )
-from repro.service.service import SubmissionHandle, UDCService
+from repro.service.service import ResultNotReady, SubmissionHandle, UDCService
 from repro.service.tenants import QuotaExceeded, Tenant, TenantQuota
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "FifoAdmission",
     "QuotaExceeded",
     "ResultCache",
+    "ResultNotReady",
     "SubmissionHandle",
     "Tenant",
     "TenantQuota",

@@ -53,7 +53,17 @@ from repro.hardware.topology import Datacenter
 from repro.service.cache import AdmissionMemo, CacheStats, ResultCache
 from repro.service.tenants import QuotaExceeded, Tenant, TenantQuota
 
-__all__ = ["SubmissionHandle", "UDCService"]
+__all__ = ["ResultNotReady", "SubmissionHandle", "UDCService"]
+
+
+class ResultNotReady(Exception):
+    """Raised when :attr:`SubmissionHandle.outputs` is read before the
+    submission has finished and been finalized by a drain.
+
+    Previously an unfinished handle silently answered ``{}`` —
+    indistinguishable from "finished with no outputs", which hid lost
+    results.  Use :meth:`SubmissionHandle.outputs_or_none` for the
+    non-raising probe."""
 
 #: handle states that still occupy a tenant's in-flight quota slot
 _LIVE_STATES = frozenset({"pending", "queued", "running"})
@@ -96,7 +106,24 @@ class SubmissionHandle:
 
     @property
     def outputs(self) -> Dict[str, Any]:
-        return self.result.outputs if self.result is not None else {}
+        """The finished run's module outputs.
+
+        Raises :class:`ResultNotReady` while the submission is still
+        pending/queued/running or has finished but not yet been
+        finalized by :meth:`UDCService.drain` — a silent ``{}`` here
+        would conflate "not finished" with "finished with no outputs".
+        """
+        if self.result is None:
+            raise ResultNotReady(
+                f"submission #{self.seq} ({self.tenant}/{self.app}) has no "
+                f"result yet (status={self.status!r}); drain() the service "
+                f"to completion, or probe with outputs_or_none"
+            )
+        return self.result.outputs
+
+    def outputs_or_none(self) -> Optional[Dict[str, Any]]:
+        """``outputs`` if the result is in, else None (never raises)."""
+        return self.result.outputs if self.result is not None else None
 
 
 class UDCService:

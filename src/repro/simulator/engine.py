@@ -26,6 +26,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "Process",
+    "SimClock",
     "SimulationError",
     "Simulator",
     "Timeout",
@@ -282,6 +283,30 @@ class Process(Event):
             target.callbacks.append(self._resume)
 
 
+class SimClock:
+    """A picklable ``() -> now`` callable bound to a simulator.
+
+    Components that need the current time but must survive snapshot
+    serialization (pool utilization meters, for one) hold one of these
+    instead of a ``lambda: sim.now`` closure — lambdas cannot be
+    pickled, and the replay subsystem snapshots whole control planes.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+
+    def __call__(self) -> float:
+        return self.sim.now
+
+    def __getstate__(self):
+        return self.sim
+
+    def __setstate__(self, state):
+        self.sim = state
+
+
 class Simulator:
     """The event loop: a clock plus a heap of triggered events."""
 
@@ -294,6 +319,17 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time."""
         return self._now
+
+    @property
+    def is_quiescent(self) -> bool:
+        """True when no triggered event is pending on the heap.
+
+        At a quiescent point every process generator has either finished
+        or is parked on an event nothing will ever fire — running the
+        clock is a no-op.  This is the snapshot boundary for
+        :mod:`repro.replay`: between events, never inside one.
+        """
+        return not self._heap
 
     # -- public scheduling API --------------------------------------------
 

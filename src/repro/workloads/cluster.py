@@ -48,17 +48,18 @@ class ClusterTrace:
         return counts
 
 
+def _noop(ctx):
+    """Shared task body for all archetypes: the simulator models the
+    work, not the code.  Module-level (not a closure) so archetype DAGs
+    pickle by reference — snapshots of a service holding them depend on
+    it."""
+    return None
+
+
 def _web_service(tag: str) -> Tuple[ModuleDAG, Dict]:
     app = AppBuilder(f"web-{tag}")
-
-    @app.task(name="api", work=4.0, max_parallelism=2)
-    def api(ctx):
-        return None
-
-    @app.task(name="render", work=2.0)
-    def render(ctx):
-        return None
-
+    app.task(name="api", work=4.0, max_parallelism=2)(_noop)
+    app.task(name="render", work=2.0)(_noop)
     session = app.data("sessions", size_gb=2, hot=True)
     app.flows("api", "render", bytes_=1 << 16)
     app.writes("api", session, bytes_per_run=1 << 16)
@@ -74,15 +75,8 @@ def _web_service(tag: str) -> Tuple[ModuleDAG, Dict]:
 
 def _batch_analytics(tag: str) -> Tuple[ModuleDAG, Dict]:
     app = AppBuilder(f"batch-{tag}")
-
-    @app.task(name="extract", work=10.0)
-    def extract(ctx):
-        return None
-
-    @app.task(name="aggregate", work=25.0)
-    def aggregate(ctx):
-        return None
-
+    app.task(name="extract", work=10.0)(_noop)
+    app.task(name="aggregate", work=25.0)(_noop)
     warehouse = app.data("warehouse", size_gb=30)
     app.reads("extract", warehouse, bytes_per_run=64 << 20)
     app.flows("extract", "aggregate", bytes_=16 << 20)
@@ -97,15 +91,8 @@ def _batch_analytics(tag: str) -> Tuple[ModuleDAG, Dict]:
 
 def _secure_pipeline(tag: str) -> Tuple[ModuleDAG, Dict]:
     app = AppBuilder(f"secure-{tag}")
-
-    @app.task(name="ingest", work=3.0)
-    def ingest(ctx):
-        return None
-
-    @app.task(name="process", work=8.0)
-    def process(ctx):
-        return None
-
+    app.task(name="ingest", work=3.0)(_noop)
+    app.task(name="process", work=8.0)(_noop)
     vault = app.data("vault", size_gb=5)
     app.flows("ingest", "process", bytes_=1 << 20)
     app.writes("process", vault, bytes_per_run=1 << 20)
@@ -123,16 +110,9 @@ def _secure_pipeline(tag: str) -> Tuple[ModuleDAG, Dict]:
 
 def _gpu_inference(tag: str) -> Tuple[ModuleDAG, Dict]:
     app = AppBuilder(f"inference-{tag}")
-
-    @app.task(name="preproc", work=1.0,
-              devices={DeviceType.CPU, DeviceType.GPU})
-    def preproc(ctx):
-        return None
-
-    @app.task(name="model", work=40.0, devices={DeviceType.GPU})
-    def model(ctx):
-        return None
-
+    app.task(name="preproc", work=1.0,
+             devices={DeviceType.CPU, DeviceType.GPU})(_noop)
+    app.task(name="model", work=40.0, devices={DeviceType.GPU})(_noop)
     app.flows("preproc", "model", bytes_=4 << 20)
     definition = {
         "preproc": {"resource": "cheapest"},

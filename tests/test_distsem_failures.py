@@ -73,12 +73,61 @@ def test_restore_without_snapshot_returns_none():
     assert run(dc, store.restore("never", SOURCE)) is None
 
 
-def test_restore_from_failed_device_raises():
+def test_restore_from_failed_device_degrades_to_none():
+    """A failed backing device must not crash the recovery path: restore
+    answers None (re-execute from scratch), counts the miss, and the
+    snapshot is still usable once the device is repaired."""
     dc, store = make_ckpt_store()
     run(dc, store.checkpoint("A2", SOURCE, 0.5, 1000))
     store.device.failed = True
-    with pytest.raises(Exception, match="unavailable"):
-        run(dc, store.restore("A2", SOURCE))
+    assert run(dc, store.restore("A2", SOURCE)) is None
+    assert store.stats.restore_failures == 1
+    assert store.stats.restores == 0
+    store.device.failed = False
+    snap = run(dc, store.restore("A2", SOURCE))
+    assert snap.progress == 0.5
+    assert store.stats.restores == 1
+
+
+def test_restore_degradation_reruns_task_from_scratch():
+    """End to end: a checkpointing task whose restore device has failed
+    re-executes from scratch (telemetry notes the degradation) instead
+    of the run dying inside its own recovery."""
+    from repro.appmodel.annotations import AppBuilder
+    from repro.core.runtime import UDCRuntime
+
+    app = AppBuilder("ckpt-degrade")
+
+    @app.task(name="job", work=20.0)
+    def job(ctx):
+        return "done"
+
+    dag = app.build()
+    definition = {"job": {"resource": {"device": "cpu", "amount": 1},
+                          "distributed": {"checkpoint": True}}}
+    dc = build_datacenter(DatacenterSpec(pods=1, racks_per_pod=2))
+    runtime = UDCRuntime(dc)
+    submission = runtime.submit(dag, definition, tenant="t")
+    # Fail the task mid-run with every storage device (the checkpoint
+    # store's backing device among them) already down, so the recovery's
+    # restore finds the device failed.
+    runtime.injector.fail_at(10.0, "fd:job")
+
+    def fail_storage():
+        yield dc.sim.timeout(9.0)
+        for device_type in (DeviceType.SSD, DeviceType.NVM, DeviceType.HDD):
+            if device_type in dc.pools:
+                for device in dc.pool(device_type).devices:
+                    device.failed = True
+
+    dc.sim.process(fail_storage())
+    runtime.drain()
+    result = submission.result
+    assert result is not None
+    assert result.outputs.get("job") == "done"
+    degraded = [e for e in runtime.telemetry.events
+                if e.kind == "restore-degraded"]
+    assert degraded, "expected a restore-degraded telemetry event"
 
 
 def test_invalid_progress_rejected():

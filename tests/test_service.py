@@ -358,3 +358,36 @@ def test_cli_serve_smoke(capsys):
     out = capsys.readouterr().out
     assert '"fairness_completed"' in out
     assert '"tenants"' in out
+
+
+# ------------------------------------------------- handle result access
+
+
+def test_outputs_raises_before_drain_not_silent_empty():
+    """Regression: an unfinished handle's ``outputs`` used to answer
+    ``{}`` — indistinguishable from "finished with no outputs", hiding
+    lost results.  It must raise until the drain finalizes the result."""
+    from repro.service import ResultNotReady
+
+    service = UDCService(build_datacenter(TINY))
+    dag, definition = cpu_job("r1")
+    handle = service.submit("t", dag, definition)
+    assert handle.status == "pending"  # batched: buffered, not dispatched
+    with pytest.raises(ResultNotReady, match="no result yet"):
+        handle.outputs
+    assert handle.outputs_or_none() is None
+
+    service.drain()
+    assert handle.done
+    assert handle.outputs["crunch"] == "r1"
+    assert handle.outputs_or_none() == handle.outputs
+
+
+def test_outputs_ready_immediately_for_cache_hits():
+    service = UDCService(build_datacenter(TINY))
+    dag, definition = cpu_job("r2")
+    first = service.submit("t", dag, definition)
+    service.drain()
+    hit = service.submit("t", dag, definition)
+    assert hit.cached
+    assert hit.outputs == first.outputs
