@@ -46,6 +46,7 @@ SRC = REPO / "src" / "repro"
 #: — or, for simulator/ and replay/, journaled fingerprints: a salted
 #: set order there shows up as a false divergence in ``udc bisect``
 TARGETS = [
+    SRC / "core" / "cells.py",
     SRC / "core" / "scheduler.py",
     SRC / "hardware" / "pools.py",
     SRC / "service",

@@ -82,6 +82,12 @@ def _add_dc_args(parser: argparse.ArgumentParser) -> None:
                         help="racks per pod (default 4)")
 
 
+def _add_cells_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cells", type=int, default=1,
+                        help="placement cells to shard the datacenter "
+                             "into (default 1: the global scheduler)")
+
+
 def cmd_run(args) -> int:
     """Execute an IR program.
 
@@ -439,6 +445,26 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _metrics_sharded(args):
+    """Execute the app on a cell-sharded service and return the
+    aggregated registry (per-cell labels + cross-cell sums)."""
+    from repro.simulator.rng import RngRegistry
+
+    dag = load_program_file(args.app)
+    definition = None
+    if args.spec:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            definition = json.load(handle)
+    service = UDCService(
+        _build_dc(args), cells=args.cells,
+        warm_pool=WarmPool(enabled=args.warm), prewarm=args.warm,
+        rng=RngRegistry(args.seed),
+    )
+    service.submit(args.tenant, dag, definition)
+    service.drain()
+    return service.metrics_snapshot()
+
+
 def cmd_metrics(args) -> int:
     """Execute and print the run's metrics snapshot.
 
@@ -447,8 +473,11 @@ def cmd_metrics(args) -> int:
     histograms included — this snapshot is for humans and scrapers, not
     for byte-reproducible reports).
     """
-    runtime, _result = _run_observed(args)
-    registry = runtime.metrics_snapshot()
+    if args.cells > 1:
+        registry = _metrics_sharded(args)
+    else:
+        runtime, _result = _run_observed(args)
+        registry = runtime.metrics_snapshot()
     if args.format == "json":
         json.dump(registry.to_dict(include_wall_clock=True), sys.stdout,
                   indent=2, sort_keys=True)
@@ -519,7 +548,7 @@ def cmd_serve(args) -> int:
     )
     policy = (WeightedFairShare() if args.policy == "fair"
               else FifoAdmission())
-    service = UDCService(_build_dc(args), policy=policy)
+    service = UDCService(_build_dc(args), policy=policy, cells=args.cells)
     for profile in profiles:
         service.register_tenant(profile.name, weight=profile.weight)
     for index, arrival in enumerate(trace.submissions, start=1):
@@ -585,7 +614,7 @@ def _replay_runner_for(args, config=None):
         config = RunConfig(
             workload=args.workload, params=params, seed=args.seed,
             pods=args.pods, racks=args.racks, policy=args.policy,
-            warm=args.warm,
+            warm=args.warm, cells=args.cells,
         )
     return ReplayRunner(config)
 
@@ -818,6 +847,7 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_p.add_argument("--format", choices=("prom", "json"),
                            default="prom")
     _add_dc_args(metrics_p)
+    _add_cells_arg(metrics_p)
     metrics_p.set_defaults(handler=cmd_metrics)
 
     lint_p = sub.add_parser(
@@ -859,6 +889,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--json", action="store_true",
                          help="emit the rollup as JSON")
     _add_dc_args(serve_p)
+    _add_cells_arg(serve_p)
     serve_p.set_defaults(handler=cmd_serve)
 
     record_p = sub.add_parser(
@@ -887,6 +918,7 @@ def build_parser() -> argparse.ArgumentParser:
     record_p.add_argument("--report", default=None,
                           help="write the canonical final report here")
     _add_dc_args(record_p)
+    _add_cells_arg(record_p)
     record_p.set_defaults(handler=cmd_record)
 
     replay_p = sub.add_parser(

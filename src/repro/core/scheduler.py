@@ -133,6 +133,11 @@ class UdcScheduler:
         #: are skipped during explicit device picks (standbys, groups);
         #: pool auto-placement consults it via pool.admission_filter.
         self.breakers = breakers
+        #: placement-cell label (set by the sharded serving layer): when
+        #: not None, placement counters and batch-round latency carry a
+        #: ``cell`` label.  None keeps label sets byte-identical to the
+        #: unsharded output.
+        self.cell_label: Optional[str] = None
         #: round-robin cursor for locality-oblivious spreading
         self._rr_rack = 0
         #: inside a batch round: per-placement spans and wall-clock
@@ -140,6 +145,17 @@ class UdcScheduler:
         self._in_batch = False
         #: round-scoped pure-input memos; non-None only inside batch_round
         self._batch: Optional[_BatchCache] = None
+
+    def _metric_labels(self, **base) -> Optional[Dict[str, str]]:
+        """Metric labels with the cell label merged in when sharded.
+
+        Only called on telemetry-enabled paths; with telemetry disabled
+        the ``inc``/``observe`` guards fire first, so the disabled hot
+        path never builds a dict here.
+        """
+        if self.cell_label is not None:
+            base["cell"] = self.cell_label
+        return base or None
 
     def _breaker_allows(self, device: Device) -> bool:
         if self.breakers is None:
@@ -208,7 +224,8 @@ class UdcScheduler:
             if enabled:
                 self.telemetry.span_end(span, self._now())
                 self.telemetry.observe("udc_placement_latency_seconds",
-                                       time.perf_counter() - t_wall)
+                                       time.perf_counter() - t_wall,
+                                       labels=self._metric_labels())
 
     def place_batch(
         self, requests: List[Tuple[Dict[str, UDCObject], ModuleDAG]]
@@ -259,7 +276,7 @@ class UdcScheduler:
             obj.allocations.extend(result.allocations)
             if self.telemetry.enabled:
                 self.telemetry.inc("udc_placements_total",
-                                   labels={"kind": "data"})
+                                   labels=self._metric_labels(kind="data"))
             if self._track_placement():
                 # Structured replacement for the old "place-data" event:
                 # one zero-sim-duration allocate span carrying the decision.
@@ -272,7 +289,8 @@ class UdcScheduler:
                 )
                 self.telemetry.span_end(span, self._now())
                 self.telemetry.observe("udc_placement_latency_seconds",
-                                       time.perf_counter() - t_wall)
+                                       time.perf_counter() - t_wall,
+                                       labels=self._metric_labels())
             return result
         raise SchedulerError(
             f"data module {obj.name}: no medium can hold "
@@ -567,7 +585,7 @@ class UdcScheduler:
             )
             self.telemetry.span_end(alloc_span, self._now())
             self.telemetry.inc("udc_placements_total",
-                               labels={"kind": "task"})
+                               labels=self._metric_labels(kind="task"))
         return unit, rate
 
     def _place_single(
@@ -604,7 +622,8 @@ class UdcScheduler:
             )
             self.telemetry.span_end(schedule_span, self._now())
             self.telemetry.observe("udc_placement_latency_seconds",
-                                   time.perf_counter() - t_wall)
+                                   time.perf_counter() - t_wall,
+                                   labels=self._metric_labels())
         return TaskPlacement(
             obj=obj, device_type=device_type, amount=amount, unit=unit,
             compute_rate=rate,
@@ -738,7 +757,8 @@ class UdcScheduler:
             if self._track_placement():
                 self.telemetry.span_end(schedule_span, self._now())
                 self.telemetry.observe("udc_placement_latency_seconds",
-                                       time.perf_counter() - t_wall)
+                                       time.perf_counter() - t_wall,
+                                       labels=self._metric_labels())
             placements[member.name] = TaskPlacement(
                 obj=member, device_type=device_type, amount=amount, unit=unit,
                 compute_rate=rate,

@@ -116,6 +116,11 @@ class ResourcePool:
         #: allocate appends ``(device.seq, amount, tenant)`` — the
         #: placement-equivalence golden test hangs off this.
         self.alloc_log: Optional[List[Tuple[int, float, str]]] = None
+        #: Placement-cell label (``repro.core.cells``): set by
+        #: partition_datacenter so metric gauges carry a ``cell`` label.
+        #: None for unsharded pools — label sets stay byte-identical to
+        #: the pre-cells output in that case.
+        self.cell: Optional[str] = None
 
         self.indexed = indexed
         # Live-capacity accounting (devices that are not failed), kept
@@ -152,6 +157,38 @@ class ResourcePool:
             self._rack_add(device)
             if self.indexed:
                 self._index_add(device)
+
+    def detach_all_devices(self) -> List[Device]:
+        """Deregister every device and return them, ordered by seq.
+
+        Cell partitioning (:func:`repro.core.cells.partition_datacenter`)
+        moves a fresh datacenter's devices into per-cell pools; leaving
+        them registered here too would let this pool's incremental
+        accounting go stale the moment a cell pool allocates (accounting
+        deltas only flow to the pool performing the operation).  Bulk
+        reset — not per-device removal — so a 100k-device partition is
+        O(N), not O(N²) of list deletions.  Refuses to detach while any
+        allocation is live: partition before placing.
+        """
+        if self._allocations:
+            raise ValueError(
+                f"{self.device_type.value} pool has "
+                f"{len(self._allocations)} live allocations; partition "
+                f"into cells before placing anything"
+            )
+        moved = sorted(self.devices, key=lambda d: d.seq)
+        for device in moved:
+            device._pools.remove(self)
+        self.devices = []
+        self._live_capacity = 0.0
+        self._live_used = 0.0
+        self._free_index = []
+        self._loc_index = {}
+        self._index_keys = {}
+        self._by_seq = {}
+        self._devices_by_seq = []
+        self._rack_counts = {}
+        return moved
 
     # -- capacity accounting -------------------------------------------------
 
@@ -512,6 +549,8 @@ class ResourcePool:
         from the incrementally-maintained aggregates.
         """
         labels = {"device_type": self.device_type.value}
+        if self.cell is not None:
+            labels["cell"] = self.cell
         registry.gauge("udc_pool_capacity_units", labels).set(
             self.total_capacity)
         registry.gauge("udc_pool_used_units", labels).set(self.total_used)

@@ -100,6 +100,9 @@ class RunConfig:
     lint: bool = True
     telemetry: bool = True
     warm: bool = False
+    #: placement cells (1 = the unsharded control plane); journals
+    #: recorded before sharding existed deserialize to 1
+    cells: int = 1
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -113,6 +116,7 @@ class RunConfig:
             "lint": self.lint,
             "telemetry": self.telemetry,
             "warm": self.warm,
+            "cells": self.cells,
         }
 
     @classmethod
@@ -129,6 +133,7 @@ class RunConfig:
                 lint=bool(payload.get("lint", True)),
                 telemetry=bool(payload.get("telemetry", True)),
                 warm=bool(payload.get("warm", False)),
+                cells=int(payload.get("cells", 1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(f"malformed run config: {exc}") from exc
@@ -160,6 +165,21 @@ class ReplayRunner:
         datacenter = build_datacenter(
             DatacenterSpec(pods=config.pods, racks_per_pod=config.racks)
         )
+        policy = (WeightedFairShare() if config.policy == "fair"
+                  else FifoAdmission())
+        if config.cells > 1:
+            # Sharded control plane: the service partitions the
+            # datacenter itself; telemetry/rng/warm-pool are shared
+            # across cell runtimes, so the fingerprints below still
+            # cover the whole run.
+            return UDCService(
+                datacenter, policy=policy, batched=config.batched,
+                lint=config.lint, cells=config.cells,
+                rng=RngRegistry(config.seed),
+                warm_pool=WarmPool(enabled=config.warm),
+                prewarm=config.warm,
+                telemetry=Telemetry(enabled=config.telemetry),
+            )
         runtime = UDCRuntime(
             datacenter,
             rng=RngRegistry(config.seed),
@@ -167,8 +187,6 @@ class ReplayRunner:
             prewarm=config.warm,
             telemetry=Telemetry(enabled=config.telemetry),
         )
-        policy = (WeightedFairShare() if config.policy == "fair"
-                  else FifoAdmission())
         return UDCService(runtime=runtime, policy=policy,
                           batched=config.batched, lint=config.lint)
 
@@ -181,8 +199,9 @@ class ReplayRunner:
                                     weight=float(args.get("weight", 1.0)))
             info: Dict[str, Any] = {}
         elif op == "inject-failure":
-            service.runtime.injector.fail_at(float(args["at"]),
-                                             str(args["domain"]))
+            # Routed through the service: sharded runs own one injector
+            # per cell, and the domain lives where its module landed.
+            service.fail_at(float(args["at"]), str(args["domain"]))
             info = {}
         elif op == "submit":
             app_key = args["app"]

@@ -40,14 +40,16 @@ Per-tenant outcomes land on an
 from __future__ import annotations
 
 import itertools
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from repro.appmodel.dag import ModuleDAG
 from repro.core.admission import AdmissionPolicy, WeightedFairShare
+from repro.core.cells import CellRouter, estimate_demand, partition_datacenter
 from repro.core.report import RunResult
 from repro.core.runtime import Submission, UDCRuntime
+from repro.core.scheduler import SchedulerError
 from repro.economics.tenants import TenantLedger, TenantUsage, jain_index
 from repro.hardware.topology import Datacenter
 from repro.service.cache import AdmissionMemo, CacheStats, ResultCache
@@ -85,6 +87,9 @@ class SubmissionHandle:
     #: service-wide monotonic id: the deterministic dispatch tie-break
     seq: int
     cached: bool = False
+    #: placement cell the submission was routed to (None until
+    #: dispatched; always 0 on an unsharded service)
+    cell: Optional[int] = None
     submission: Optional[Submission] = None
     result: Optional[RunResult] = None
     _cache_key: Optional[tuple] = field(default=None, repr=False, init=False)
@@ -127,7 +132,32 @@ class SubmissionHandle:
 
 
 class UDCService:
-    """Multi-tenant serving layer over one :class:`UDCRuntime`."""
+    """Multi-tenant serving layer over one or more placement cells.
+
+    ``cells=1`` (the default) is the historical single-runtime service —
+    one scheduler, one set of pool indexes, placements byte-identical to
+    PR 4.  ``cells=N`` partitions the datacenter into N rack-group cells
+    (:func:`repro.core.cells.partition_datacenter`), each with its own
+    :class:`UDCRuntime` — scheduler, pool indexes, batch cache, and
+    admission memo — fronted by a :class:`~repro.core.cells.CellRouter`
+    that picks a cell per submission from coarse free-capacity
+    aggregates and spills deterministically to the next cell on
+    rejection.  Cell runtimes share one simulator, fabric, telemetry,
+    RNG registry, warm pool, and breaker registry, so replay fingerprints
+    and fault injection stay global.
+
+    Sharding semantics worth knowing:
+
+    * A submission lands *entirely* in one cell (cells are placement
+      domains); an app bigger than any single cell is unplaceable.
+      Static lint is evaluated against cell 0 — the largest cell —
+      for the same reason.
+    * Fair share stays global: dispatch rounds are ordered by the
+      service-wide policy *before* fanning out, and every cell runtime
+      shares the one policy instance.
+    * If every cell rejects, the submission parks on the first-choice
+      cell's admission queue and retries there as capacity frees.
+    """
 
     def __init__(
         self,
@@ -136,28 +166,52 @@ class UDCService:
         runtime: Optional[UDCRuntime] = None,
         policy: Optional[AdmissionPolicy] = None,
         batched: bool = True,
+        cells: int = 1,
         result_cache_capacity: int = 128,
         admission_memo_capacity: int = 256,
         lint: bool = True,
         **runtime_kwargs,
     ):
-        if runtime is None:
+        if cells < 1:
+            raise ValueError(f"cells must be >= 1, got {cells}")
+        if runtime is not None:
+            if runtime_kwargs:
+                raise ValueError(
+                    f"runtime kwargs {sorted(runtime_kwargs)} conflict with "
+                    f"an explicit runtime instance"
+                )
+            if cells != 1:
+                raise ValueError(
+                    "an explicit runtime instance is single-cell; pass the "
+                    "datacenter instead to shard it"
+                )
+            runtimes = [runtime]
+        else:
             if datacenter is None:
                 raise ValueError("UDCService needs a datacenter or a runtime")
-            runtime = UDCRuntime(datacenter, **runtime_kwargs)
-        elif runtime_kwargs:
-            raise ValueError(
-                f"runtime kwargs {sorted(runtime_kwargs)} conflict with an "
-                f"explicit runtime instance"
-            )
-        self.runtime = runtime
+            if cells == 1:
+                runtimes = [UDCRuntime(datacenter, **runtime_kwargs)]
+            else:
+                runtimes = self._build_cell_runtimes(
+                    datacenter, cells, runtime_kwargs
+                )
+        self.cell_runtimes: List[UDCRuntime] = runtimes
+        self.runtime = runtimes[0]
         self.lint = lint
-        self.telemetry = runtime.telemetry
+        self.telemetry = self.runtime.telemetry
         self.policy = policy if policy is not None else WeightedFairShare()
-        runtime.admission_policy = self.policy
         self.batched = batched
-        if batched:
-            runtime.admission_memo = AdmissionMemo(admission_memo_capacity)
+        for cell_runtime in runtimes:
+            cell_runtime.admission_policy = self.policy
+            if batched:
+                cell_runtime.admission_memo = AdmissionMemo(
+                    admission_memo_capacity
+                )
+        self.router: Optional[CellRouter] = None
+        if len(runtimes) > 1:
+            self.router = CellRouter(
+                [rt.datacenter for rt in runtimes], telemetry=self.telemetry
+            )
         self.cache = ResultCache(result_cache_capacity)
         self.ledger = TenantLedger()
         self.tenants: Dict[str, Tenant] = {}
@@ -165,6 +219,45 @@ class UDCService:
         self._pending: List[SubmissionHandle] = []
         self._seq = itertools.count()
         self.rounds = 0
+
+    @staticmethod
+    def _build_cell_runtimes(
+        datacenter: Datacenter, cells: int, runtime_kwargs: Dict[str, Any]
+    ) -> List[UDCRuntime]:
+        """Partition ``datacenter`` and build one runtime per cell.
+
+        Telemetry, RNG registry, warm pool, and breaker registry are
+        shared across cells (one control plane, N placement domains);
+        every other runtime kwarg passes through to each cell.
+        """
+        from repro.core.telemetry import Telemetry
+        from repro.distsem.resilience import CircuitBreakerRegistry
+        from repro.execenv.warmpool import WarmPool
+        from repro.simulator.rng import RngRegistry
+
+        shared = dict(runtime_kwargs)
+        telemetry = shared.pop("telemetry", None)
+        if telemetry is None:
+            telemetry = Telemetry()
+        rng = shared.pop("rng", None)
+        if rng is None:
+            rng = RngRegistry(0)
+        warm_pool = shared.pop("warm_pool", None)
+        if warm_pool is None:
+            warm_pool = WarmPool(enabled=False)
+        breakers = shared.pop("breakers", None)
+        if breakers is None:
+            breakers = CircuitBreakerRegistry()
+        runtimes = [
+            UDCRuntime(
+                cell_dc, telemetry=telemetry, rng=rng, warm_pool=warm_pool,
+                breakers=breakers, **shared,
+            )
+            for cell_dc in partition_datacenter(datacenter, cells)
+        ]
+        for cell_id, cell_runtime in enumerate(runtimes):
+            cell_runtime.scheduler.cell_label = str(cell_id)
+        return runtimes
 
     # ------------------------------------------------------------- tenants
 
@@ -290,16 +383,54 @@ class UDCService:
 
     def _dispatch(self, work: "_PendingWork") -> None:
         handle = work.handle
-        submission = self.runtime.submit(
-            work.app, work.definition, tenant=handle.tenant,
-            inputs=work.inputs, queue_if_full=True,
-        )
+        if self.router is None:
+            # Unsharded: exactly the historical single-runtime path (one
+            # submit attempt, queue on capacity failure) so placements,
+            # seq streams, and telemetry stay byte-identical.
+            handle.cell = 0
+            submission = self.runtime.submit(
+                work.app, work.definition, tenant=handle.tenant,
+                inputs=work.inputs, queue_if_full=True,
+            )
+        else:
+            submission = self._dispatch_routed(work)
         handle.submission = submission
         labels = {"tenant": handle.tenant}
         if submission.status == "queued":
             self.telemetry.inc("udc_tenant_queued_total", labels=labels)
         else:
             self.telemetry.inc("udc_tenant_admitted_total", labels=labels)
+
+    def _dispatch_routed(self, work: "_PendingWork") -> Submission:
+        """Sharded dispatch: route by coarse demand, spill on rejection.
+
+        Cells are tried in router order with ``queue_if_full=False``; a
+        cell that cannot place the app raises, rolls its partial
+        placement back, and the next cell is tried (the spill).  Only
+        when *every* cell rejected does the submission park — on the
+        first-choice cell's admission queue, where freed capacity
+        retries it.
+        """
+        handle = work.handle
+        demand = estimate_demand(work.app, self.runtime.datacenter)
+        order = self.router.order(demand)
+        for hops, cell_id in enumerate(order):
+            try:
+                submission = self.cell_runtimes[cell_id].submit(
+                    work.app, work.definition, tenant=handle.tenant,
+                    inputs=work.inputs, queue_if_full=False,
+                )
+            except SchedulerError:
+                continue
+            handle.cell = cell_id
+            self.router.record_placement(cell_id, hops)
+            return submission
+        handle.cell = order[0]
+        self.router.record_placement(order[0], len(order))
+        return self.cell_runtimes[order[0]].submit(
+            work.app, work.definition, tenant=handle.tenant,
+            inputs=work.inputs, queue_if_full=True,
+        )
 
     def dispatch_round(self) -> int:
         """Flush buffered submissions as one scheduling round.
@@ -322,10 +453,19 @@ class UDCService:
             self.runtime.sim.now, "service", "dispatch-round", "service",
             round=self.rounds, batch=len(batch),
         )
-        memo = self.runtime.admission_memo
-        memo_scope = (memo.identity_round() if memo is not None
-                      else nullcontext())
-        with self.runtime.scheduler.batch_round(len(batch)), memo_scope:
+        with ExitStack() as scopes:
+            # Every cell opens its batch scope for the round: schedulers
+            # install their round-local _BatchCache (and per-cell
+            # batch-round latency is observed once per round per cell),
+            # admission memos their identity shortcut.  With one cell
+            # this is exactly the historical single batch_round.
+            for cell_runtime in self.cell_runtimes:
+                scopes.enter_context(
+                    cell_runtime.scheduler.batch_round(len(batch))
+                )
+                memo = cell_runtime.admission_memo
+                scopes.enter_context(memo.identity_round()
+                                     if memo is not None else nullcontext())
             for work in batch:
                 self._dispatch(work)
         self.telemetry.span_end(span, self.runtime.sim.now)
@@ -348,7 +488,13 @@ class UDCService:
         if until is not None:
             self.runtime.sim.run(until=until)
             return []
-        self.runtime.drain()
+        # Cell runtimes share one simulator: the first drain runs it to
+        # quiescence (all cells' executions and admission retries fire),
+        # the rest just collect their own results / mark their own
+        # still-queued submissions unplaceable — in cell order, so the
+        # walk is deterministic.
+        for cell_runtime in self.cell_runtimes:
+            cell_runtime.drain()
         finished: List[SubmissionHandle] = []
         for handle in self._handles:
             if handle.cached or handle.result is not None:
@@ -382,6 +528,67 @@ class UDCService:
             self.cache.put(handle._cache_key, submission.result)
 
     # ----------------------------------------------------------- reporting
+
+    @property
+    def cells(self) -> int:
+        """Number of placement cells this service shards across."""
+        return len(self.cell_runtimes)
+
+    def fail_at(self, when: float, domain: str) -> None:
+        """Schedule a failure-domain fault, routed to the owning cell.
+
+        A failure domain lives in whichever cell's injector registered
+        it (domains are created where modules are placed); the walk is
+        in cell order, falling back to cell 0 for a domain nothing has
+        touched yet — deterministic either way.
+        """
+        for cell_runtime in self.cell_runtimes:
+            if domain in cell_runtime.injector.domains:
+                cell_runtime.injector.fail_at(when, domain)
+                return
+        self.runtime.injector.fail_at(when, domain)
+
+    def metrics_snapshot(self):
+        """The service's metrics registry with per-cell and aggregate
+        pool gauges refreshed.
+
+        Single-cell output is byte-identical to
+        :meth:`UDCRuntime.metrics_snapshot`.  Sharded, every cell's pool
+        gauges carry a ``cell`` label, the same families are also
+        written *without* the cell label as the summed cross-cell
+        aggregate (so dashboards built on the unsharded names keep
+        working), and ``udc_cell_free_units`` exposes the router's
+        free-capacity vectors.
+        """
+        registry = self.runtime.metrics_snapshot()
+        if self.router is None:
+            return registry
+        totals: Dict[tuple, Dict[str, float]] = {}
+        for cell_runtime in self.cell_runtimes[1:]:
+            cell_runtime.datacenter.pools.collect_metrics(registry)
+        for cell_runtime in self.cell_runtimes:
+            for pool in cell_runtime.datacenter.pools:
+                agg = totals.setdefault(
+                    (pool.device_type,),
+                    {"capacity": 0.0, "used": 0.0, "peak": 0.0},
+                )
+                agg["capacity"] += pool.total_capacity
+                agg["used"] += pool.total_used
+                agg["peak"] += pool.peak_used
+        for (device_type,), agg in sorted(
+            totals.items(), key=lambda kv: kv[0][0].value
+        ):
+            labels = {"device_type": device_type.value}
+            registry.gauge("udc_pool_capacity_units", labels).set(
+                agg["capacity"])
+            registry.gauge("udc_pool_used_units", labels).set(agg["used"])
+            registry.gauge("udc_pool_peak_used_units", labels).set(
+                agg["peak"])
+            registry.gauge("udc_pool_utilization", labels).set(
+                agg["used"] / agg["capacity"] if agg["capacity"] else 0.0)
+        registry.gauge("udc_service_cells").set(float(self.cells))
+        self.router.snapshot(registry)
+        return registry
 
     def completed_by_tenant(self) -> Dict[str, int]:
         """Executed completions per registered tenant (cache hits are

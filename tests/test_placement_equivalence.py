@@ -21,9 +21,11 @@ import pytest
 
 import repro.hardware.devices as devices_mod
 import repro.hardware.pools as pools_mod
+from repro.core.cells import partition_datacenter
 from repro.core.runtime import UDCRuntime
 from repro.execenv.warmpool import WarmPool
 from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.service import UDCService
 from repro.workloads.cluster import generate_cluster_trace
 from repro.workloads.medical import build_medical_app
 
@@ -125,3 +127,73 @@ def test_indexed_run_is_self_deterministic():
     first, _ = _churn_trace(indexed=True, seed=5, horizon_s=300.0)
     second, _ = _churn_trace(indexed=True, seed=5, horizon_s=300.0)
     assert first == second
+
+
+# -------------------------------------------- placement cells (PR 7)
+
+def _churn_trace_partitioned(seed=11, horizon_s=600.0):
+    """The churn-day trace run on a datacenter partitioned into ONE
+    placement cell: same devices, same seqs, fresh per-cell pools."""
+    spec = DatacenterSpec(pods=2, racks_per_pod=4)
+    dc, _parent_log = _traced_datacenter(spec, indexed=True)
+    (cell,) = partition_datacenter(dc, 1)
+    # The partition built fresh pools: attach the typed log to those.
+    log = []
+    for pool in cell.pools:
+        pool.alloc_log = _TypedLog(pool.device_type.value, log)
+    trace = generate_cluster_trace(1.0, horizon_s, seed=seed)
+    runtime = UDCRuntime(
+        cell, warm_pool=WarmPool(enabled=True, target_depth=4), prewarm=True
+    )
+    for arrival in trace.arrivals:
+        runtime.submit_at(
+            arrival.arrival_s, arrival.dag, arrival.definition,
+            tenant=arrival.tenant,
+        )
+    results = runtime.drain()
+    for pool in cell.pools:
+        pool.check_accounting()
+    return _normalize(cell, log), results
+
+
+def test_single_cell_partition_traces_identical_to_global():
+    """Partitioning into one cell changes nothing: fresh per-cell pools
+    over the same devices make byte-identical placement decisions."""
+    global_trace, global_results = _churn_trace(indexed=True)
+    cell_trace, cell_results = _churn_trace_partitioned()
+    assert len(cell_trace) > 20
+    assert cell_trace == global_trace
+    assert [r.makespan_s for r in cell_results] \
+        == [r.makespan_s for r in global_results]
+    assert [r.total_cost for r in cell_results] \
+        == [r.total_cost for r in global_results]
+
+
+def _service_trace(cells=None):
+    """A batched service workload traced at the pool level.  ``None``
+    builds the service exactly as before PR 7 (no ``cells`` argument)."""
+    spec = DatacenterSpec(pods=1, racks_per_pod=4)
+    dc, log = _traced_datacenter(spec, indexed=True)
+    kwargs = {} if cells is None else {"cells": cells}
+    service = UDCService(dc, **kwargs)
+    dag, definition = build_medical_app()
+    inputs = {
+        "A1": {"pixels": list(range(16)), "patient": "p-cells"},
+        "A3": {"patient": "p-cells"},
+        "B1": {"consented": True},
+    }
+    for patient in range(3):
+        service.submit("hospital", dag, definition, inputs=inputs)
+        if patient % 2:
+            service.drain()
+    service.drain()
+    return _normalize(dc, log)
+
+
+def test_service_cells1_traces_identical_to_default():
+    """``UDCService(dc, cells=1)`` is the pre-PR service: one runtime,
+    no router, byte-identical placements and seq streams."""
+    default_trace = _service_trace(cells=None)
+    single_cell_trace = _service_trace(cells=1)
+    assert len(default_trace) > 0
+    assert default_trace == single_cell_trace
