@@ -1,0 +1,193 @@
+"""Gateway bench — latency, goodput, and fairness through the front door.
+
+Runs one long-lived :class:`~repro.gateway.UDCGateway` (telemetry
+disabled, the fleet-scale serving configuration) and drives it with the
+real wire-protocol load generator in three phases:
+
+1. **Peak** — a moderate closed loop measures pre-saturation capacity:
+   peak goodput and unloaded closed-loop latency.
+2. **Fairness at 10k** — a 10,000-tenant closed loop (multiplexed over a
+   bounded connection pool) runs ~2.2 completions per tenant; Jain's
+   index over per-tenant completions must stay >= 0.9.
+3. **Overload** — two open-loop runs with identical machinery: a
+   pre-saturation run offered ~0.5x the measured capacity, then an
+   overload run offered ~3x.  Overload goodput must stay within 20% of
+   the pre-saturation goodput (same-machinery comparison, so client
+   overhead cancels out), and open- vs closed-loop latency under
+   overload is reported side by side.
+
+Results land in ``BENCH_GATEWAY.json`` at the repo root; ``--smoke``
+runs the same phases at CI scale without rewriting it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+from repro.core.telemetry import Telemetry
+from repro.gateway import GatewayConfig, UDCGateway
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.service.service import UDCService
+from repro.workloads.loadgen import run_closed_loop, run_open_loop
+
+try:
+    from _util import print_table
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _util import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_GATEWAY.json"
+
+SPEC = DatacenterSpec(
+    pods=1, racks_per_pod=4,
+    devices_per_rack={DeviceType.CPU: 16, DeviceType.GPU: 4,
+                      DeviceType.DRAM: 4, DeviceType.SSD: 4},
+)
+
+#: (peak tenants, peak total, jain tenants, jain total, overload seconds)
+FULL_SCALE = (256, 2_000, 10_000, 22_000, 8.0)
+SMOKE_SCALE = (64, 400, 500, 1_100, 4.0)
+
+JAIN_FLOOR = 0.9
+#: overload goodput must stay within 20% of the pre-saturation peak
+GOODPUT_FLOOR_FRACTION = 0.8
+
+
+async def _run_phases(smoke: bool):
+    peak_tenants, peak_total, jain_tenants, jain_total, overload_s = (
+        SMOKE_SCALE if smoke else FULL_SCALE
+    )
+    service = UDCService(build_datacenter(SPEC),
+                         telemetry=Telemetry(enabled=False))
+    gateway = UDCGateway(service, GatewayConfig(
+        port=0, workers=128, max_live=512, tick_sim_s=1.0,
+    ))
+    host, port = await gateway.start()
+    try:
+        peak = await run_closed_loop(
+            host, port, tenants=peak_tenants, total=peak_total,
+            duration_s=120.0, pool_size=128, wait_timeout_s=10.0,
+        )
+        fairness = await run_closed_loop(
+            host, port, tenants=jain_tenants, total=jain_total,
+            duration_s=300.0, pool_size=256, wait_timeout_s=10.0,
+        )
+        presat = await run_open_loop(
+            host, port, rate_per_s=max(peak.goodput_per_s * 0.5, 20.0),
+            duration_s=overload_s, tenants=peak_tenants,
+            pool_size=128, wait_timeout_s=30.0, register=False,
+            max_outstanding=2_000,
+        )
+        overload = await run_open_loop(
+            host, port, rate_per_s=max(peak.goodput_per_s * 3.0, 50.0),
+            duration_s=overload_s, tenants=peak_tenants,
+            pool_size=128, wait_timeout_s=30.0, register=False,
+            max_outstanding=2_000,
+        )
+    finally:
+        await gateway.shutdown()
+    return peak, fairness, presat, overload
+
+
+def run(smoke: bool = False, write: bool = True) -> dict:
+    peak, fairness, presat, overload = asyncio.run(_run_phases(smoke))
+
+    goodput_floor = GOODPUT_FLOOR_FRACTION * presat.goodput_per_s
+    gates = {
+        "jain_floor": JAIN_FLOOR,
+        "jain": round(fairness.jain, 4),
+        "jain_ok": fairness.jain >= JAIN_FLOOR,
+        "closed_peak_goodput_per_s": round(peak.goodput_per_s, 2),
+        "presat_goodput_per_s": round(presat.goodput_per_s, 2),
+        "overload_goodput_per_s": round(overload.goodput_per_s, 2),
+        "overload_goodput_floor_per_s": round(goodput_floor, 2),
+        "overload_goodput_ok": overload.goodput_per_s >= goodput_floor,
+        "errors": (peak.errors + fairness.errors + presat.errors
+                   + overload.errors),
+    }
+    payload = {
+        "scale": "smoke" if smoke else "full",
+        "phases": {
+            "peak_closed": peak.to_dict(),
+            "fairness_closed": fairness.to_dict(),
+            "presat_open": presat.to_dict(),
+            "overload_open": overload.to_dict(),
+        },
+        "gates": gates,
+    }
+
+    rows = []
+    for label, report in (("peak (closed)", peak),
+                          (f"{report_tenants(report=fairness)} (closed)",
+                           fairness),
+                          ("pre-saturation (open)", presat),
+                          ("overload (open)", overload)):
+        latency = report.to_dict()["latency_s"]
+        rows.append([
+            label, report.tenants, report.completed, report.shed,
+            round(report.goodput_per_s, 1), round(report.jain, 4),
+            round(latency["p50"] * 1e3, 2), round(latency["p99"] * 1e3, 2),
+        ])
+    print_table(
+        "gateway: goodput / fairness / latency",
+        ["phase", "tenants", "done", "shed", "goodput/s", "jain",
+         "p50 ms", "p99 ms"],
+        rows,
+    )
+    print(f"\ngates: jain {gates['jain']} >= {JAIN_FLOOR}: "
+          f"{gates['jain_ok']}; overload goodput "
+          f"{gates['overload_goodput_per_s']}/s >= "
+          f"{gates['overload_goodput_floor_per_s']}/s: "
+          f"{gates['overload_goodput_ok']}; errors: {gates['errors']}")
+
+    if write and not smoke:
+        RESULT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {RESULT_PATH}")
+
+    assert gates["errors"] == 0, "load generation hit transport errors"
+    assert presat.shed == 0 and presat.dropped == 0, (
+        "pre-saturation run was not actually below saturation"
+    )
+    assert gates["jain_ok"], (
+        f"Jain {gates['jain']} under the {JAIN_FLOOR} fairness floor "
+        f"at {fairness.tenants} tenants"
+    )
+    assert gates["overload_goodput_ok"], (
+        f"shedding failed to hold goodput: {gates['overload_goodput_per_s']}"
+        f"/s under the floor {gates['overload_goodput_floor_per_s']}/s"
+    )
+    return payload
+
+
+def report_tenants(report) -> str:
+    if report.tenants >= 1000:
+        return f"{report.tenants // 1000}k tenants"
+    return f"{report.tenants} tenants"
+
+
+# ------------------------------------------------------------ pytest hook
+
+
+def test_gateway_bench_smoke():
+    """CI-scale run of all three phases with the same gates."""
+    run(smoke=True, write=False)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale; does not rewrite "
+                             "BENCH_GATEWAY.json")
+    parser.add_argument("--no-write", action="store_true",
+                        help="run without touching BENCH_GATEWAY.json")
+    args = parser.parse_args()
+    run(smoke=args.smoke, write=not args.no_write)

@@ -77,7 +77,7 @@ from repro.service import (
 )
 from repro.simulator import Simulator
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisError",

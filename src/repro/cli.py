@@ -27,6 +27,11 @@ Subcommands:
   multi-tenant submission stream through the serving layer
   (:class:`~repro.service.UDCService`) and print per-tenant rollups,
   Jain's fairness index, and result-cache statistics;
+* ``udc gateway [--port P] [--cells N]`` — serve the control plane over
+  HTTP/1.1 + WebSocket (:class:`~repro.gateway.UDCGateway`): REST
+  submission, streaming lifecycle events, bounded worker pool, and
+  fair-share load shedding; ``--smoke`` runs an embedded closed-loop
+  load generator and exits (the CI smoke path);
 * ``udc lint [APP.json] --spec SPEC.json`` — statically analyze a
   definition (conflicts, feasibility vs the datacenter, DAG structure,
   information flow) without executing anything; ``--json`` emits a
@@ -605,6 +610,76 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_gateway(args) -> int:
+    """Serve the control plane over HTTP/1.1 + WebSocket.
+
+    Binds :class:`repro.gateway.UDCGateway` on ``--host``/``--port``
+    (port 0 picks an ephemeral port and prints it) over a fresh service
+    sharded into ``--cells`` placement cells.  ``--smoke`` runs an
+    embedded closed-loop load generator against the freshly started
+    server, prints its JSON report, optionally writes a Prometheus
+    metrics snapshot (``--metrics-out``), and shuts down — the CI
+    smoke path.  Without it the server runs until ``--duration``
+    elapses, SIGINT, or a ``POST /v1/shutdown``.
+    """
+    import asyncio
+
+    from repro.core.telemetry import Telemetry
+    from repro.gateway import GatewayConfig, UDCGateway
+
+    policy = (WeightedFairShare() if args.policy == "fair"
+              else FifoAdmission())
+    service = UDCService(
+        _build_dc(args), policy=policy, cells=args.cells,
+        telemetry=Telemetry(enabled=not args.no_telemetry),
+    )
+    config = GatewayConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_live=args.max_live, tick_sim_s=args.tick_sim_s,
+    )
+    gateway = UDCGateway(service, config)
+
+    async def run() -> int:
+        host, port = await gateway.start()
+        print(f"udc gateway listening on {host}:{port} "
+              f"({service.cells} cell(s), workers={config.workers}, "
+              f"max_live={config.max_live})", flush=True)
+        if args.smoke:
+            from repro.workloads.loadgen import run_closed_loop
+
+            report = await run_closed_loop(
+                host, port, tenants=args.smoke_tenants,
+                total=args.smoke_total,
+                duration_s=args.duration or 60.0,
+            )
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as out:
+                    out.write(gateway.metrics_text())
+            await gateway.shutdown()
+            json.dump(report.to_dict(), sys.stdout, indent=2,
+                      sort_keys=True)
+            print()
+            ok = report.completed > 0 and report.errors == 0
+            return 0 if ok else 2
+        if args.duration:
+            try:
+                await asyncio.wait_for(gateway.wait_closed(),
+                                       args.duration)
+            except asyncio.TimeoutError:
+                await gateway.shutdown()
+        else:
+            await gateway.wait_closed()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as out:
+                out.write(gateway.metrics_text())
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _replay_runner_for(args, config=None):
     """Build a ReplayRunner either from CLI args or a journal header."""
     from repro.replay import ReplayRunner, RunConfig
@@ -891,6 +966,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dc_args(serve_p)
     _add_cells_arg(serve_p)
     serve_p.set_defaults(handler=cmd_serve)
+
+    gateway_p = sub.add_parser(
+        "gateway",
+        help="serve the control plane over HTTP/1.1 + WebSocket",
+    )
+    gateway_p.add_argument("--host", default="127.0.0.1")
+    gateway_p.add_argument("--port", type=int, default=8080,
+                           help="listen port (0 picks an ephemeral port "
+                                "and prints it; default 8080)")
+    gateway_p.add_argument("--workers", type=int, default=64,
+                           help="bounded worker-pool size (default 64)")
+    gateway_p.add_argument("--max-live", type=int, default=512,
+                           help="live-submission watermark where fair-"
+                                "share load shedding engages "
+                                "(default 512)")
+    gateway_p.add_argument("--tick-sim-s", type=float, default=0.05,
+                           help="simulated seconds per engine tick "
+                                "(default 0.05)")
+    gateway_p.add_argument("--duration", type=float, default=None,
+                           help="shut down gracefully after this many "
+                                "real seconds (default: run until "
+                                "SIGINT or POST /v1/shutdown)")
+    gateway_p.add_argument("--no-telemetry", action="store_true",
+                           help="serve with telemetry disabled "
+                                "(fleet-scale throughput)")
+    gateway_p.add_argument("--policy", choices=("fair", "fifo"),
+                           default="fair",
+                           help="admission ordering (default fair)")
+    gateway_p.add_argument("--smoke", action="store_true",
+                           help="run an embedded closed-loop load "
+                                "generator, print its JSON report, and "
+                                "shut down (CI smoke path)")
+    gateway_p.add_argument("--smoke-tenants", type=int, default=50,
+                           help="smoke mode: concurrent tenants "
+                                "(default 50)")
+    gateway_p.add_argument("--smoke-total", type=int, default=200,
+                           help="smoke mode: completions to reach "
+                                "(default 200)")
+    gateway_p.add_argument("--metrics-out", default=None,
+                           help="write a Prometheus metrics snapshot "
+                                "here before exiting")
+    _add_dc_args(gateway_p)
+    _add_cells_arg(gateway_p)
+    gateway_p.set_defaults(handler=cmd_gateway)
 
     record_p = sub.add_parser(
         "record",

@@ -196,7 +196,13 @@ METRIC_HELP: Dict[str, str] = {
 #: these are not, so JSON snapshots embedded in run reports exclude them
 #: by default (``MetricsRegistry.to_dict``) to keep report bytes
 #: reproducible.  The Prometheus text rendering always includes them.
-WALL_CLOCK_METRICS = frozenset({"udc_placement_latency_seconds"})
+WALL_CLOCK_METRICS = frozenset({
+    "udc_placement_latency_seconds",
+    # Gateway families measure real network/event-loop time, which
+    # varies run to run like placement latency does.
+    "udc_gateway_request_seconds",
+    "udc_gateway_tick_seconds",
+})
 
 LabelKey = Tuple[Tuple[str, str], ...]
 

@@ -743,6 +743,27 @@ class UDCRuntime:
                 results.append(submission.result)
         return results
 
+    def collect(self, submission: Submission) -> RunResult:
+        """Settle and report one finished submission without draining.
+
+        The per-submission tail of :meth:`drain`: tears the submission
+        down, settles its meters at the current clock, and builds its
+        :class:`RunResult` — idempotent (an already-collected submission
+        returns its existing result), and safe mid-run because it only
+        touches the one submission's state.  A server that advances the
+        clock in timed ticks uses this to finalize completions as they
+        happen instead of waiting for quiescence.
+        """
+        if submission.result is None:
+            if not submission.done and submission.status != "unplaceable":
+                raise RuntimeError_(
+                    f"submission {submission.dag.name!r} is not finished "
+                    f"(status={submission.status!r}); collect() settles "
+                    f"finished submissions only"
+                )
+            submission.result = self._collect(submission)
+        return submission.result
+
     def _collect(self, submission: Submission) -> RunResult:
         if submission.status == "unplaceable":
             # Never deployed: an empty report that says so.

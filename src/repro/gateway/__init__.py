@@ -1,0 +1,38 @@
+"""The network front door: an asyncio gateway over :class:`UDCService`.
+
+The paper's user-defined cloud is a *service*: tenants hand the provider
+a declarative definition over the network and watch fulfillment live
+(§2).  This package puts a real protocol in front of the in-process
+serving layer:
+
+* **REST** — tenant registration, definition submission, result
+  retrieval (long-poll), metrics, health, graceful shutdown.
+* **WebSocket** — a streaming channel per connection: watch any of your
+  submissions and receive ordered status / span / metric / result
+  events as the control plane fulfills them.
+* **Bounded worker pool** — request handling is gated by a
+  :class:`~repro.gateway.limiter.CapacityLimiter`; the control plane is
+  driven by timed ``dispatch_round``/``drain`` ticks from one engine
+  task, so the discrete-event core stays single-threaded.
+* **Overload control** — beyond a configurable live-submission
+  watermark, the gateway sheds with ``429 Retry-After`` using the
+  service's weighted fair-share policy: tenants over their fair share
+  are shed first, tenants under it are still admitted.  Shed requests
+  consume no quota and no control-plane work.
+
+Everything is standard-library asyncio — no HTTP framework, no
+websocket dependency — so the gateway runs wherever the simulator does.
+"""
+
+from repro.gateway.limiter import CapacityLimiter
+from repro.gateway.server import GatewayConfig, UDCGateway
+from repro.gateway.client import GatewayClient, GatewayError, StreamSession
+
+__all__ = [
+    "CapacityLimiter",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "StreamSession",
+    "UDCGateway",
+]

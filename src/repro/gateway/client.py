@@ -1,0 +1,247 @@
+"""`GatewayClient`: an asyncio client for :class:`UDCGateway`.
+
+Speaks the same :mod:`repro.gateway.wire` codec the server does, over a
+bounded pool of keep-alive connections — thousands of concurrent
+logical callers (the load generator's simulated tenants) multiplex over
+a few dozen sockets, so a 10k-tenant run stays inside one process's
+file-descriptor budget.
+
+Errors travel as :class:`GatewayError` carrying the HTTP status and the
+decoded body; 429 responses also surface the server's ``Retry-After``
+hint as :attr:`GatewayError.retry_after_s` so closed-loop callers can
+back off by exactly what the gateway measured.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator, Dict, List, Optional, Tuple
+
+from repro.gateway.limiter import CapacityLimiter
+from repro.gateway.wire import (
+    HttpResponse,
+    WebSocketConnection,
+    WireError,
+    read_response,
+    write_request,
+)
+
+__all__ = ["GatewayClient", "GatewayError", "StreamSession"]
+
+
+class GatewayError(Exception):
+    """A non-2xx gateway response."""
+
+    def __init__(self, status: int, payload: Any,
+                 retry_after_s: Optional[float] = None):
+        self.status = status
+        self.payload = payload
+        self.retry_after_s = retry_after_s
+        detail = payload.get("error") if isinstance(payload, dict) else \
+            payload
+        super().__init__(f"gateway returned {status}: {detail}")
+
+
+class GatewayClient:
+    """Pooled keep-alive client; all methods are coroutine-safe."""
+
+    def __init__(self, host: str, port: int, *, pool_size: int = 32):
+        self.host = host
+        self.port = port
+        self._limiter = CapacityLimiter(pool_size)
+        self._idle: List[Tuple[asyncio.StreamReader,
+                               asyncio.StreamWriter]] = []
+        self._closed = False
+
+    # ----------------------------------------------------------- transport
+
+    async def _open(self) -> Tuple[asyncio.StreamReader,
+                                   asyncio.StreamWriter]:
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def _request(self, method: str, target: str,
+                       body: Any = None) -> HttpResponse:
+        if self._closed:
+            raise RuntimeError("client is closed")
+        async with self._limiter:
+            conn = self._idle.pop() if self._idle else None
+            fresh = conn is None
+            if conn is None:
+                conn = await self._open()
+            reader, writer = conn
+            try:
+                write_request(writer, method, target, body)
+                await writer.drain()
+                response = await read_response(reader)
+            except (WireError, ConnectionError, asyncio.IncompleteReadError):
+                writer.close()
+                if fresh:
+                    raise
+                # A pooled connection the server closed under us:
+                # retry once on a fresh socket.
+                reader, writer = await self._open()
+                try:
+                    write_request(writer, method, target, body)
+                    await writer.drain()
+                    response = await read_response(reader)
+                except BaseException:
+                    writer.close()
+                    raise
+            if response.headers.get("connection", "").lower() == "close" \
+                    or self._closed:
+                writer.close()
+            else:
+                self._idle.append((reader, writer))
+        return response
+
+    async def _json(self, method: str, target: str,
+                    body: Any = None) -> Any:
+        response = await self._request(method, target, body)
+        try:
+            payload = response.json()
+        except ValueError:
+            payload = response.body.decode("utf-8", "replace")
+        if response.status >= 400:
+            retry_after = response.headers.get("retry-after")
+            raise GatewayError(
+                response.status, payload,
+                retry_after_s=float(retry_after) if retry_after else None,
+            )
+        return payload
+
+    async def close(self) -> None:
+        self._closed = True
+        for _reader, writer in self._idle:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._idle.clear()
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ----------------------------------------------------------- endpoints
+
+    async def health(self) -> Dict[str, Any]:
+        return await self._json("GET", "/v1/healthz")
+
+    async def metrics_text(self) -> str:
+        response = await self._request("GET", "/v1/metrics")
+        if response.status >= 400:
+            raise GatewayError(response.status, response.json())
+        return response.body.decode("utf-8")
+
+    async def register_tenant(self, name: str, weight: float = 1.0,
+                              max_in_flight: Optional[int] = None,
+                              max_submissions: Optional[int] = None,
+                              ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"name": name, "weight": weight}
+        if max_in_flight is not None:
+            body["max_in_flight"] = max_in_flight
+        if max_submissions is not None:
+            body["max_submissions"] = max_submissions
+        return await self._json("POST", "/v1/tenants", body)
+
+    async def submit(self, tenant: str, app: Dict[str, Any],
+                     definition: Any = None,
+                     inputs: Optional[Dict[str, Any]] = None,
+                     ) -> Dict[str, Any]:
+        """Submit one definition; returns the acceptance (or, for a
+        cache hit, the finished result) payload.  ``app`` is the wire
+        app spec: ``{"archetype": ..., "tag": ...}`` or ``{"ir": ...}``.
+        """
+        body: Dict[str, Any] = {"tenant": tenant, "app": app}
+        if definition is not None:
+            body["definition"] = definition
+        if inputs is not None:
+            body["inputs"] = inputs
+        return await self._json("POST", "/v1/submissions", body)
+
+    async def result(self, seq: int, *, wait: bool = False,
+                     timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        target = f"/v1/submissions/{seq}"
+        if wait:
+            target += "?wait=1"
+            if timeout_s is not None:
+                target += f"&timeout_s={timeout_s}"
+        return await self._json("GET", target)
+
+    async def submit_and_wait(self, tenant: str, app: Dict[str, Any],
+                              definition: Any = None,
+                              inputs: Optional[Dict[str, Any]] = None,
+                              timeout_s: Optional[float] = None,
+                              ) -> Dict[str, Any]:
+        accepted = await self.submit(tenant, app, definition, inputs)
+        if accepted.get("done"):
+            return accepted  # cache hit: served inline
+        return await self.result(accepted["seq"], wait=True,
+                                 timeout_s=timeout_s)
+
+    async def shutdown_server(self) -> Dict[str, Any]:
+        return await self._json("POST", "/v1/shutdown")
+
+    async def stream(self) -> "StreamSession":
+        """Open one WebSocket streaming session (its own connection,
+        outside the pool — streams are long-lived)."""
+        reader, writer = await self._open()
+        write_request(writer, "GET", "/v1/stream", headers={
+            "upgrade": "websocket",
+            "connection": "Upgrade",
+            "sec-websocket-key": "dWRjLWdhdGV3YXktc3RyZWFt",
+            "sec-websocket-version": "13",
+        })
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        if b"101" not in head.split(b"\r\n", 1)[0]:
+            writer.close()
+            raise GatewayError(500, {"error": "upgrade-refused",
+                                     "head": head.decode("latin-1")})
+        return StreamSession(WebSocketConnection(reader, writer,
+                                                 mask_frames=True))
+
+
+class StreamSession:
+    """One upgraded streaming connection: watch submissions, read events."""
+
+    def __init__(self, ws: WebSocketConnection):
+        self._ws = ws
+
+    async def watch(self, seq: int) -> None:
+        await self._ws.send_json({"op": "watch", "seq": seq})
+
+    async def ping(self) -> None:
+        await self._ws.send_json({"op": "ping"})
+
+    async def next_event(self) -> Optional[Dict[str, Any]]:
+        """The next event, or None once the server closes the stream."""
+        event = await self._ws.recv_json()
+        if event is not None and not isinstance(event, dict):
+            raise WireError(f"unexpected stream payload: {event!r}")
+        return event
+
+    async def events_until_result(self, seq: int,
+                                  ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield events until (and including) ``seq``'s terminal result."""
+        while True:
+            event = await self.next_event()
+            if event is None:
+                return
+            yield event
+            if event.get("event") == "result" and event.get("seq") == seq:
+                return
+
+    async def close(self) -> None:
+        await self._ws.close()
+        self._ws.writer.close()
+        with contextlib.suppress(Exception):
+            await self._ws.writer.wait_closed()
+
+    async def __aenter__(self) -> "StreamSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

@@ -1,0 +1,102 @@
+"""A capacity limiter for asyncio, in the trio/anyio idiom.
+
+Bounds how many tasks may hold a token at once — the gateway uses one
+to cap concurrent request handling (the worker pool) without spawning
+worker tasks: handlers *borrow* capacity around the service call and
+give it back on the way out, so bursts queue at the front door instead
+of piling unbounded work onto the control plane.
+
+Differences from a bare :class:`asyncio.Semaphore`: the token count is
+introspectable (``borrowed_tokens`` / ``available_tokens`` feed the
+``udc_gateway_workers_*`` gauges), acquisition is FIFO-fair (waiters
+are woken in arrival order; a semaphore makes no ordering promise), and
+``total_tokens`` can be resized live.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+
+__all__ = ["CapacityLimiter"]
+
+
+class CapacityLimiter:
+    """``async with limiter:`` gates entry to a bounded section."""
+
+    def __init__(self, total_tokens: int):
+        if total_tokens < 1:
+            raise ValueError(
+                f"total_tokens must be >= 1, got {total_tokens}"
+            )
+        self._total_tokens = total_tokens
+        self._borrowed = 0
+        #: arrival-ordered waiters; OrderedDict so a cancelled waiter
+        #: can be removed in O(1) without disturbing the queue
+        self._waiters: "OrderedDict[object, asyncio.Future]" = OrderedDict()
+
+    @property
+    def total_tokens(self) -> int:
+        return self._total_tokens
+
+    @total_tokens.setter
+    def total_tokens(self, value: int) -> None:
+        if value < 1:
+            raise ValueError(f"total_tokens must be >= 1, got {value}")
+        self._total_tokens = value
+        self._wake_waiters()
+
+    @property
+    def borrowed_tokens(self) -> int:
+        return self._borrowed
+
+    @property
+    def available_tokens(self) -> int:
+        return max(self._total_tokens - self._borrowed, 0)
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def _wake_waiters(self) -> None:
+        while self._waiters and self._borrowed < self._total_tokens:
+            _, fut = self._waiters.popitem(last=False)
+            if not fut.done():
+                self._borrowed += 1
+                fut.set_result(None)
+
+    async def acquire(self) -> None:
+        if not self._waiters and self._borrowed < self._total_tokens:
+            self._borrowed += 1
+            return
+        key = object()
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters[key] = fut
+        try:
+            await fut
+        except asyncio.CancelledError:
+            if fut.done() and fut.exception() is None:
+                # Granted and cancelled in the same tick: give it back.
+                self._borrowed -= 1
+                self._wake_waiters()
+            self._waiters.pop(key, None)
+            raise
+
+    def release(self) -> None:
+        if self._borrowed <= 0:
+            raise RuntimeError("release() without a borrowed token")
+        self._borrowed -= 1
+        self._wake_waiters()
+
+    async def __aenter__(self) -> "CapacityLimiter":
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityLimiter(borrowed={self._borrowed}/"
+            f"{self._total_tokens}, waiting={len(self._waiters)})"
+        )

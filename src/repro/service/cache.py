@@ -38,6 +38,7 @@ __all__ = [
     "dag_fingerprint",
     "definition_fingerprint",
     "inputs_fingerprint",
+    "requires_tenant_scope",
 ]
 
 
@@ -74,13 +75,13 @@ def dag_fingerprint(dag: ModuleDAG, include_identity: bool = True) -> Tuple:
                 "task", name, module.work,
                 tuple(sorted(d.value for d in module.device_candidates)),
                 module.output_bytes, module.state_bytes,
-                module.max_parallelism,
+                module.max_parallelism, module.sanitizer,
                 module.code_hash if include_identity else "",
             ))
         else:
             modules.append((
                 "data", name, module.size_gb, module.record_bytes,
-                module.hot,
+                module.hot, module.sensitivity,
             ))
     edges = tuple(sorted(
         (e.src, e.dst, e.bytes_transferred) for e in dag.edges
@@ -121,6 +122,22 @@ def inputs_fingerprint(inputs: Optional[Dict[str, Any]]) -> Tuple:
     return _canon(inputs or {})
 
 
+def requires_tenant_scope(dag: ModuleDAG) -> bool:
+    """True when the app carries any non-``public`` sensitivity label.
+
+    Such an app's outputs are information-flow sensitive (the C4 story:
+    ``public < anonymized < phi``), so its cached results must never be
+    served across tenants — one tenant's PHI report is not another's,
+    even for byte-identical submissions.  Unlabeled and ``public``-only
+    apps keep sharing cache entries: their results are, by declaration,
+    not tenant-confidential.
+    """
+    return any(
+        getattr(module, "sensitivity", None) not in (None, "public")
+        for module in dag.modules.values()
+    )
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -146,8 +163,27 @@ class ResultCache:
         self.stats = CacheStats()
 
     @staticmethod
-    def key(dag: ModuleDAG, definition, inputs: Optional[Dict[str, Any]]) -> Tuple:
+    def key(
+        dag: ModuleDAG,
+        definition,
+        inputs: Optional[Dict[str, Any]],
+        tenant: Optional[str] = None,
+    ) -> Tuple:
+        """Cache key, tenant-scoped when the app is sensitivity-labeled.
+
+        Entries for apps carrying any non-``public`` sensitivity label
+        are scoped to the submitting tenant (no cross-tenant hits);
+        public-only apps share one entry across tenants.  ``tenant=None``
+        preserves the historical unscoped key for callers outside the
+        serving layer.
+        """
+        scope = (
+            ("tenant", tenant)
+            if tenant is not None and requires_tenant_scope(dag)
+            else ("shared",)
+        )
         return (
+            scope,
             dag_fingerprint(dag, include_identity=True),
             definition_fingerprint(definition),
             inputs_fingerprint(inputs),

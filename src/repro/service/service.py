@@ -216,9 +216,21 @@ class UDCService:
         self.ledger = TenantLedger()
         self.tenants: Dict[str, Tenant] = {}
         self._handles: List[SubmissionHandle] = []
+        #: executed (non-cached) handles not yet finalized, in submit
+        #: order — what drain walks, so a tick costs O(open work), not
+        #: O(every handle the service ever made)
+        self._open: List[SubmissionHandle] = []
         self._pending: List[SubmissionHandle] = []
         self._seq = itertools.count()
         self.rounds = 0
+        #: incremental per-tenant live-submission counters (see
+        #: :meth:`in_flight`); maintained at submit / finalize so the
+        #: per-submit quota check never scans the full handle history
+        self._live_counts: Dict[str, int] = {}
+        #: memoized lint verdicts (same LRU machinery as the result
+        #: cache) so repeated shapes re-emit their diagnostics without
+        #: re-running the analyzer — a cache hit must still lint
+        self._lint_memo = ResultCache(admission_memo_capacity)
 
     @staticmethod
     def _build_cell_runtimes(
@@ -291,7 +303,19 @@ class UDCService:
         return self.tenants[tenant]
 
     def in_flight(self, tenant: str) -> int:
-        """Submissions currently occupying one of the tenant's slots."""
+        """Submissions currently occupying one of the tenant's slots.
+
+        Served from incremental per-tenant counters (incremented on
+        accepted submits, decremented when a handle is finalized) —
+        previously this scanned every handle ever created, making each
+        submit O(lifetime submissions) on a long-lived service.  The
+        reference scan survives as :meth:`_in_flight_scan`; tests assert
+        the two stay equivalent.
+        """
+        return self._live_counts.get(tenant, 0)
+
+    def _in_flight_scan(self, tenant: str) -> int:
+        """Reference implementation of :meth:`in_flight` (full scan)."""
         return sum(
             1 for handle in self._handles
             if handle.tenant == tenant and handle.status in _LIVE_STATES
@@ -320,9 +344,17 @@ class UDCService:
         handle = SubmissionHandle(tenant=name, app=app.name,
                                   seq=next(self._seq))
         if self.cache.capacity > 0:
-            key = ResultCache.key(app, definition, inputs)
+            # Sensitivity-labeled apps key by tenant: tenant A's cached
+            # PHI result must never answer tenant B's submission.
+            key = ResultCache.key(app, definition, inputs, tenant=name)
             cached = self.cache.get(key)
             if cached is not None:
+                # A hit short-circuits placement, not policy: the result
+                # may have been cached under a differently-configured
+                # service, so a linting service still lints before
+                # serving (memoized — repeats stay cheap).
+                if self.lint:
+                    self._lint(name, app, definition)
                 # Served without consuming capacity: no quota charge.
                 handle.cached = True
                 handle.result = cached
@@ -346,6 +378,8 @@ class UDCService:
         record.submitted += 1
         self.ledger.record_submission(name)
         self._handles.append(handle)
+        self._open.append(handle)
+        self._live_counts[name] = self._live_counts.get(name, 0) + 1
         pending = _PendingWork(handle, app, definition, inputs)
         if self.batched:
             self._pending.append(pending)
@@ -363,13 +397,27 @@ class UDCService:
         """
         # Imported here: repro.analysis imports service types at load.
         from repro.analysis import AnalysisError, analyze_definition
+        from repro.service.cache import (
+            dag_fingerprint,
+            definition_fingerprint,
+        )
 
         labels = {"tenant": tenant}
         self.telemetry.inc("udc_lint_checks_total", labels=labels)
-        report = analyze_definition(
-            definition if definition is not None else {},
-            app=app, datacenter=self.runtime.datacenter,
-        )
+        # Memoized on the same structural fingerprints as the result
+        # cache (labels included): a repeated shape re-emits the same
+        # metrics and verdict without re-running the analyzer.  The
+        # report is a pure function of (app, definition, datacenter),
+        # so replaying it is byte-identical to re-deriving it.
+        memo_key = (dag_fingerprint(app, include_identity=True),
+                    definition_fingerprint(definition))
+        report = self._lint_memo.get(memo_key)
+        if report is None:
+            report = analyze_definition(
+                definition if definition is not None else {},
+                app=app, datacenter=self.runtime.datacenter,
+            )
+            self._lint_memo.put(memo_key, report)
         for diag in report:
             self.telemetry.inc(
                 "udc_lint_findings_total",
@@ -478,16 +526,25 @@ class UDCService:
     def drain(self, until: Optional[float] = None) -> List[SubmissionHandle]:
         """Dispatch anything buffered and run the clock.
 
-        With ``until`` the clock stops early (statuses update, results
-        wait); without it the runtime drains to quiescence and every
-        newly finished handle is finalized — results collected, tenant
-        ledger and metrics updated, the result cache fed.  Returns the
-        handles finalized by this call.
+        With ``until`` the clock stops early, but handles whose
+        submissions *did* finish by then are finalized — results
+        collected, tenant ledger and metrics updated, the result cache
+        fed — and returned, exactly as a full drain would have done for
+        them.  (Previously a timed drain returned ``[]`` without
+        finalizing anything, so a server taking only timed drain ticks
+        — the gateway — lagged arbitrarily behind its own completions.)
+        Submissions still parked in the admission queue stay parked: a
+        timed drain is a tick, not a verdict on placeability.
+
+        Without ``until`` the runtime drains to quiescence, queued
+        submissions that never fit are marked unplaceable, and every
+        newly finished handle is finalized.  Returns the handles
+        finalized by this call.
         """
         self.dispatch_round()
         if until is not None:
             self.runtime.sim.run(until=until)
-            return []
+            return self._finalize_finished(partial=True)
         # Cell runtimes share one simulator: the first drain runs it to
         # quiescence (all cells' executions and admission retries fire),
         # the rest just collect their own results / mark their own
@@ -495,20 +552,48 @@ class UDCService:
         # walk is deterministic.
         for cell_runtime in self.cell_runtimes:
             cell_runtime.drain()
+        return self._finalize_finished(partial=False)
+
+    def _finalize_finished(self, partial: bool) -> List[SubmissionHandle]:
+        """Finalize every handle whose submission has a result to give.
+
+        On a partial (timed) drain, finished submissions are collected
+        from their owning cell runtime first — settling their meters and
+        building their reports at completion time instead of waiting for
+        a quiescent drain that a long-lived server may never issue.
+
+        Walks only the open (not-yet-finalized) handles and rebuilds
+        that list in place, so a drain tick on a long-lived server costs
+        O(open submissions), not O(every handle ever created).
+        """
         finished: List[SubmissionHandle] = []
-        for handle in self._handles:
-            if handle.cached or handle.result is not None:
+        still_open: List[SubmissionHandle] = []
+        for handle in self._open:
+            if handle.result is not None:
                 continue
             submission = handle.submission
-            if submission is None or submission.result is None:
+            if submission is None or (submission.result is None
+                                      and not (partial and submission.done)):
+                still_open.append(handle)
                 continue
+            if submission.result is None:
+                cell = handle.cell if handle.cell is not None else 0
+                self.cell_runtimes[cell].collect(submission)
             self._finalize(handle)
             finished.append(handle)
+        self._open = still_open
         return finished
 
     def _finalize(self, handle: SubmissionHandle) -> None:
         submission = handle.submission
         handle.result = submission.result
+        # The handle leaves the live set exactly once, here: finalize is
+        # guarded by ``handle.result is None`` at every call site.
+        count = self._live_counts.get(handle.tenant, 0) - 1
+        if count > 0:
+            self._live_counts[handle.tenant] = count
+        else:
+            self._live_counts.pop(handle.tenant, None)
         labels = {"tenant": handle.tenant}
         if submission.status == "unplaceable":
             self.ledger.record_unplaceable(handle.tenant)
@@ -533,6 +618,21 @@ class UDCService:
     def cells(self) -> int:
         """Number of placement cells this service shards across."""
         return len(self.cell_runtimes)
+
+    @property
+    def open_count(self) -> int:
+        """Executed submissions accepted but not yet finalized."""
+        return len(self._open)
+
+    @property
+    def pending_count(self) -> int:
+        """Submissions buffered for the next dispatch round."""
+        return len(self._pending)
+
+    @property
+    def live_count(self) -> int:
+        """Total live submissions across tenants (quota-occupying)."""
+        return sum(self._live_counts.values())
 
     def fail_at(self, when: float, domain: str) -> None:
         """Schedule a failure-domain fault, routed to the owning cell.

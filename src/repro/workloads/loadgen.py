@@ -1,0 +1,347 @@
+"""Closed- and open-loop load generation against a running gateway.
+
+Two canonical load shapes from the measurement literature:
+
+* **Closed loop** — each simulated tenant runs think-submit-wait: a new
+  request only enters after the previous one finishes (or is shed and
+  backed off).  Offered load self-regulates to service capacity, so the
+  closed loop measures *capacity and fairness* — per-tenant completion
+  counts feed Jain's index.
+* **Open loop** — arrivals fire at a fixed rate regardless of
+  completions, the shape that exposes overload: when offered rate
+  exceeds capacity, queues (and latency) grow without bound unless the
+  server sheds.  The open loop measures *latency under overload* and
+  how well shedding holds goodput.
+
+Thousands of logical tenants multiplex over one
+:class:`~repro.gateway.client.GatewayClient` connection pool, so a
+10k-tenant run uses a few dozen sockets, not 10k.
+
+Run standalone::
+
+    python -m repro.workloads.loadgen --port 8080 --mode closed \
+        --tenants 1000 --total 3000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.economics.tenants import jain_index
+from repro.gateway.client import GatewayClient, GatewayError
+
+__all__ = [
+    "LoadReport",
+    "percentile",
+    "run_closed_loop",
+    "run_open_loop",
+]
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample set."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(int(q / 100.0 * len(ordered)), len(ordered) - 1)
+    return ordered[rank]
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load-generation run."""
+
+    mode: str
+    tenants: int
+    completed: int = 0
+    cached: int = 0
+    shed: int = 0
+    quota_rejected: int = 0
+    errors: int = 0
+    dropped: int = 0
+    duration_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    per_tenant_completed: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def goodput_per_s(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def jain(self) -> float:
+        """Fairness over per-tenant completions, zero-filled so a tenant
+        the gateway starved entirely still drags the index down."""
+        return jain_index(
+            float(self.per_tenant_completed.get(f"lg-{i}", 0))
+            for i in range(self.tenants)
+        )
+
+    def to_dict(self, include_latencies: bool = False) -> Dict:
+        body = {
+            "mode": self.mode,
+            "tenants": self.tenants,
+            "completed": self.completed,
+            "cached": self.cached,
+            "shed": self.shed,
+            "quota_rejected": self.quota_rejected,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "duration_s": round(self.duration_s, 4),
+            "goodput_per_s": round(self.goodput_per_s, 2),
+            "jain": round(self.jain, 4),
+            "latency_s": {
+                "count": len(self.latencies_s),
+                "mean": (sum(self.latencies_s) / len(self.latencies_s)
+                         if self.latencies_s else 0.0),
+                "p50": percentile(self.latencies_s, 50),
+                "p90": percentile(self.latencies_s, 90),
+                "p99": percentile(self.latencies_s, 99),
+            },
+        }
+        if include_latencies:
+            body["latencies_s"] = list(self.latencies_s)
+        return body
+
+
+def _tenant_name(index: int) -> str:
+    return f"lg-{index}"
+
+
+async def run_closed_loop(
+    host: str,
+    port: int,
+    *,
+    tenants: int = 100,
+    total: int = 300,
+    duration_s: float = 60.0,
+    archetype: str = "tiny",
+    pool_size: int = 128,
+    wait_timeout_s: float = 5.0,
+    register: bool = True,
+    unique_inputs: bool = True,
+    tag_variety: int = 32,
+) -> LoadReport:
+    """Drive ``tenants`` concurrent think-submit-wait loops until
+    ``total`` submissions complete or ``duration_s`` elapses.
+
+    A 429 (shed or over-quota) backs the tenant off by the server's
+    Retry-After hint, consuming no quota — the loop just retries later.
+    ``unique_inputs`` perturbs each submission's inputs so the run
+    measures executed work rather than result-cache hits; app tags
+    cycle over ``tag_variety`` variants so the gateway's DAG cache
+    works at any tenant count.
+    """
+    report = LoadReport(mode="closed", tenants=tenants)
+    done_counts: Dict[str, int] = {}
+    deadline = time.monotonic() + duration_s
+    stop = asyncio.Event()
+
+    async with GatewayClient(host, port, pool_size=pool_size) as client:
+        if register:
+            # Registration batches through the same pool.
+            await asyncio.gather(*(
+                client.register_tenant(_tenant_name(i))
+                for i in range(tenants)
+            ))
+
+        async def tenant_loop(index: int) -> None:
+            name = _tenant_name(index)
+            app = {"archetype": archetype,
+                   "tag": str(index % tag_variety)}
+            iteration = 0
+            while not stop.is_set() and time.monotonic() < deadline:
+                iteration += 1
+                inputs = ({"iter": iteration, "tenant": name}
+                          if unique_inputs else None)
+                start = time.monotonic()
+                try:
+                    outcome = await client.submit_and_wait(
+                        name, app, inputs=inputs,
+                        timeout_s=wait_timeout_s,
+                    )
+                    while not outcome.get("done"):
+                        if stop.is_set() or time.monotonic() > deadline:
+                            return
+                        outcome = await client.result(
+                            outcome["seq"], wait=True,
+                            timeout_s=wait_timeout_s,
+                        )
+                except GatewayError as exc:
+                    if exc.status == 429:
+                        payload = exc.payload or {}
+                        if payload.get("error") == "quota-exceeded":
+                            report.quota_rejected += 1
+                        else:
+                            report.shed += 1
+                        await asyncio.sleep(exc.retry_after_s or 0.2)
+                        continue
+                    if exc.status == 503:
+                        return  # server draining: the run is over
+                    report.errors += 1
+                    continue
+                except (ConnectionError, asyncio.IncompleteReadError,
+                        OSError):
+                    report.errors += 1
+                    return
+                report.latencies_s.append(time.monotonic() - start)
+                if outcome.get("cached"):
+                    report.cached += 1
+                report.completed += 1
+                done_counts[name] = done_counts.get(name, 0) + 1
+                if report.completed >= total:
+                    stop.set()
+
+        started = time.monotonic()
+        await asyncio.gather(*(tenant_loop(i) for i in range(tenants)))
+        report.duration_s = time.monotonic() - started
+    report.per_tenant_completed = done_counts
+    return report
+
+
+async def run_open_loop(
+    host: str,
+    port: int,
+    *,
+    rate_per_s: float = 500.0,
+    duration_s: float = 10.0,
+    tenants: int = 100,
+    archetype: str = "tiny",
+    pool_size: int = 128,
+    wait_timeout_s: float = 10.0,
+    max_outstanding: int = 20_000,
+    register: bool = True,
+    tag_variety: int = 32,
+) -> LoadReport:
+    """Fire submissions at ``rate_per_s`` regardless of completions.
+
+    Each arrival round-robins across ``tenants`` names and, when
+    accepted, waits for its result in the background; latency is
+    submit-to-result.  Arrivals beyond ``max_outstanding`` unfinished
+    requests are counted ``dropped`` instead of spawned, bounding
+    memory when the server is far behind the offered rate.
+    """
+    report = LoadReport(mode="open", tenants=tenants)
+    done_counts: Dict[str, int] = {}
+    outstanding = 0
+    tasks: List[asyncio.Task] = []
+
+    async with GatewayClient(host, port, pool_size=pool_size) as client:
+        if register:
+            await asyncio.gather(*(
+                client.register_tenant(_tenant_name(i))
+                for i in range(tenants)
+            ))
+
+        async def one_arrival(index: int) -> None:
+            nonlocal outstanding
+            name = _tenant_name(index % tenants)
+            app = {"archetype": archetype,
+                   "tag": str(index % tag_variety)}
+            start = time.monotonic()
+            try:
+                outcome = await client.submit_and_wait(
+                    name, app, inputs={"iter": index, "tenant": name},
+                    timeout_s=wait_timeout_s,
+                )
+                while not outcome.get("done"):
+                    outcome = await client.result(
+                        outcome["seq"], wait=True, timeout_s=wait_timeout_s,
+                    )
+            except GatewayError as exc:
+                if exc.status == 429:
+                    payload = exc.payload or {}
+                    if payload.get("error") == "quota-exceeded":
+                        report.quota_rejected += 1
+                    else:
+                        report.shed += 1
+                else:
+                    report.errors += 1
+                return
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                report.errors += 1
+                return
+            finally:
+                outstanding -= 1
+            report.latencies_s.append(time.monotonic() - start)
+            if outcome.get("cached"):
+                report.cached += 1
+            report.completed += 1
+            done_counts[name] = done_counts.get(name, 0) + 1
+
+        started = time.monotonic()
+        interval = 1.0 / rate_per_s if rate_per_s > 0 else 0.0
+        index = 0
+        while (now := time.monotonic()) - started < duration_s:
+            # Spawn every arrival due since the last wakeup in one burst;
+            # yielding per arrival would let a busy event loop throttle
+            # the generator into a de-facto closed loop.
+            due = (int((now - started) * rate_per_s) + 1 - index
+                   if interval else 1)
+            for _ in range(max(due, 1)):
+                if outstanding >= max_outstanding:
+                    report.dropped += 1
+                else:
+                    outstanding += 1
+                    tasks.append(asyncio.create_task(one_arrival(index)))
+                index += 1
+            next_fire = started + index * interval
+            await asyncio.sleep(max(next_fire - time.monotonic(), 0))
+        if tasks:
+            await asyncio.gather(*tasks)
+        report.duration_s = time.monotonic() - started
+    report.per_tenant_completed = done_counts
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.loadgen",
+        description="Generate closed- or open-loop load against a "
+                    "running udc gateway and print a JSON report.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    parser.add_argument("--tenants", type=int, default=100)
+    parser.add_argument("--total", type=int, default=300,
+                        help="closed loop: stop after this many "
+                             "completions")
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="wall-clock budget (closed) or run length "
+                             "(open), seconds")
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="open loop: offered submissions per second")
+    parser.add_argument("--archetype", default="tiny")
+    parser.add_argument("--pool", type=int, default=128,
+                        help="client connection-pool size")
+    parser.add_argument("--no-register", action="store_true",
+                        help="skip tenant registration (already done)")
+    args = parser.parse_args(argv)
+
+    if args.mode == "closed":
+        report = asyncio.run(run_closed_loop(
+            args.host, args.port, tenants=args.tenants, total=args.total,
+            duration_s=args.duration, archetype=args.archetype,
+            pool_size=args.pool, register=not args.no_register,
+        ))
+    else:
+        report = asyncio.run(run_open_loop(
+            args.host, args.port, rate_per_s=args.rate,
+            duration_s=args.duration, tenants=args.tenants,
+            archetype=args.archetype, pool_size=args.pool,
+            register=not args.no_register,
+        ))
+    json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0 if report.errors == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
