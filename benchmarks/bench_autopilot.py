@@ -1,0 +1,289 @@
+"""Autopilot bench — the spot/firm cost frontier and forecast warm pools.
+
+Two experiments back the economic-autopilot claims (C7, C10):
+
+1. **Spot-vs-firm frontier** — the same diurnal tenant trace is served
+   with a growing fraction of tenants on the preemptible spot tier
+   (``goal="cheapest"``, billed at the spot multiplier, evictable for
+   firm work).  Gates, at the chosen operating point: blended billed
+   cost drops by at least 20% versus the all-firm baseline, while the
+   SLO-miss *rate* rises by at most 5 percentage points.
+2. **Forecast-driven vs. static warm pools** — a repeating diurnal
+   demand pattern is offered to two :class:`~repro.execenv.warmpool
+   .WarmPool` instances: one at the flat default depth, one sized per
+   window by :class:`~repro.economics.autopilot.WarmPoolForecaster`.
+   "Equal pooled capacity" means the forecast pool's time-averaged
+   provisioned shelf depth may not exceed the static pool's flat depth;
+   under that constraint the static pool must suffer at least 1.5x the
+   cold-start misses.
+
+Results land in ``BENCH_AUTOPILOT.json`` at the repo root; ``--smoke``
+runs a CI-scale frontier without rewriting it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.telemetry import Telemetry
+from repro.economics.autopilot import SPOT_PLAN, WarmPoolForecaster
+from repro.execenv.environments import EnvKind
+from repro.execenv.warmpool import WarmPool
+from repro.hardware.devices import DeviceType
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.service import (
+    BudgetExceeded,
+    TenantSpec,
+    UDCService,
+    WeightedFairShare,
+)
+from repro.workloads.tenants import (
+    default_tenant_profiles,
+    generate_tenant_trace,
+)
+
+try:
+    from _util import print_table
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _util import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_AUTOPILOT.json"
+
+SPEC = DatacenterSpec(
+    pods=1, racks_per_pod=4,
+    devices_per_rack={DeviceType.CPU: 16, DeviceType.GPU: 4,
+                      DeviceType.DRAM: 4, DeviceType.SSD: 4},
+)
+
+#: (tenants, minutes, peak submissions/min/tenant)
+FULL_SCALE = (8, 40.0, 0.6)
+SMOKE_SCALE = (4, 12.0, 0.6)
+
+SPOT_FRACTIONS = (0.0, 0.25, 0.5, 0.75)
+#: the frontier operating point the gates are evaluated at
+OPERATING_POINT = 0.75
+COST_REDUCTION_FLOOR = 0.20
+#: SLO-miss rate may rise by at most this many percentage points
+MISS_RATE_CEILING = 0.05
+
+#: per-day warm-demand pattern (one entry per window; mean 1.875, just
+#: under the static pool's flat depth of 2, so the forecaster's warm-up
+#: transient cannot push its average provisioned depth past static's)
+DIURNAL_DEMAND = (0, 0, 1, 2, 4, 6, 1, 1)
+WINDOW_S = 3600.0
+WARM_DAYS = 6
+STATIC_DEPTH = 2
+MISS_RATIO_FLOOR = 1.5
+
+
+# ------------------------------------------------------- spot frontier
+
+
+def _serve_trace(tenants: int, minutes: float, rate: float,
+                 spot_fraction: float, seed: int = 0) -> dict:
+    """Serve one diurnal trace; returns the economic rollup."""
+    profiles = default_tenant_profiles(count=tenants, seed=seed)
+    trace = generate_tenant_trace(
+        profiles, peak_rate_per_minute=rate, horizon_s=minutes * 60.0,
+        repeat_fraction=0.25, seed=seed,
+    )
+    service = UDCService(build_datacenter(SPEC),
+                         policy=WeightedFairShare(), autopilot=True,
+                         telemetry=Telemetry(enabled=False))
+    spot_count = int(round(spot_fraction * len(profiles)))
+    for index, profile in enumerate(profiles):
+        service.register_tenant(profile.name, TenantSpec(
+            weight=profile.weight,
+            goal="cheapest" if index < spot_count else None,
+            slo_s=120.0,
+        ))
+    for index, arrival in enumerate(trace.submissions, start=1):
+        try:
+            service.submit(arrival.tenant, arrival.dag,
+                           arrival.definition, inputs=arrival.inputs)
+        except BudgetExceeded:
+            pass
+        if index % 8 == 0:
+            service.drain()
+    service.drain()
+    rollups = service.rollup()
+    completed = sum(u.completed for u in rollups)
+    misses = sum(u.slo_misses for u in rollups)
+    return {
+        "spot_fraction": spot_fraction,
+        "spot_tenants": spot_count,
+        "completed": completed,
+        "metered_cost": round(sum(u.total_cost for u in rollups), 6),
+        "billed_cost": round(sum(u.billed_cost for u in rollups), 6),
+        "slo_misses": misses,
+        "miss_rate": round(misses / completed, 6) if completed else 0.0,
+        "preemptions": service.preemptions,
+        "accounting_drift": service.check_budget_accounting(),
+    }
+
+
+def _run_frontier(smoke: bool) -> dict:
+    tenants, minutes, rate = SMOKE_SCALE if smoke else FULL_SCALE
+    points = [_serve_trace(tenants, minutes, rate, fraction)
+              for fraction in SPOT_FRACTIONS]
+    baseline = points[0]
+    chosen = next(p for p in points
+                  if p["spot_fraction"] == OPERATING_POINT)
+    reduction = 1.0 - chosen["billed_cost"] / baseline["billed_cost"]
+    miss_delta = chosen["miss_rate"] - baseline["miss_rate"]
+    gates = {
+        "cost_reduction": round(reduction, 4),
+        "cost_reduction_floor": COST_REDUCTION_FLOOR,
+        "cost_ok": reduction >= COST_REDUCTION_FLOOR,
+        "miss_rate_delta": round(miss_delta, 4),
+        "miss_rate_ceiling": MISS_RATE_CEILING,
+        "miss_ok": miss_delta <= MISS_RATE_CEILING,
+        "drift": [line for p in points for line in p["accounting_drift"]],
+    }
+    print_table(
+        "spot-vs-firm frontier (diurnal trace, autopilot on)",
+        ["spot frac", "spot", "done", "metered $", "billed $",
+         "slo miss", "preempt"],
+        [[p["spot_fraction"], p["spot_tenants"], p["completed"],
+          p["metered_cost"], p["billed_cost"], p["slo_misses"],
+          p["preemptions"]] for p in points],
+    )
+    print(f"\nfrontier @ spot={OPERATING_POINT} "
+          f"(spot bills {SPOT_PLAN.multiplier}x): "
+          f"blended cost -{gates['cost_reduction']:.1%} "
+          f"(floor {COST_REDUCTION_FLOOR:.0%}): {gates['cost_ok']}; "
+          f"miss-rate delta {gates['miss_rate_delta']:+.2%} "
+          f"(ceiling {MISS_RATE_CEILING:.0%}): {gates['miss_ok']}")
+    return {"points": points, "gates": gates}
+
+
+# ------------------------------------------------------- warm forecast
+
+
+def _drive_pool(pool: WarmPool,
+                forecaster: WarmPoolForecaster = None) -> dict:
+    """Offer the diurnal demand pattern; returns miss/capacity stats."""
+    kind = EnvKind.CONTAINER
+    pool.prewarm(kind, False, 0)  # register the shelf; stocks nothing
+    if forecaster is not None:
+        pool.observer = forecaster.observe
+    provisioned = 0
+    windows = 0
+    for day in range(WARM_DAYS):
+        for slot, demand in enumerate(DIURNAL_DEMAND):
+            now = (day * len(DIURNAL_DEMAND) + slot) * WINDOW_S
+            if forecaster is not None:
+                forecaster.roll(now)
+                pool.set_target(kind, False,
+                                forecaster.target_for(kind, False))
+            provisioned += pool.target_for(kind, False)
+            windows += 1
+            pool.refill()
+            for _ in range(demand):
+                pool.try_acquire(kind, False)
+    return {
+        "misses": pool.stats.misses,
+        "hits": pool.stats.hits,
+        "prewarmed": pool.stats.prewarmed,
+        "avg_provisioned_depth": round(provisioned / windows, 4),
+    }
+
+
+def _run_warm_pools() -> dict:
+    static = _drive_pool(WarmPool(target_depth=STATIC_DEPTH))
+    forecaster = WarmPoolForecaster(
+        window_s=WINDOW_S, day_s=len(DIURNAL_DEMAND) * WINDOW_S,
+        safety=1.0, min_depth=0, max_depth=16,
+    )
+    forecast = _drive_pool(WarmPool(target_depth=0),
+                           forecaster=forecaster)
+    ratio = static["misses"] / max(1, forecast["misses"])
+    gates = {
+        "static_misses": static["misses"],
+        "forecast_misses": forecast["misses"],
+        "miss_ratio": round(ratio, 4),
+        "miss_ratio_floor": MISS_RATIO_FLOOR,
+        "miss_ok": static["misses"] >= MISS_RATIO_FLOOR
+        * max(1, forecast["misses"]),
+        "capacity_ok": (forecast["avg_provisioned_depth"]
+                        <= STATIC_DEPTH + 1e-9),
+    }
+    print_table(
+        f"warm pools over {WARM_DAYS} diurnal days "
+        f"(demand {list(DIURNAL_DEMAND)}/window)",
+        ["policy", "misses", "hits", "prewarmed", "avg depth"],
+        [["static depth=2", static["misses"], static["hits"],
+          static["prewarmed"], static["avg_provisioned_depth"]],
+         ["forecast", forecast["misses"], forecast["hits"],
+          forecast["prewarmed"], forecast["avg_provisioned_depth"]]],
+    )
+    print(f"\nwarm pools: static/forecast miss ratio "
+          f"{gates['miss_ratio']} >= {MISS_RATIO_FLOOR}: "
+          f"{gates['miss_ok']}; equal capacity "
+          f"(forecast avg depth {forecast['avg_provisioned_depth']} <= "
+          f"{STATIC_DEPTH}): {gates['capacity_ok']}")
+    return {"static": static, "forecast": forecast, "gates": gates}
+
+
+# --------------------------------------------------------------- runner
+
+
+def run(smoke: bool = False, write: bool = True) -> dict:
+    frontier = _run_frontier(smoke)
+    warm = _run_warm_pools()
+    payload = {
+        "scale": "smoke" if smoke else "full",
+        "spot_frontier": frontier,
+        "warm_pools": warm,
+    }
+    if write and not smoke:
+        RESULT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {RESULT_PATH}")
+
+    fgates, wgates = frontier["gates"], warm["gates"]
+    assert not fgates["drift"], (
+        f"budget/ledger accounting drift: {fgates['drift']}"
+    )
+    assert fgates["cost_ok"], (
+        f"blended cost reduction {fgates['cost_reduction']:.1%} under "
+        f"the {COST_REDUCTION_FLOOR:.0%} floor"
+    )
+    assert fgates["miss_ok"], (
+        f"SLO-miss rate rose {fgates['miss_rate_delta']:+.2%}, over "
+        f"the {MISS_RATE_CEILING:.0%} ceiling"
+    )
+    assert wgates["capacity_ok"], (
+        "forecast pool provisioned more average depth than static"
+    )
+    assert wgates["miss_ok"], (
+        f"static/forecast miss ratio {wgates['miss_ratio']} under "
+        f"the {MISS_RATIO_FLOOR}x floor"
+    )
+    return payload
+
+
+# ------------------------------------------------------------ pytest hook
+
+
+def test_autopilot_bench_smoke():
+    """CI-scale frontier + full warm-pool comparison, same gates."""
+    run(smoke=True, write=False)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI scale; does not rewrite "
+                             "BENCH_AUTOPILOT.json")
+    parser.add_argument("--no-write", action="store_true",
+                        help="run without touching BENCH_AUTOPILOT.json")
+    args = parser.parse_args()
+    run(smoke=args.smoke, write=not args.no_write)

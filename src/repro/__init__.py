@@ -66,18 +66,24 @@ from repro.replay import (
     first_divergence,
     read_journal,
 )
+from repro.economics import PricingPlan
 from repro.service import (
+    BudgetExceeded,
     QuotaExceeded,
     ResultNotReady,
     SubmissionHandle,
+    SubmitOptions,
     Tenant,
     TenantQuota,
+    TenantSpec,
     UDCService,
     WeightedFairShare,
+    submit_options,
+    tenant_spec,
 )
 from repro.simulator import Simulator
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisError",
@@ -85,6 +91,7 @@ __all__ = [
     "AppBuilder",
     "AspectBuilder",
     "AspectBundle",
+    "BudgetExceeded",
     "ConflictPolicy",
     "Datacenter",
     "DatacenterSpec",
@@ -95,6 +102,7 @@ __all__ = [
     "DryRunProfiler",
     "ExecEnvAspect",
     "ModuleDAG",
+    "PricingPlan",
     "QuotaExceeded",
     "ReplayDivergence",
     "ReplayRunner",
@@ -108,8 +116,10 @@ __all__ = [
     "SimulatedCrash",
     "Simulator",
     "SubmissionHandle",
+    "SubmitOptions",
     "Tenant",
     "TenantQuota",
+    "TenantSpec",
     "UDCRuntime",
     "UDCService",
     "UserDefinition",
@@ -123,7 +133,9 @@ __all__ = [
     "first_divergence",
     "parse_definition",
     "read_journal",
+    "submit_options",
     "task",
+    "tenant_spec",
     "verify_run",
     "__version__",
 ]

@@ -68,7 +68,13 @@ from repro.core.verify import verify_run
 from repro.execenv.attestation import Verifier
 from repro.execenv.warmpool import WarmPool
 from repro.hardware.topology import DatacenterSpec, build_datacenter
-from repro.service import FifoAdmission, UDCService, WeightedFairShare
+from repro.service import (
+    BudgetExceeded,
+    FifoAdmission,
+    TenantSpec,
+    UDCService,
+    WeightedFairShare,
+)
 from repro.workloads.tenants import default_tenant_profiles, generate_tenant_trace
 
 __all__ = ["main"]
@@ -553,12 +559,24 @@ def cmd_serve(args) -> int:
     )
     policy = (WeightedFairShare() if args.policy == "fair"
               else FifoAdmission())
-    service = UDCService(_build_dc(args), policy=policy, cells=args.cells)
-    for profile in profiles:
-        service.register_tenant(profile.name, weight=profile.weight)
+    service = UDCService(_build_dc(args), policy=policy, cells=args.cells,
+                         autopilot=args.autopilot,
+                         warm_pool=WarmPool(enabled=args.warm),
+                         prewarm=args.warm)
+    spot_count = int(round(args.spot_fraction * len(profiles)))
+    for index, profile in enumerate(profiles):
+        service.register_tenant(profile.name, TenantSpec(
+            weight=profile.weight,
+            goal="cheapest" if index < spot_count else None,
+            budget_dollars=args.budget,
+            slo_s=args.slo,
+        ))
     for index, arrival in enumerate(trace.submissions, start=1):
-        service.submit(arrival.tenant, arrival.dag, arrival.definition,
-                       inputs=arrival.inputs)
+        try:
+            service.submit(arrival.tenant, arrival.dag, arrival.definition,
+                           inputs=arrival.inputs)
+        except BudgetExceeded:
+            pass  # counted as a rejection in the tenant rollup
         if index % args.round_every == 0:
             # Each round runs to quiescence so finished results land in
             # the cache before later re-submissions of the same inputs.
@@ -568,6 +586,8 @@ def cmd_serve(args) -> int:
     rollups = service.rollup()
     fairness = service.fairness_index()
     stats = service.cache_stats
+    drift = service.check_budget_accounting()
+    economics_on = args.autopilot or args.budget is not None
     if args.json:
         payload = {
             "policy": args.policy,
@@ -579,15 +599,24 @@ def cmd_serve(args) -> int:
             "tenants": [
                 {"tenant": u.tenant, "submissions": u.submissions,
                  "completed": u.completed, "cache_hits": u.cache_hits,
-                 "unplaceable": u.unplaceable,
+                 "unplaceable": u.unplaceable, "rejected": u.rejected,
                  "total_cost": round(u.total_cost, 6),
-                 "cost_saved": round(u.cost_saved, 6)}
+                 "cost_saved": round(u.cost_saved, 6),
+                 "billed_cost": round(u.billed_cost, 6),
+                 "slo_misses": u.slo_misses}
                 for u in rollups
             ],
         }
+        if economics_on:
+            payload["economics"] = {
+                "autopilot": args.autopilot,
+                "preemptions": service.preemptions,
+                "budget": service.budget.snapshot(),
+                "accounting_drift": drift,
+            }
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
-        return 0
+        return 1 if (economics_on and drift) else 0
 
     weights = {profile.name: profile.weight for profile in profiles}
     print(f"{len(trace)} submissions from {len(profiles)} tenants over "
@@ -607,6 +636,19 @@ def cmd_serve(args) -> int:
     print(f"Jain fairness (completed): {fairness:.3f}")
     print(f"Result cache: {stats.hits} hits / {stats.misses} misses "
           f"({stats.hit_rate:.1%} hit rate), {stats.evictions} evictions")
+    if economics_on:
+        billed = sum(u.billed_cost for u in rollups)
+        misses = sum(u.slo_misses for u in rollups)
+        print(f"Economics: ${billed:.4f} billed, "
+              f"{service.preemptions} preemption(s), "
+              f"{misses} SLO miss(es), "
+              f"{spot_count}/{len(profiles)} spot tenants")
+        if drift:
+            print("Budget accounting drift:", file=sys.stderr)
+            for line in drift:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print("Budget accounting: ledger and enforcer agree (zero drift)")
     return 0
 
 
@@ -690,6 +732,7 @@ def _replay_runner_for(args, config=None):
             workload=args.workload, params=params, seed=args.seed,
             pods=args.pods, racks=args.racks, policy=args.policy,
             warm=args.warm, cells=args.cells,
+            autopilot=getattr(args, "autopilot", False),
         )
     return ReplayRunner(config)
 
@@ -961,6 +1004,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="admission ordering (default fair)")
     serve_p.add_argument("--seed", type=int, default=0,
                          help="RNG seed (default 0)")
+    serve_p.add_argument("--warm", action="store_true",
+                         help="enable warm bundled resource units")
+    serve_p.add_argument("--autopilot", action="store_true",
+                         help="enable the economic autopilot (adaptive "
+                              "budget ceilings + forecast-sized warm "
+                              "pools); gates on zero accounting drift")
+    serve_p.add_argument("--spot-fraction", type=float, default=0.0,
+                         help="fraction of tenants registered on the "
+                              "preemptible spot tier (default 0)")
+    serve_p.add_argument("--budget", type=float, default=None,
+                         help="per-tenant budget in dollars (default "
+                              "unlimited)")
+    serve_p.add_argument("--slo", type=float, default=None,
+                         help="per-tenant completion SLO in seconds "
+                              "(default none)")
     serve_p.add_argument("--json", action="store_true",
                          help="emit the rollup as JSON")
     _add_dc_args(serve_p)
@@ -1027,6 +1085,9 @@ def build_parser() -> argparse.ArgumentParser:
                           default="fair")
     record_p.add_argument("--warm", action="store_true",
                           help="enable warm bundled resource units")
+    record_p.add_argument("--autopilot", action="store_true",
+                          help="enable the economic autopilot for the "
+                               "recorded run")
     record_p.add_argument("--snapshot-dir", default=None,
                           help="directory for cadenced snapshots")
     record_p.add_argument("--snapshot-every", type=int, default=None,

@@ -178,6 +178,21 @@ METRIC_HELP: Dict[str, str] = {
         "Submissions that could never be placed, per tenant.",
     "udc_tenant_cost_dollars_total":
         "Settled execution cost, per tenant, in dollars.",
+    "udc_tenant_billed_dollars_total":
+        "Dollars billed through the tenant's pricing plan (spot discounts "
+        "land here; equals cost on the firm tier).",
+    "udc_budget_rejections_total":
+        "Submissions shed at the front door for an exhausted budget "
+        "ceiling, per tenant.",
+    "udc_slo_misses_total":
+        "Completions whose queue wait + makespan blew the declared SLO, "
+        "per tenant.",
+    "udc_preemptions_total":
+        "Spot-tier submissions evicted so firm-tier work could place.",
+    "udc_tenant_preemptions_total":
+        "Preemptions suffered, per (victim) tenant.",
+    "udc_warm_pool_target_depth":
+        "Forecast-driven shelf depth set by the autopilot, per env shape.",
     "udc_tenant_queue_wait_seconds":
         "Simulated time a submission waited in the admission queue.",
     "udc_service_rounds_total": "Serving-layer dispatch rounds executed.",

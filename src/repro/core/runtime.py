@@ -29,7 +29,7 @@ from __future__ import annotations
 import itertools
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.appmodel.dag import ModuleDAG
 from repro.appmodel.module import TaskModule
@@ -54,6 +54,7 @@ from repro.distsem.resilience import (
     CircuitBreakerRegistry,
     DeadlineMiss,
     HedgeCancelled,
+    Preempted,
 )
 from repro.distsem.store import ReplicatedStore
 from repro.execenv.attestation import HardwareRootOfTrust, Measurement
@@ -118,6 +119,10 @@ class _LiveTask:
     hedge_placement: Optional[TaskPlacement] = None
     #: root lifecycle span for this task (closed by _finish_task)
     span: Optional[Span] = None
+    #: set by UDCRuntime.preempt so stale hedge monitors and deadline
+    #: timers holding this state stand down instead of acting on a task
+    #: that no longer owns any resources
+    preempted: bool = False
 
 
 @dataclass
@@ -158,6 +163,15 @@ class Submission:
     cost_ledger: List[Tuple[Any, float]] = field(default_factory=list)
     settled_cost: float = 0.0
     result: Optional[RunResult] = None
+    #: the user definition this submission deployed with, kept so a
+    #: preempted submission can redeploy through the admission queue
+    definition: Any = field(default=None, repr=False)
+    #: per-task execution state of the current deployment (rebuilt on
+    #: every _deploy; what UDCRuntime.preempt interrupts)
+    live_tasks: Dict[str, "_LiveTask"] = field(default_factory=dict,
+                                               repr=False)
+    #: times this submission's resources were reclaimed for firm work
+    preemptions: int = 0
 
     @property
     def done(self) -> bool:
@@ -272,6 +286,10 @@ class UDCRuntime:
         #: installed by UDCService in batched mode to skip re-validating
         #: and re-resolving structurally identical applications
         self.admission_memo = None
+        #: optional tenant -> tier rank hook (0 = firm, 1 = spot),
+        #: installed by UDCService so admission retries favor firm work;
+        #: must be a plain callable or bound method (snapshots pickle it)
+        self.tier_of: Optional[Callable[[str], int]] = None
         self._seq_counter = itertools.count()
 
     # ------------------------------------------------------------------ admission
@@ -514,11 +532,18 @@ class UDCRuntime:
 
         self._retry_scheduled = False
         policy = self.admission_policy
-        ordered = sorted(
-            self._admission_queue,
-            key=lambda e: policy.sort_key(e.submission.tenant,
-                                          e.submission.seq),
-        )
+        tier_of = self.tier_of
+
+        def _retry_key(entry):
+            tenant = entry.submission.tenant
+            # Firm-tier work outranks spot within a retry round, so a
+            # preempted spot submission can never starve the firm
+            # submission whose arrival evicted it.
+            rank = tier_of(tenant) if tier_of is not None else 0
+            return (rank,) + tuple(policy.sort_key(tenant,
+                                                   entry.submission.seq))
+
+        ordered = sorted(self._admission_queue, key=_retry_key)
         still_waiting = []
         for entry in ordered:
             submission = entry.submission
@@ -542,6 +567,62 @@ class UDCRuntime:
             self._retry_scheduled = True
             self.sim.call_at(self.sim.now, self._retry_admissions)
 
+    def preempt(self, submission: Submission, *, by_tenant: str = "") -> bool:
+        """Reclaim a running submission's resources for firm-tier work.
+
+        The preemptible-spot contract: the victim's live processes are
+        interrupted with :class:`Preempted`, every held allocation is
+        settled and released *synchronously* (partial work is billed —
+        the spot discount pays for exactly this risk), and the
+        submission is re-queued through the admission machinery to
+        restart from scratch at its next deployment.  Persistent
+        submissions (standing data services, possibly shared via
+        ``attach_stores``) and submissions whose tasks all finished are
+        never preempted.  Returns True when the submission was evicted.
+        """
+        if submission.status != "running" or submission.persistent:
+            return False
+        if submission.completions and all(
+            event.triggered for event in submission.completions.values()
+        ):
+            return False
+        for name in sorted(submission.live_tasks):
+            task_state = submission.live_tasks[name]
+            task_state.preempted = True
+            if task_state.completion.triggered:
+                continue
+            cause = Preempted(module=name, by_tenant=by_tenant)
+            for process in (task_state.process, task_state.hedge_process):
+                if process is not None and process.is_alive:
+                    process.interrupt(cause)
+            self.telemetry.span_end(task_state.span, self.sim.now,
+                                    status="preempted")
+        for name in sorted(submission.objects):
+            obj = submission.objects[name]
+            self._release_task(submission, obj)
+            obj.allocations.clear()
+            obj.environment = None
+            obj.store = None
+        submission.stores.clear()
+        submission.completions.clear()
+        submission.live_tasks = {}
+        submission.outputs.clear()
+        submission.records = {}
+        submission.finished = None
+        submission.preemptions += 1
+        submission.status = "queued"
+        submission.queued_at = self.sim.now
+        self._admission_queue.append(
+            _QueuedEntry(submission, submission.definition, None, None, None)
+        )
+        self.telemetry.inc("udc_preemptions_total")
+        self.telemetry.event(
+            self.sim.now, submission.dag.name, "preempted",
+            f"tenant {submission.tenant!r} evicted for {by_tenant!r}",
+        )
+        self._schedule_admission_retry()
+        return True
+
     def _deploy(
         self,
         submission: Submission,
@@ -553,6 +634,7 @@ class UDCRuntime:
         dag = submission.dag
         tenant = submission.tenant
         inputs = submission.inputs
+        submission.definition = definition
         objects, resolution = self.admit(dag, definition, tenant)
         submission.objects = objects
         submission.resolution = resolution
@@ -610,6 +692,7 @@ class UDCRuntime:
         for when, domain_name in failure_plan or []:
             self.injector.fail_at(when, domain_name)
 
+        submission.live_tasks = live
         submission.submitted_at = self.sim.now
         for name, task_state in live.items():
             process = self.sim.process(
@@ -1008,6 +1091,15 @@ class UDCRuntime:
                 if isinstance(cause, HedgeCancelled):
                     # The hedge won and did all bookkeeping; just vanish.
                     return None
+                if isinstance(cause, Preempted):
+                    # UDCRuntime.preempt settled the meters, released the
+                    # allocations, and re-queued the whole submission;
+                    # this process just vanishes (like a losing hedge).
+                    self.telemetry.event(
+                        self.sim.now, obj.name, "preempted",
+                        f"capacity reclaimed for {cause.by_tenant}",
+                    )
+                    return None
                 if isinstance(cause, DeadlineMiss):
                     record.deadline_missed = True
                     self.telemetry.inc("udc_deadline_misses_total")
@@ -1136,7 +1228,7 @@ class UDCRuntime:
         deadline_s = dist.deadline_s
 
         def fire():
-            if task_state.completion.triggered:
+            if task_state.completion.triggered or task_state.preempted:
                 return
             for process in (task_state.process, task_state.hedge_process):
                 if process is not None and process.is_alive:
@@ -1175,7 +1267,7 @@ class UDCRuntime:
         obj = task_state.obj
         for _ in range(policy.max_hedges):
             yield self.sim.timeout(delay)
-            if task_state.completion.triggered:
+            if task_state.completion.triggered or task_state.preempted:
                 return
             if task_state.hedge_process is not None \
                     and task_state.hedge_process.is_alive:

@@ -240,6 +240,22 @@ class UdcScheduler:
                 placements.append(self.place_tasks(objects, dag))
         return placements
 
+    def capacity_report(self) -> Dict[str, Dict[str, float]]:
+        """Free/total capacity per device type, in deterministic order.
+
+        A cheap planner-facing snapshot (the economic autopilot's
+        firm-vs-spot pressure signal, and ``udc serve --autopilot``
+        output): reads pool aggregates only, never scans devices.
+        """
+        report: Dict[str, Dict[str, float]] = {}
+        for pool in sorted(self.datacenter.pools,
+                           key=lambda p: p.device_type.value):
+            report[pool.device_type.value] = {
+                "free": pool.total_free,
+                "total": pool.total_capacity,
+            }
+        return report
+
     # -- data placement -------------------------------------------------------
 
     def place_data(self, obj: UDCObject) -> PlacementResult:

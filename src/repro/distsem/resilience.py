@@ -27,6 +27,7 @@ __all__ = [
     "DeadlineMiss",
     "HedgeCancelled",
     "HedgePolicy",
+    "Preempted",
     "RetryPolicy",
 ]
 
@@ -127,6 +128,21 @@ class HedgeCancelled:
 
     module: str
     winner: str  # "primary" | "hedge"
+
+
+@dataclass(frozen=True)
+class Preempted:
+    """Interrupt cause delivered to a spot-tier task whose capacity was
+    reclaimed for firm-tier work.
+
+    Like :class:`HedgeCancelled`, the interrupted process just vanishes —
+    the preemptor (:meth:`repro.core.runtime.UDCRuntime.preempt`) does
+    all bookkeeping: settling meters, releasing allocations, and
+    re-queuing the submission through the admission machinery."""
+
+    module: str
+    #: the firm-tier tenant whose submission triggered the reclaim
+    by_tenant: str
 
 
 class BreakerState(enum.Enum):

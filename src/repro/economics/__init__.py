@@ -8,9 +8,20 @@
   provider charges *more* per unit yet the user's total bill *drops*,
   enabled by eliminating waste and consolidating utilization (C10, E9);
 * :mod:`~repro.economics.cost` — cost aggregation helpers shared by the
-  benchmarks.
+  benchmarks;
+* :mod:`~repro.economics.autopilot` — the economic autopilot: per-tenant
+  budget enforcement (kernel) with adaptive ceilings (planner), spot/firm
+  pricing plans, and the forecast that sizes warm pools (C7, C10).
 """
 
+from repro.economics.autopilot import (
+    FIRM_PLAN,
+    SPOT_PLAN,
+    AdaptiveBudgetHook,
+    BudgetEnforcer,
+    PricingPlan,
+    WarmPoolForecaster,
+)
 from repro.economics.cost import CostComparison, compare_costs
 from repro.economics.devops_matrix import (
     GrowthScenario,
@@ -23,12 +34,18 @@ from repro.economics.provider import ProviderLedger, account_run, powered_device
 from repro.economics.tenants import TenantLedger, TenantUsage, jain_index
 
 __all__ = [
+    "AdaptiveBudgetHook",
+    "BudgetEnforcer",
     "CostComparison",
+    "FIRM_PLAN",
     "GrowthScenario",
+    "PricingPlan",
     "PricingWindow",
     "ProviderLedger",
+    "SPOT_PLAN",
     "TenantLedger",
     "TenantUsage",
+    "WarmPoolForecaster",
     "jain_index",
     "account_run",
     "powered_devices",

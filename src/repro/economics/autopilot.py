@@ -1,0 +1,422 @@
+"""Economic autopilot: budgets, spot pricing, and warm-pool forecasting.
+
+The paper's economic claims are about *feedback*: providers can raise
+unit prices yet lower user bills (C7) because users state goals and the
+provider optimizes continuously (C10).  This module supplies the three
+control-loop pieces the serving layer wires together:
+
+* :class:`BudgetEnforcer` — the **kernel**: tracks per-tenant spend
+  against a declared budget and answers admit/deny at the submission
+  front door.  It never adjusts anything on its own; enforcement is
+  mechanical and auditable (``check_accounting``).
+* :class:`AdaptiveBudgetHook` — the **planner**: each dispatch round it
+  recomputes soft spending ceilings from observed burn rate vs. SLO
+  attainment and hands them to the enforcer.  The split mirrors the
+  veronica-core idiom: the kernel enforces, the planner decides — an
+  adaptive component never sits inside the enforcement boundary.
+* :class:`WarmPoolForecaster` — an EWMA/seasonal estimator over warm
+  environment demand that sizes :class:`~repro.execenv.warmpool
+  .WarmPool` shelves per upcoming window instead of a fixed depth.
+
+Everything here is deterministic arithmetic over observed state —
+no wall clock, no RNG — so autopilot runs record/replay byte-identically
+(forecaster and enforcer state are captured in replay fingerprints like
+RNG streams are).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "AdaptiveBudgetHook",
+    "BudgetEnforcer",
+    "FIRM_PLAN",
+    "PricingPlan",
+    "SPOT_PLAN",
+    "WarmPoolForecaster",
+]
+
+
+@dataclass(frozen=True)
+class PricingPlan:
+    """How a tenant's raw metered cost converts to a bill.
+
+    ``multiplier`` scales the pay-per-use meter: the firm tier bills at
+    list price; the spot tier discounts in exchange for preemption
+    eligibility (the provider reclaims spot capacity whenever firm work
+    cannot otherwise be placed).
+    """
+
+    name: str = "firm"
+    multiplier: float = 1.0
+    #: spot-tier placements may be preempted for firm-tier work
+    preemptible: bool = False
+
+    def __post_init__(self):
+        if self.multiplier <= 0:
+            raise ValueError(
+                f"multiplier must be positive, got {self.multiplier}"
+            )
+
+    def billed(self, metered_cost: float) -> float:
+        """Dollars billed for ``metered_cost`` dollars of metered usage."""
+        return metered_cost * self.multiplier
+
+
+#: list-price, never-preempted default plan
+FIRM_PLAN = PricingPlan(name="firm", multiplier=1.0, preemptible=False)
+#: discounted, preemption-eligible plan for ``goal="cheapest"`` tenants
+SPOT_PLAN = PricingPlan(name="spot", multiplier=0.6, preemptible=True)
+
+
+class BudgetEnforcer:
+    """Per-tenant spend accounting and admission gating (the kernel).
+
+    A tenant *declares* a hard budget; the planner may additionally set
+    a *soft ceiling* at or below it.  :meth:`admit` denies when the
+    tenant's settled spend has reached the effective ceiling.  The
+    enforcer only ever applies ceilings it was handed — all adaptive
+    logic lives in :class:`AdaptiveBudgetHook`.
+    """
+
+    def __init__(self):
+        self._budgets: Dict[str, float] = {}
+        self._ceilings: Dict[str, float] = {}
+        self._spent: Dict[str, float] = {}
+        self._rejections: Dict[str, int] = {}
+
+    # -- declarations ------------------------------------------------------
+
+    def declare(self, tenant: str, budget_dollars: Optional[float]) -> None:
+        """Declare (or clear, with None) a tenant's hard budget."""
+        if budget_dollars is None:
+            self._budgets.pop(tenant, None)
+            self._ceilings.pop(tenant, None)
+            return
+        if budget_dollars <= 0:
+            raise ValueError(
+                f"budget_dollars must be positive, got {budget_dollars}"
+            )
+        self._budgets[tenant] = float(budget_dollars)
+
+    def set_ceiling(self, tenant: str, ceiling: Optional[float]) -> None:
+        """Planner hook: soft ceiling, clamped to the declared budget."""
+        if ceiling is None:
+            self._ceilings.pop(tenant, None)
+            return
+        budget = self._budgets.get(tenant)
+        if budget is not None:
+            ceiling = min(float(ceiling), budget)
+        self._ceilings[tenant] = max(0.0, float(ceiling))
+
+    # -- queries -----------------------------------------------------------
+
+    def budget_of(self, tenant: str) -> Optional[float]:
+        return self._budgets.get(tenant)
+
+    def ceiling_of(self, tenant: str) -> Optional[float]:
+        """The effective admission ceiling: soft ceiling if set, else the
+        declared budget; None when the tenant is unbudgeted."""
+        ceiling = self._ceilings.get(tenant)
+        if ceiling is not None:
+            return ceiling
+        return self._budgets.get(tenant)
+
+    def spent(self, tenant: str) -> float:
+        return self._spent.get(tenant, 0.0)
+
+    def remaining(self, tenant: str) -> Optional[float]:
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return None
+        return max(0.0, budget - self.spent(tenant))
+
+    def rejections(self, tenant: str) -> int:
+        return self._rejections.get(tenant, 0)
+
+    # -- enforcement -------------------------------------------------------
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """None to admit; a denial reason once spend reached the ceiling."""
+        ceiling = self.ceiling_of(tenant)
+        if ceiling is None:
+            return None
+        spent = self.spent(tenant)
+        if spent < ceiling:
+            return None
+        self._rejections[tenant] = self._rejections.get(tenant, 0) + 1
+        budget = self._budgets.get(tenant)
+        kind = ("budget" if budget is not None and ceiling >= budget
+                else "budget ceiling")
+        return (f"spent ${spent:.4f} of ${ceiling:.4f} {kind}")
+
+    def charge(self, tenant: str, billed_dollars: float) -> float:
+        """Settle a finished submission's bill; returns the new total."""
+        if billed_dollars < 0:
+            raise ValueError(
+                f"billed_dollars must be >= 0, got {billed_dollars}"
+            )
+        total = self._spent.get(tenant, 0.0) + billed_dollars
+        self._spent[tenant] = total
+        return total
+
+    # -- audit -------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether any tenant has declared a budget or holds a ceiling."""
+        return bool(self._budgets or self._ceilings)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Canonical (sorted, JSON-able) state for replay fingerprints."""
+        tenants = sorted(
+            set(self._budgets) | set(self._ceilings) | set(self._spent)
+        )
+        out: Dict[str, Dict[str, float]] = {}
+        for name in tenants:
+            row: Dict[str, float] = {"spent": round(self.spent(name), 9)}
+            if name in self._budgets:
+                row["budget"] = self._budgets[name]
+            if name in self._ceilings:
+                row["ceiling"] = round(self._ceilings[name], 9)
+            if name in self._rejections:
+                row["rejections"] = float(self._rejections[name])
+            out[name] = row
+        return out
+
+    def check_accounting(
+        self, billed_by_tenant: Dict[str, float], tolerance: float = 1e-6
+    ) -> List[str]:
+        """Drift audit against an independently-kept billed ledger.
+
+        Returns one message per tenant whose enforcer spend disagrees
+        with the ledger's billed total by more than ``tolerance`` —
+        empty means the two books balance (the CI invariant).
+        """
+        problems: List[str] = []
+        for name in sorted(set(self._spent) | set(billed_by_tenant)):
+            mine = self.spent(name)
+            theirs = billed_by_tenant.get(name, 0.0)
+            if abs(mine - theirs) > tolerance:
+                problems.append(
+                    f"{name}: enforcer says ${mine:.6f}, "
+                    f"ledger says ${theirs:.6f}"
+                )
+        return problems
+
+
+class AdaptiveBudgetHook:
+    """The planner: recompute soft ceilings once per dispatch round.
+
+    Pacing model: a tenant's budget should last ``horizon_s`` of
+    simulated time, so at time *t* the baseline ceiling is
+    ``budget * (headroom + t / horizon)`` — an up-front ``headroom``
+    fraction keeps cold starts from rejecting everything.  Feedback:
+    when the tenant's observed SLO attainment drops below
+    ``slo_target``, the ceiling is boosted by ``boost`` (spend budget
+    faster to buy attainment back); when attainment is healthy and the
+    tenant is burning ahead of pace, the ceiling holds at pace, letting
+    :class:`BudgetEnforcer` shed load until time catches up.
+
+    Pure deterministic arithmetic over the enforcer and ledger rollups;
+    tenants are visited in sorted order.
+    """
+
+    def __init__(
+        self,
+        enforcer: BudgetEnforcer,
+        horizon_s: float = 21600.0,
+        headroom: float = 0.25,
+        slo_target: float = 0.95,
+        boost: float = 0.25,
+    ):
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        if not 0.0 <= headroom <= 1.0:
+            raise ValueError(f"headroom must be in [0, 1], got {headroom}")
+        if not 0.0 < slo_target <= 1.0:
+            raise ValueError(
+                f"slo_target must be in (0, 1], got {slo_target}"
+            )
+        if boost < 0:
+            raise ValueError(f"boost must be >= 0, got {boost}")
+        self.enforcer = enforcer
+        self.horizon_s = horizon_s
+        self.headroom = headroom
+        self.slo_target = slo_target
+        self.boost = boost
+        #: per-tenant ceilings computed last round (observability)
+        self.last_ceilings: Dict[str, float] = {}
+
+    def on_round(
+        self,
+        now: float,
+        attainment: Dict[str, Tuple[int, int]],
+    ) -> None:
+        """Replan every budgeted tenant's ceiling.
+
+        ``attainment`` maps tenant -> (completed, slo_misses) from the
+        ledger; tenants missing from it are treated as fully attaining.
+        """
+        budgets = {
+            name: self.enforcer.budget_of(name)
+            for name in sorted(self.enforcer.snapshot())
+        }
+        for name in sorted(budgets):
+            budget = budgets[name]
+            if budget is None:
+                continue
+            pace = min(1.0, self.headroom + max(0.0, now) / self.horizon_s)
+            ceiling = budget * pace
+            completed, misses = attainment.get(name, (0, 0))
+            if completed > 0:
+                attained = 1.0 - misses / completed
+                if attained < self.slo_target:
+                    ceiling = min(budget, ceiling * (1.0 + self.boost))
+            self.enforcer.set_ceiling(name, ceiling)
+            self.last_ceilings[name] = ceiling
+
+    def state(self) -> Dict[str, float]:
+        """Canonical planner state for replay fingerprints."""
+        return {
+            name: round(value, 9)
+            for name, value in sorted(self.last_ceilings.items())
+        }
+
+
+def _forecast_key(kind: Hashable, single_tenant: bool) -> str:
+    """Stable string key for one warm-pool shelf (enum-safe, sortable)."""
+    label = getattr(kind, "value", None)
+    if label is None:
+        label = str(kind)
+    return f"{label}|{'1' if single_tenant else '0'}"
+
+
+class WarmPoolForecaster:
+    """EWMA + seasonal demand forecast for warm-pool shelf depths.
+
+    Demand (``observe`` calls — one per warm-environment acquisition
+    attempt) is counted per fixed window of ``window_s`` simulated
+    seconds.  At each window boundary (``roll``) the finished window's
+    count folds into two EWMAs per shelf: an *overall* level and a
+    *seasonal* level for that window's slot within the day — the
+    diurnal tenant trace repeats daily, so the same slot tomorrow is
+    the best predictor of itself.  :meth:`target_for` turns the
+    forecast for the *current* slot into a shelf depth, clamped to
+    ``[min_depth, max_depth]``.
+
+    State is plain dicts of floats; :meth:`state` renders it
+    canonically so replay fingerprints capture the forecaster exactly
+    like an RNG stream.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 3600.0,
+        day_s: float = 86400.0,
+        alpha: float = 0.4,
+        safety: float = 1.2,
+        min_depth: int = 0,
+        max_depth: int = 16,
+    ):
+        if window_s <= 0 or day_s <= 0:
+            raise ValueError("window_s and day_s must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if safety <= 0:
+            raise ValueError(f"safety must be positive, got {safety}")
+        if min_depth < 0 or max_depth < min_depth:
+            raise ValueError("need 0 <= min_depth <= max_depth")
+        self.window_s = window_s
+        self.slots_per_day = max(1, int(round(day_s / window_s)))
+        self.alpha = alpha
+        self.safety = safety
+        self.min_depth = min_depth
+        self.max_depth = max_depth
+        #: shelf key -> overall EWMA of per-window demand
+        self._level: Dict[str, float] = {}
+        #: (shelf key, day slot) -> seasonal EWMA for that slot
+        self._seasonal: Dict[Tuple[str, int], float] = {}
+        #: demand observed in the currently-open window
+        self._pending: Dict[str, int] = {}
+        #: absolute window index of the open window (None until first roll)
+        self._slot: Optional[int] = None
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, kind: Hashable, single_tenant: bool = False) -> None:
+        """Count one warm-environment demand event (hit or miss).
+
+        Signature matches :attr:`repro.execenv.warmpool.WarmPool
+        .observer`, so the pool can report demand directly.
+        """
+        key = _forecast_key(kind, single_tenant)
+        self._pending[key] = self._pending.get(key, 0) + 1
+
+    def roll(self, now: float) -> bool:
+        """Fold finished windows at ``now``; True when a boundary passed."""
+        slot = int(now // self.window_s)
+        if self._slot is None:
+            self._slot = slot
+            return False
+        if slot <= self._slot:
+            return False
+        self._fold(self._slot, self._pending)
+        self._pending = {}
+        for idle in range(self._slot + 1, slot):
+            self._fold(idle, {})
+        self._slot = slot
+        return True
+
+    def _fold(self, slot: int, counts: Dict[str, int]) -> None:
+        day_slot = slot % self.slots_per_day
+        for key in sorted(set(self._level) | set(counts)):
+            demand = float(counts.get(key, 0))
+            old = self._level.get(key)
+            self._level[key] = (
+                demand if old is None
+                else self.alpha * demand + (1.0 - self.alpha) * old
+            )
+            skey = (key, day_slot)
+            sold = self._seasonal.get(skey)
+            self._seasonal[skey] = (
+                demand if sold is None
+                else self.alpha * demand + (1.0 - self.alpha) * sold
+            )
+
+    # -- forecasting -------------------------------------------------------
+
+    def forecast(self, kind: Hashable, single_tenant: bool = False) -> float:
+        """Expected demand for the current window (0.0 before any data)."""
+        key = _forecast_key(kind, single_tenant)
+        if self._slot is None:
+            return 0.0
+        day_slot = self._slot % self.slots_per_day
+        seasonal = self._seasonal.get((key, day_slot))
+        if seasonal is not None:
+            return seasonal
+        return self._level.get(key, 0.0)
+
+    def target_for(self, kind: Hashable, single_tenant: bool = False) -> int:
+        """Shelf depth to prewarm for the current window."""
+        demand = self.forecast(kind, single_tenant)
+        depth = int(math.ceil(demand * self.safety))
+        return max(self.min_depth, min(self.max_depth, depth))
+
+    def known_keys(self) -> List[str]:
+        """Every shelf key with recorded history, sorted."""
+        return sorted(set(self._level) | set(self._pending))
+
+    def state(self) -> Dict[str, object]:
+        """Canonical (sorted, JSON-able) state for replay fingerprints."""
+        return {
+            "slot": self._slot,
+            "level": {k: round(v, 9)
+                      for k, v in sorted(self._level.items())},
+            "seasonal": {f"{k}@{s}": round(v, 9)
+                         for (k, s), v in sorted(self._seasonal.items())},
+            "pending": dict(sorted(self._pending.items())),
+        }

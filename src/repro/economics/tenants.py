@@ -51,6 +51,11 @@ class TenantUsage:
     cost_saved: float = 0.0
     queue_wait_s: float = 0.0
     makespan_s: float = 0.0
+    #: what the tenant was actually charged (metered cost through the
+    #: tenant's pricing plan; equals total_cost on the firm tier)
+    billed_cost: float = 0.0
+    #: completions that blew their declared SLO (queue wait + makespan)
+    slo_misses: int = 0
 
 
 class TenantLedger:
@@ -76,12 +81,18 @@ class TenantLedger:
         usage.cost_saved += result.total_cost
 
     def record_result(self, tenant: str, result: RunResult,
-                      queue_wait_s: float = 0.0) -> None:
+                      queue_wait_s: float = 0.0,
+                      billed_cost: Optional[float] = None,
+                      slo_miss: bool = False) -> None:
         usage = self.usage(tenant)
         usage.completed += 1
         usage.total_cost += result.total_cost
         usage.queue_wait_s += queue_wait_s
         usage.makespan_s += result.makespan_s
+        usage.billed_cost += (billed_cost if billed_cost is not None
+                              else result.total_cost)
+        if slo_miss:
+            usage.slo_misses += 1
 
     def record_unplaceable(self, tenant: str) -> None:
         self.usage(tenant).unplaceable += 1
@@ -97,10 +108,22 @@ class TenantLedger:
         ``tenants`` restricts (and zero-fills) the population — pass the
         registered tenant set so a tenant that got *nothing* counts
         against fairness instead of vanishing from the denominator.
+
+        With zero recorded tenants (and no explicit population) this
+        returns the documented 1.0: nothing was distributed, so nothing
+        was distributed unfairly.  Reading fairness never mutates the
+        ledger — a tenant named in ``tenants`` but never recorded is
+        scored as zero without a row materializing in :meth:`rollup`.
         """
+        if metric not in TenantUsage.__dataclass_fields__ \
+                or metric == "tenant":
+            raise ValueError(f"unknown usage metric {metric!r}")
+        zero = TenantUsage(tenant="")
         if tenants is not None:
-            values = [getattr(self.usage(name), metric)
-                      for name in tenants]
+            values = [
+                getattr(self._usages.get(name, zero), metric)
+                for name in tenants
+            ]
         else:
             values = [getattr(usage, metric) for usage in self.rollup()]
         return jain_index(float(v) for v in values)

@@ -11,19 +11,29 @@ one per module.
 (environment kind, single-tenancy).  Benchmark E5 toggles it on/off to
 measure how much cold-start latency bundling removes for a many-module
 application.
+
+Shelf depths default to a flat ``target_depth``; the economic autopilot
+(:class:`~repro.economics.autopilot.WarmPoolForecaster`) can instead set
+per-key targets (:meth:`WarmPool.set_target`) from forecast demand and
+subscribe to demand events via :attr:`WarmPool.observer`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import DefaultDict, Dict, List, Tuple
+from typing import Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from repro.execenv.environments import ENV_PROFILES, EnvKind, ExecutionEnvironment
 
 __all__ = ["WarmPool", "WarmPoolStats"]
 
 PoolKey = Tuple[EnvKind, bool]  # (kind, single_tenant)
+
+
+def _key_order(key: PoolKey) -> Tuple[str, bool]:
+    """Deterministic iteration order for shelf keys (enum-safe)."""
+    return (key[0].value, key[1])
 
 
 @dataclass
@@ -59,7 +69,8 @@ class WarmPool:
     ``target_depth`` is how many shells of each requested key the provider
     keeps ready; the background refill is modeled as free provider work
     (its cost shows up in the provider-economics model, not in tenant
-    latency — exactly the trade the paper describes).
+    latency — exactly the trade the paper describes).  Per-key overrides
+    (:meth:`set_target`) let a forecaster size individual shelves.
     """
 
     def __init__(self, target_depth: int = 2, enabled: bool = True):
@@ -73,9 +84,19 @@ class WarmPool:
         self._known_keys: Dict[PoolKey, None] = {}
         #: True during an injected warm-pool outage (see exhaust())
         self._exhausted = False
+        #: prewarms deferred by an outage, replayed exactly once by
+        #: restore() — refill never re-counts them (they are not targets)
+        self._deferred: Dict[PoolKey, int] = {}
+        #: per-key depth targets set by a forecaster; keys absent here
+        #: fall back to ``target_depth``
+        self._targets: Dict[PoolKey, int] = {}
         #: optional Telemetry sink (wired by the runtime): hit/miss/outage
         #: counters and the hit-rate gauge are maintained incrementally
         self.telemetry = None
+        #: optional demand subscriber called on every try_acquire with
+        #: (kind, single_tenant) — how the autopilot forecaster observes
+        #: warm-environment demand without the pool knowing about it
+        self.observer: Optional[Callable[[EnvKind, bool], None]] = None
 
     def _record_acquire(self, hit: bool, outage: bool) -> None:
         telemetry = self.telemetry
@@ -90,15 +111,17 @@ class WarmPool:
     def prewarm(self, kind: EnvKind, single_tenant: bool, count: int = 1) -> None:
         """Stock ``count`` shells of the given shape.
 
-        During an injected outage (:meth:`exhaust`) this is a no-op
-        deferred until :meth:`restore`: the key is remembered so the next
-        refill restocks it, but no shells land on the shelf — an explicit
-        prewarm must not silently undo the chaos scenario (E22).
+        During an injected outage (:meth:`exhaust`) the request is
+        *deferred*: the key is remembered and the count banked, and
+        :meth:`restore` replays the banked shells exactly once — an
+        explicit prewarm must not silently undo the chaos scenario
+        (E22), but neither may the provider forget work it accepted.
         """
         key = (kind, single_tenant)
         self._known_keys[key] = None
         if self._exhausted:
             self.stats.prewarms_deferred += count
+            self._deferred[key] = self._deferred.get(key, 0) + count
             return
         for _ in range(count):
             self._shelves[key].append(kind)
@@ -114,6 +137,8 @@ class WarmPool:
         """
         key = (kind, single_tenant)
         self._known_keys[key] = None
+        if self.observer is not None:
+            self.observer(kind, single_tenant)
         if not self.enabled:
             self.stats.misses += 1
             self._record_acquire(hit=False, outage=False)
@@ -134,18 +159,38 @@ class WarmPool:
         self._record_acquire(hit=False, outage=self._exhausted)
         return False
 
+    def target_for(self, kind: EnvKind, single_tenant: bool) -> int:
+        """The refill depth for one shelf (override, or the flat default)."""
+        return self._targets.get((kind, single_tenant), self.target_depth)
+
+    def set_target(self, kind: EnvKind, single_tenant: bool,
+                   depth: Optional[int]) -> None:
+        """Set (or clear, with None) a per-key refill depth override."""
+        key = (kind, single_tenant)
+        if depth is None:
+            self._targets.pop(key, None)
+            return
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        self._known_keys[key] = None
+        self._targets[key] = depth
+
     def refill(self) -> int:
-        """Restock every known key to ``target_depth``; returns shells added.
+        """Restock every known key to its target depth; returns shells added.
 
         The runtime calls this between scheduling rounds, modelling the
-        provider's background pre-warming loop.
+        provider's background pre-warming loop.  Deferred outage
+        prewarms are NOT re-added here — :meth:`restore` already
+        replayed them, and counting them against the target again would
+        double-stock the shelf.
         """
         if not self.enabled or self._exhausted:
             return 0
         added = 0
-        for key in self._known_keys:
+        for key in sorted(self._known_keys, key=_key_order):
             shelf = self._shelves[key]
-            while len(shelf) < self.target_depth:
+            goal = self.target_for(*key)
+            while len(shelf) < goal:
                 shelf.append(key[0])
                 self.stats.prewarmed += 1
                 added += 1
@@ -164,9 +209,27 @@ class WarmPool:
         self._exhausted = True
         return dropped
 
-    def restore(self) -> None:
-        """Lift an :meth:`exhaust` outage; the next refill restocks."""
+    def restore(self) -> int:
+        """Lift an :meth:`exhaust` outage and replay deferred prewarms.
+
+        Each prewarm banked during the outage lands on its shelf exactly
+        once (counted once in ``stats.prewarmed``); the bank is then
+        cleared so a racing :meth:`refill` cannot stock the same shells
+        a second time.  Returns the shells replayed.
+        """
         self._exhausted = False
+        replayed = 0
+        for key in sorted(self._deferred, key=_key_order):
+            count = self._deferred[key]
+            shelf = self._shelves[key]
+            for _ in range(count):
+                shelf.append(key[0])
+                self.stats.prewarmed += 1
+                replayed += 1
+        self._deferred.clear()
+        if replayed and self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.inc("udc_warm_pool_prewarmed_total", replayed)
+        return replayed
 
     def depth(self, kind: EnvKind, single_tenant: bool) -> int:
         return len(self._shelves.get((kind, single_tenant), ()))

@@ -53,7 +53,7 @@ from repro.replay.snapshot import (
 )
 from repro.replay.workloads import Command, RunScript, build_script
 from repro.service import FifoAdmission, UDCService, WeightedFairShare
-from repro.service.tenants import QuotaExceeded
+from repro.service.tenants import BudgetExceeded, QuotaExceeded, TenantSpec
 from repro.simulator.rng import RngRegistry
 
 __all__ = [
@@ -103,6 +103,9 @@ class RunConfig:
     #: placement cells (1 = the unsharded control plane); journals
     #: recorded before sharding existed deserialize to 1
     cells: int = 1
+    #: economic autopilot (adaptive budgets + forecast warm pools);
+    #: journals recorded before the autopilot deserialize to False
+    autopilot: bool = False
 
     def to_json_dict(self) -> Dict[str, Any]:
         return {
@@ -117,6 +120,7 @@ class RunConfig:
             "telemetry": self.telemetry,
             "warm": self.warm,
             "cells": self.cells,
+            "autopilot": self.autopilot,
         }
 
     @classmethod
@@ -134,6 +138,7 @@ class RunConfig:
                 telemetry=bool(payload.get("telemetry", True)),
                 warm=bool(payload.get("warm", False)),
                 cells=int(payload.get("cells", 1)),
+                autopilot=bool(payload.get("autopilot", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(f"malformed run config: {exc}") from exc
@@ -175,6 +180,7 @@ class ReplayRunner:
             return UDCService(
                 datacenter, policy=policy, batched=config.batched,
                 lint=config.lint, cells=config.cells,
+                autopilot=config.autopilot,
                 rng=RngRegistry(config.seed),
                 warm_pool=WarmPool(enabled=config.warm),
                 prewarm=config.warm,
@@ -188,15 +194,29 @@ class ReplayRunner:
             telemetry=Telemetry(enabled=config.telemetry),
         )
         return UDCService(runtime=runtime, policy=policy,
-                          batched=config.batched, lint=config.lint)
+                          batched=config.batched, lint=config.lint,
+                          autopilot=config.autopilot)
 
     def _apply(self, service: UDCService, command: Command,
                eid: int) -> Dict[str, Any]:
         """Execute one command; returns its observable-outcome ``info``."""
         op, args = command.op, command.args
         if op == "register-tenant":
-            service.register_tenant(args["tenant"],
-                                    weight=float(args.get("weight", 1.0)))
+            # Journaled spec fields are optional: commands recorded
+            # before TenantSpec existed carry only tenant + weight and
+            # resolve to the identical registration.
+            spec = TenantSpec(
+                weight=float(args.get("weight", 1.0)),
+                tier=str(args.get("tier", "firm")),
+                goal=(str(args["goal"])
+                      if args.get("goal") is not None else None),
+                budget_dollars=(float(args["budget_dollars"])
+                                if args.get("budget_dollars") is not None
+                                else None),
+                slo_s=(float(args["slo_s"])
+                       if args.get("slo_s") is not None else None),
+            )
+            service.register_tenant(args["tenant"], spec)
             info: Dict[str, Any] = {}
         elif op == "inject-failure":
             # Routed through the service: sharded runs own one injector
@@ -213,6 +233,9 @@ class ReplayRunner:
                     inputs=args.get("inputs"),
                 )
                 info = {"outcome": handle.status, "seq": handle.seq}
+            except BudgetExceeded:
+                # Before QuotaExceeded: budget exhaustion subclasses it.
+                info = {"outcome": "budget-rejected"}
             except QuotaExceeded:
                 info = {"outcome": "quota-rejected"}
             except AnalysisError:
@@ -251,6 +274,13 @@ class ReplayRunner:
                       "evictions": service.cache_stats.evictions},
             "rounds": service.rounds,
         }
+        # Autopilot state (budgets, ceilings, forecaster EWMAs,
+        # preemptions) fingerprints like an RNG stream — but only when
+        # economics are active, so pre-autopilot journals verify
+        # byte-identically.
+        economics = service.economics_fingerprint()
+        if economics is not None:
+            state["economics"] = economics
         return {
             "clock": repr(service.runtime.sim.now),
             "rng": service.runtime.rng.state_fingerprint(),
@@ -288,12 +318,15 @@ class ReplayRunner:
                  "rejected": u.rejected, "cache_hits": u.cache_hits,
                  "total_cost": repr(u.total_cost),
                  "cost_saved": repr(u.cost_saved),
+                 "billed_cost": repr(u.billed_cost),
+                 "slo_misses": u.slo_misses,
                  "queue_wait_s": repr(u.queue_wait_s)}
                 for u in service.rollup()
             ],
             "cache": {"hits": service.cache_stats.hits,
                       "misses": service.cache_stats.misses,
                       "evictions": service.cache_stats.evictions},
+            "economics": service.economics_fingerprint(),
             "metrics": metrics,
         }
 

@@ -106,6 +106,13 @@ def _tenant_trace_script(params: Dict[str, Any], seed: int) -> RunScript:
     rate = float(params.get("rate", 0.5))
     repeat_fraction = float(params.get("repeat_fraction", 0.25))
     round_every = max(1, int(params.get("round_every", 8)))
+    # Autopilot knobs — all default-off, so scripts built from older
+    # configs (and their journals) stay byte-identical.
+    spot_fraction = float(params.get("spot_fraction", 0.0))
+    budget = params.get("budget")
+    slo_s = params.get("slo_s")
+    if not 0.0 <= spot_fraction <= 1.0:
+        raise ValueError("tenant-trace needs 0 <= spot_fraction <= 1")
     profiles = default_tenant_profiles(count=tenants, seed=seed)
     trace = generate_tenant_trace(
         profiles,
@@ -115,10 +122,18 @@ def _tenant_trace_script(params: Dict[str, Any], seed: int) -> RunScript:
         seed=seed,
     )
     script = RunScript()
-    for profile in profiles:
-        script.commands.append(Command("register-tenant", {
+    spot_count = int(round(spot_fraction * len(profiles)))
+    for index, profile in enumerate(profiles):
+        args: Dict[str, Any] = {
             "tenant": profile.name, "weight": profile.weight,
-        }))
+        }
+        if index < spot_count:
+            args["goal"] = "cheapest"
+        if budget is not None:
+            args["budget_dollars"] = float(budget)
+        if slo_s is not None:
+            args["slo_s"] = float(slo_s)
+        script.commands.append(Command("register-tenant", args))
     # One app per tenant, rebuilt deterministically by archetype.
     for submission in trace.submissions:
         if submission.tenant not in script.apps:

@@ -22,22 +22,36 @@ from repro.service.cache import (
     inputs_fingerprint,
 )
 from repro.service.service import ResultNotReady, SubmissionHandle, UDCService
-from repro.service.tenants import QuotaExceeded, Tenant, TenantQuota
+from repro.service.tenants import (
+    BudgetExceeded,
+    QuotaExceeded,
+    SubmitOptions,
+    Tenant,
+    TenantQuota,
+    TenantSpec,
+    submit_options,
+    tenant_spec,
+)
 
 __all__ = [
     "AdmissionMemo",
     "AdmissionPolicy",
+    "BudgetExceeded",
     "CacheStats",
     "FifoAdmission",
     "QuotaExceeded",
     "ResultCache",
     "ResultNotReady",
     "SubmissionHandle",
+    "SubmitOptions",
     "Tenant",
     "TenantQuota",
+    "TenantSpec",
     "UDCService",
     "WeightedFairShare",
     "dag_fingerprint",
     "definition_fingerprint",
     "inputs_fingerprint",
+    "submit_options",
+    "tenant_spec",
 ]

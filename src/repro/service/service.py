@@ -40,8 +40,9 @@ Per-tenant outcomes land on an
 from __future__ import annotations
 
 import itertools
+import warnings
 from contextlib import ExitStack, nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Union
 
 from repro.appmodel.dag import ModuleDAG
@@ -50,10 +51,23 @@ from repro.core.cells import CellRouter, estimate_demand, partition_datacenter
 from repro.core.report import RunResult
 from repro.core.runtime import Submission, UDCRuntime
 from repro.core.scheduler import SchedulerError
+from repro.economics.autopilot import (
+    FIRM_PLAN,
+    AdaptiveBudgetHook,
+    BudgetEnforcer,
+    WarmPoolForecaster,
+)
 from repro.economics.tenants import TenantLedger, TenantUsage, jain_index
 from repro.hardware.topology import Datacenter
 from repro.service.cache import AdmissionMemo, CacheStats, ResultCache
-from repro.service.tenants import QuotaExceeded, Tenant, TenantQuota
+from repro.service.tenants import (
+    BudgetExceeded,
+    QuotaExceeded,
+    SubmitOptions,
+    Tenant,
+    TenantQuota,
+    TenantSpec,
+)
 
 __all__ = ["ResultNotReady", "SubmissionHandle", "UDCService"]
 
@@ -92,6 +106,8 @@ class SubmissionHandle:
     cell: Optional[int] = None
     submission: Optional[Submission] = None
     result: Optional[RunResult] = None
+    #: the per-submission options this work was accepted under
+    options: Optional[SubmitOptions] = field(default=None, repr=False)
     _cache_key: Optional[tuple] = field(default=None, repr=False, init=False)
 
     @property
@@ -170,6 +186,7 @@ class UDCService:
         result_cache_capacity: int = 128,
         admission_memo_capacity: int = 256,
         lint: bool = True,
+        autopilot: bool = False,
         **runtime_kwargs,
     ):
         if cells < 1:
@@ -231,6 +248,28 @@ class UDCService:
         #: cache) so repeated shapes re-emit their diagnostics without
         #: re-running the analyzer — a cache hit must still lint
         self._lint_memo = ResultCache(admission_memo_capacity)
+        #: declared tenant specs (tier/goal/budget/SLO), by name
+        self._specs: Dict[str, TenantSpec] = {}
+        #: the budget kernel: always present (enforces only for tenants
+        #: that declared budgets), audited by check_budget_accounting
+        self.budget = BudgetEnforcer()
+        self.autopilot = autopilot
+        #: the planner and forecaster exist only under --autopilot; the
+        #: default service stays byte-identical to the pre-autopilot one
+        self.budget_hook: Optional[AdaptiveBudgetHook] = None
+        self.forecaster: Optional[WarmPoolForecaster] = None
+        #: spot-tier submissions evicted for firm work, service-wide
+        self.preemptions = 0
+        for cell_runtime in runtimes:
+            # Bound method, not a lambda: replay snapshots pickle the
+            # whole service.  Firm work outranks spot in retry rounds.
+            cell_runtime.tier_of = self._tier_rank
+        if autopilot:
+            self.budget_hook = AdaptiveBudgetHook(self.budget)
+            self.forecaster = WarmPoolForecaster()
+            # All cells share one warm pool; the forecaster observes
+            # every acquisition attempt through the pool's hook.
+            self.runtime.warm_pool.observer = self.forecaster.observe
 
     @staticmethod
     def _build_cell_runtimes(
@@ -276,18 +315,80 @@ class UDCService:
     def register_tenant(
         self,
         name: str,
-        weight: float = 1.0,
-        quota: Optional[TenantQuota] = None,
+        spec: Union[TenantSpec, float, None] = None,
+        **legacy,
     ) -> Tenant:
-        """Register (or re-configure) a tenant; weights feed fair share."""
-        tenant = Tenant(name=name, weight=weight, quota=quota)
+        """Register (or re-configure) a tenant from a typed spec.
+
+        ``spec`` is a :class:`~repro.service.tenants.TenantSpec` (or a
+        fluent ``tenant_spec()`` builder — anything with ``build_spec``),
+        carrying weight, quota, budget, tier/goal, SLO, and pricing in
+        one value.  The old spellings still work, with a
+        :class:`DeprecationWarning`: a bare number in the spec position
+        is the historical positional ``weight``, and ``weight=`` /
+        ``quota=`` keywords fold into a default spec.  Unknown keywords
+        raise :class:`TypeError`.
+        """
+        if spec is not None and not hasattr(spec, "build_spec"):
+            if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+                warnings.warn(
+                    "register_tenant(name, weight) is deprecated; pass a "
+                    "TenantSpec (e.g. tenant_spec().weight(...))",
+                    DeprecationWarning, stacklevel=2,
+                )
+                spec = TenantSpec(weight=float(spec))
+            else:
+                raise TypeError(
+                    f"spec must be a TenantSpec (or builder), "
+                    f"got {type(spec).__name__}"
+                )
+        folded: Dict[str, Any] = {}
+        for key in ("weight", "quota"):
+            if key in legacy:
+                warnings.warn(
+                    f"register_tenant({key}=...) is deprecated; declare it "
+                    f"on a TenantSpec",
+                    DeprecationWarning, stacklevel=2,
+                )
+                folded[key] = legacy.pop(key)
+        if legacy:
+            raise TypeError(
+                f"register_tenant() got unexpected keyword argument(s) "
+                f"{sorted(legacy)}"
+            )
+        if spec is None:
+            spec = TenantSpec(weight=float(folded.get("weight", 1.0)),
+                              quota=folded.get("quota"))
+        else:
+            spec = spec.build_spec()
+            if folded:
+                raise TypeError(
+                    "pass either a TenantSpec or the deprecated "
+                    "weight=/quota= keywords, not both"
+                )
+        tenant = Tenant(name=name, weight=spec.weight, quota=spec.quota)
         existing = self.tenants.get(name)
         if existing is not None:
             tenant.submitted = existing.submitted
         self.tenants[name] = tenant
+        self._specs[name] = spec
+        self.budget.declare(name, spec.budget_dollars)
         if isinstance(self.policy, WeightedFairShare):
-            self.policy.set_weight(name, weight)
+            self.policy.set_weight(name, spec.weight)
         return tenant
+
+    def spec_of(self, tenant: str) -> TenantSpec:
+        """The registered spec (defaults for self-registered tenants)."""
+        spec = self._specs.get(tenant)
+        return spec if spec is not None else TenantSpec()
+
+    def tier_of(self, tenant: str) -> str:
+        """``"firm"`` or ``"spot"`` after goal resolution."""
+        return self.spec_of(tenant).effective_tier
+
+    def _tier_rank(self, tenant: str) -> int:
+        """Admission-retry rank installed on cell runtimes (0 = firm)."""
+        return 1 if self.tier_of(tenant) == "spot" else 0
 
     def _tenant_of(self, tenant: Union[Tenant, str]) -> Tenant:
         if isinstance(tenant, Tenant):
@@ -329,21 +430,63 @@ class UDCService:
         app: ModuleDAG,
         definition=None,
         inputs: Optional[Dict[str, Any]] = None,
+        options: Optional[SubmitOptions] = None,
+        **legacy,
     ) -> SubmissionHandle:
         """Accept one submission; raises
-        :class:`~repro.service.tenants.QuotaExceeded` over quota.
+        :class:`~repro.service.tenants.QuotaExceeded` over quota and
+        :class:`~repro.service.tenants.BudgetExceeded` (a subclass) when
+        the tenant's spend reached its budget ceiling.
+
+        ``options`` is a :class:`~repro.service.tenants.SubmitOptions`
+        (or a fluent ``submit_options()`` builder — anything with
+        ``build_options``): lint override, dispatch priority, deadline,
+        cache opt-out.  The loose spellings (``lint=``, ``priority=``,
+        ``deadline_s=``, ``use_cache=``) still work with a
+        :class:`DeprecationWarning`; unknown keywords raise
+        :class:`TypeError`.
 
         In batched mode the submission buffers until the next
         :meth:`dispatch_round` (or :meth:`drain`, which flushes); in
         serial mode it reaches the runtime immediately.
         """
+        opts = SubmitOptions()
+        if options is not None:
+            if not hasattr(options, "build_options"):
+                raise TypeError(
+                    f"options must be SubmitOptions (or builder), "
+                    f"got {type(options).__name__}"
+                )
+            opts = options.build_options()
+        folded: Dict[str, Any] = {}
+        for key in ("lint", "priority", "deadline_s", "use_cache"):
+            if key in legacy:
+                warnings.warn(
+                    f"submit({key}=...) is deprecated; pass "
+                    f"options=SubmitOptions({key}=...)",
+                    DeprecationWarning, stacklevel=2,
+                )
+                folded[key] = legacy.pop(key)
+        if legacy:
+            raise TypeError(
+                f"submit() got unexpected keyword argument(s) "
+                f"{sorted(legacy)}"
+            )
+        if folded:
+            if options is not None:
+                raise TypeError(
+                    "pass either options= or the deprecated submit "
+                    "keywords, not both"
+                )
+            opts = replace(opts, **folded)
+        lint = self.lint if opts.lint is None else opts.lint
         record = self._tenant_of(tenant)
         name = record.name
         labels = {"tenant": name}
         self.telemetry.inc("udc_tenant_submissions_total", labels=labels)
         handle = SubmissionHandle(tenant=name, app=app.name,
-                                  seq=next(self._seq))
-        if self.cache.capacity > 0:
+                                  seq=next(self._seq), options=opts)
+        if self.cache.capacity > 0 and opts.use_cache:
             # Sensitivity-labeled apps key by tenant: tenant A's cached
             # PHI result must never answer tenant B's submission.
             key = ResultCache.key(app, definition, inputs, tenant=name)
@@ -353,7 +496,7 @@ class UDCService:
                 # may have been cached under a differently-configured
                 # service, so a linting service still lints before
                 # serving (memoized — repeats stay cheap).
-                if self.lint:
+                if lint:
                     self._lint(name, app, definition)
                 # Served without consuming capacity: no quota charge.
                 handle.cached = True
@@ -373,14 +516,22 @@ class UDCService:
             self.ledger.record_rejection(name)
             self.telemetry.inc("udc_tenant_rejections_total", labels=labels)
             raise
-        if self.lint:
+        reason = self.budget.admit(name)
+        if reason is not None:
+            # Budget exhaustion is load shedding at the front door, the
+            # same as quota — but separately countable and catchable.
+            self.ledger.record_rejection(name)
+            self.telemetry.inc("udc_tenant_rejections_total", labels=labels)
+            self.telemetry.inc("udc_budget_rejections_total", labels=labels)
+            raise BudgetExceeded(name, reason)
+        if lint:
             self._lint(name, app, definition)
         record.submitted += 1
         self.ledger.record_submission(name)
         self._handles.append(handle)
         self._open.append(handle)
         self._live_counts[name] = self._live_counts.get(name, 0) + 1
-        pending = _PendingWork(handle, app, definition, inputs)
+        pending = _PendingWork(handle, app, definition, inputs, opts)
         if self.batched:
             self._pending.append(pending)
         else:
@@ -446,8 +597,49 @@ class UDCService:
         labels = {"tenant": handle.tenant}
         if submission.status == "queued":
             self.telemetry.inc("udc_tenant_queued_total", labels=labels)
+            if self.tier_of(handle.tenant) == "firm":
+                self._preempt_for(handle, submission)
         else:
             self.telemetry.inc("udc_tenant_admitted_total", labels=labels)
+
+    def _preempt_for(self, handle: SubmissionHandle,
+                     submission: Submission) -> None:
+        """Evict spot-tier work until a queued firm submission places.
+
+        Victims are running, non-persistent spot-tier submissions in the
+        same placement cell, youngest first (LIFO — the spot work that
+        arrived last has the least sunk cost).  Each eviction releases
+        capacity synchronously and immediately retries the admission
+        queue (firm-ranked first), so the firm submission deploys before
+        the next victim is considered; eviction stops the moment it does.
+        Spot tenants never trigger preemption — the tier cannot cannibalize
+        itself — and if the victims run out, the firm submission simply
+        stays parked like any other queued work.
+        """
+        cell = handle.cell if handle.cell is not None else 0
+        runtime = self.cell_runtimes[cell]
+        victims = sorted(
+            (
+                h for h in self._open
+                if h is not handle
+                and h.submission is not None
+                and h.submission.status == "running"
+                and not h.submission.persistent
+                and (h.cell if h.cell is not None else 0) == cell
+                and self.tier_of(h.tenant) == "spot"
+            ),
+            key=lambda h: -h.seq,
+        )
+        for victim in victims:
+            if not runtime.preempt(victim.submission,
+                                   by_tenant=handle.tenant):
+                continue
+            self.preemptions += 1
+            self.telemetry.inc("udc_tenant_preemptions_total",
+                               labels={"tenant": victim.tenant})
+            runtime._retry_admissions()
+            if submission.status != "queued":
+                return
 
     def _dispatch_routed(self, work: "_PendingWork") -> Submission:
         """Sharded dispatch: route by coarse demand, spill on rejection.
@@ -483,17 +675,24 @@ class UDCService:
     def dispatch_round(self) -> int:
         """Flush buffered submissions as one scheduling round.
 
-        The round is ordered by the admission policy (fair share by
-        default; seq breaks ties deterministically) and placed under one
-        scheduler batch span, so control-plane telemetry is paid once
-        per round instead of once per app.
+        The round is ordered by submit priority, then the admission
+        policy (fair share by default; seq breaks ties deterministically)
+        and placed under one scheduler batch span, so control-plane
+        telemetry is paid once per round instead of once per app.
+
+        Under ``autopilot=True`` the round starts with one planner pass:
+        the budget hook replans spending ceilings from the ledger, and
+        at every forecast-window boundary the forecaster resizes warm
+        pool shelves to the coming window's predicted demand.
         """
+        if self.autopilot:
+            self._autopilot_round()
         if not self._pending:
             return 0
         batch = sorted(
             self._pending,
-            key=lambda w: self.policy.sort_key(w.handle.tenant,
-                                               w.handle.seq),
+            key=lambda w: (-w.options.priority,)
+            + tuple(self.policy.sort_key(w.handle.tenant, w.handle.seq)),
         )
         self._pending = []
         self.rounds += 1
@@ -520,6 +719,36 @@ class UDCService:
         self.telemetry.inc("udc_service_rounds_total")
         self.telemetry.inc("udc_service_dispatched_total", len(batch))
         return len(batch)
+
+    def _autopilot_round(self) -> None:
+        """One planner pass: replan ceilings, resize warm-pool shelves.
+
+        Deterministic arithmetic over ledger rollups and forecaster
+        state, visited in sorted order — the planner never touches the
+        enforcement path directly (kernel/planner split).
+        """
+        now = self.runtime.sim.now
+        if self.budget_hook is not None:
+            attainment = {
+                usage.tenant: (usage.completed, usage.slo_misses)
+                for usage in self.ledger.rollup()
+            }
+            self.budget_hook.on_round(now, attainment)
+        forecaster = self.forecaster
+        pool = self.runtime.warm_pool
+        if forecaster is not None and pool.enabled \
+                and forecaster.roll(now):
+            for kind, single in sorted(pool._known_keys,
+                                       key=lambda k: (k[0].value, k[1])):
+                target = forecaster.target_for(kind, single)
+                pool.set_target(kind, single, target)
+                if self.telemetry.enabled:
+                    self.telemetry.gauge_set(
+                        "udc_warm_pool_target_depth", float(target),
+                        labels={"kind": kind.value,
+                                "single": str(single).lower()},
+                    )
+            pool.refill()
 
     # --------------------------------------------------------------- drain
 
@@ -599,13 +828,34 @@ class UDCService:
             self.ledger.record_unplaceable(handle.tenant)
             self.telemetry.inc("udc_tenant_unplaceable_total", labels=labels)
             return
+        # Billing: the metered cost runs through the tenant's pricing
+        # plan (spot discounts here), lands on the ledger AND the budget
+        # enforcer — two independently-kept books whose agreement
+        # check_budget_accounting audits.
+        spec = self._specs.get(handle.tenant)
+        plan = spec.plan if spec is not None else FIRM_PLAN
+        billed = plan.billed(submission.result.total_cost)
+        deadline = None
+        if handle.options is not None \
+                and handle.options.deadline_s is not None:
+            deadline = handle.options.deadline_s
+        elif spec is not None:
+            deadline = spec.slo_s
+        elapsed = submission.queue_wait_s + submission.result.makespan_s
+        slo_miss = deadline is not None and elapsed > deadline
         self.ledger.record_result(
             handle.tenant, submission.result,
             queue_wait_s=submission.queue_wait_s,
+            billed_cost=billed, slo_miss=slo_miss,
         )
+        self.budget.charge(handle.tenant, billed)
         self.telemetry.inc("udc_tenant_completed_total", labels=labels)
         self.telemetry.inc("udc_tenant_cost_dollars_total",
                            submission.result.total_cost, labels=labels)
+        self.telemetry.inc("udc_tenant_billed_dollars_total",
+                           billed, labels=labels)
+        if slo_miss:
+            self.telemetry.inc("udc_slo_misses_total", labels=labels)
         if submission.queue_wait_s > 0:
             self.telemetry.observe("udc_tenant_queue_wait_seconds",
                                    submission.queue_wait_s, labels=labels)
@@ -715,6 +965,39 @@ class UDCService:
     def rollup(self) -> List[TenantUsage]:
         return self.ledger.rollup()
 
+    def billed_by_tenant(self) -> Dict[str, float]:
+        """Billed dollars per tenant, from the ledger's book."""
+        return {usage.tenant: usage.billed_cost
+                for usage in self.ledger.rollup()}
+
+    def check_budget_accounting(self, tolerance: float = 1e-6) -> List[str]:
+        """Drift audit: enforcer spend vs. ledger billed totals.
+
+        Empty means the two independently-maintained books balance —
+        the zero-drift invariant the autopilot CI job gates on.
+        """
+        return self.budget.check_accounting(self.billed_by_tenant(),
+                                            tolerance)
+
+    def economics_fingerprint(self) -> Optional[Dict[str, Any]]:
+        """Autopilot/budget state for replay fingerprints.
+
+        None when economics are inert (no autopilot, no declared
+        budgets), so fingerprints of pre-autopilot runs — and journals
+        recorded before this subsystem existed — are byte-identical.
+        """
+        if not (self.autopilot or self.budget.active):
+            return None
+        state: Dict[str, Any] = {
+            "budget": self.budget.snapshot(),
+            "preemptions": self.preemptions,
+        }
+        if self.budget_hook is not None:
+            state["ceilings"] = self.budget_hook.state()
+        if self.forecaster is not None:
+            state["forecast"] = self.forecaster.state()
+        return state
+
     @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
@@ -732,3 +1015,4 @@ class _PendingWork:
     app: ModuleDAG
     definition: Any
     inputs: Optional[Dict[str, Any]]
+    options: SubmitOptions = field(default_factory=SubmitOptions)

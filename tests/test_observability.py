@@ -82,9 +82,13 @@ def test_prewarm_is_deferred_during_outage():
     assert pool.stats.misses == 1
     assert pool.stats.outage_misses == 1
 
-    # After restore, refill restocks the remembered key.
-    pool.restore()
-    assert pool.refill() == 2
+    # After restore, the banked prewarms replay exactly once; a racing
+    # refill sees the shelf already past target and must not add the
+    # same shells a second time (the double-count bug).
+    assert pool.restore() == 3
+    assert pool.stats.prewarmed == 3
+    assert pool.refill() == 0
+    assert pool.depth(EnvKind.CONTAINER, False) == 3
     assert pool.try_acquire(EnvKind.CONTAINER, False)
     assert pool.stats.outage_misses == 1  # post-outage misses not attributed
 

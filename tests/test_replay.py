@@ -39,6 +39,12 @@ FIG2_FAULTS = RunConfig(
 TRACE = RunConfig(workload="tenant-trace",
                   params={"tenants": 4, "minutes": 8.0, "round_every": 4},
                   seed=3)
+AUTOPILOT = RunConfig(
+    workload="tenant-trace",
+    params={"tenants": 4, "minutes": 8.0, "round_every": 4,
+            "spot_fraction": 0.5, "budget": 0.05, "slo_s": 120.0},
+    seed=3, warm=True, autopilot=True,
+)
 
 
 def record_baseline(config, tmp_path, name="base"):
@@ -171,8 +177,9 @@ def test_list_snapshots_sorted(tmp_path):
 
 
 @pytest.mark.parametrize("crash_frac", [0.2, 0.5, 0.85])
-@pytest.mark.parametrize("config", [FIG2, TRACE, FIG2_FAULTS],
-                         ids=["fig2", "tenant-trace", "fig2-faults"])
+@pytest.mark.parametrize("config", [FIG2, TRACE, FIG2_FAULTS, AUTOPILOT],
+                         ids=["fig2", "tenant-trace", "fig2-faults",
+                              "autopilot"])
 def test_crash_resume_byte_identical(tmp_path, config, crash_frac):
     """The acceptance gate: crash at several distinct event indices,
     resume, and the final report bytes AND the journal itself are
@@ -413,3 +420,35 @@ def test_cli_replay_detects_divergence(tmp_path, capsys):
     ReplayRunner(FIG2, perturb={"eid": 2, "stream": "x"}).record(journal)
     assert run_cli("replay", journal) == 2
     assert "DIVERGED" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- autopilot runs
+
+
+def test_autopilot_journal_replays_with_economics_fingerprints(tmp_path):
+    """The autopilot's budget/forecaster state rides in the replay
+    fingerprints: a full replay verifies, and the recorded service's
+    economics are live (spot tenants registered, budgets enforced)."""
+    baseline_runner, baseline_service, journal = \
+        record_baseline(AUTOPILOT, tmp_path, "autopilot")
+    assert baseline_service.economics_fingerprint() is not None
+    assert baseline_service.budget.active
+    assert baseline_service.check_budget_accounting() == []
+    tiers = {baseline_service.tier_of(f"tenant-{i:02d}") for i in range(4)}
+    assert tiers == {"spot", "firm"}
+    runner = ReplayRunner(AUTOPILOT)
+    service, replayed = runner.replay(journal)
+    assert len(replayed) == len(runner.script.commands)
+    assert (runner.report_bytes(service)
+            == baseline_runner.report_bytes(baseline_service))
+
+
+def test_inert_autopilot_leaves_fingerprints_unchanged(tmp_path):
+    """autopilot=False runs fingerprint exactly as before the autopilot
+    existed — the economics key only appears when economics are live."""
+    _, service, journal = record_baseline(TRACE, tmp_path, "inert")
+    assert service.economics_fingerprint() is None
+    config, events, _ = read_journal(journal)
+    assert config["autopilot"] is False
+    for event in events:
+        assert "economics" not in json.dumps(event.fingerprint or {})
