@@ -1,0 +1,215 @@
+"""Modularizer bench — auto-cut legacy apps vs the hand-cut reference (C11).
+
+Three experiments back the claim that the whole-program analyzer
+compiles legacy Python into lint-clean UDC definitions competitive with
+a hand cut:
+
+1. **Corpus compile** — every app under ``examples/legacy/`` compiles
+   through :func:`repro.analysis.program.modularize` with zero analyzer
+   findings (the pipeline self-checks; this bench re-lints emitted
+   definitions independently) and a byte-identical ``--json`` report
+   across two runs.
+2. **Auto vs hand cut** — the auto-cut ``fig2_monolith.py`` is scored
+   against the hand-cut :mod:`repro.workloads.medical` app.  Gates:
+   cross-module traffic no worse than the hand cut (colocated modules
+   count as one unit — the hand cut pins A1+A2 together exactly where
+   the auto cut merges them), and end-to-end fulfillment cost within
+   15% of the hand cut on the same datacenter.
+3. **End to end** — the auto-cut app *runs*: the emitted modules are
+   given composed callables over the executed legacy namespace and the
+   full pipeline produces a diagnosis with zero failures.
+
+Results land in ``BENCH_MODULARIZE.json`` at the repo root; ``--smoke``
+runs the same gates without rewriting it (the pipeline is milliseconds —
+there is no reduced scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_definition
+from repro.analysis.program import (
+    attach_functions,
+    input_payload,
+    modularize,
+)
+from repro.core.runtime import UDCRuntime
+from repro.hardware.topology import DatacenterSpec, build_datacenter
+from repro.workloads.medical import build_medical_app
+
+try:
+    from _util import print_table
+except ImportError:  # running as a script from the repo root
+    sys.path.insert(0, str(Path(__file__).parent))
+    from _util import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_MODULARIZE.json"
+LEGACY_DIR = REPO_ROOT / "examples" / "legacy"
+
+SPEC = DatacenterSpec(pods=1, racks_per_pod=4)
+#: fulfillment-cost gate: auto cut within 15% of the hand cut
+COST_RATIO_CEILING = 1.15
+
+
+def _hand_cross_bytes(dag) -> int:
+    """Hand-cut cross-module traffic, colocated modules as one unit."""
+    groups = dag.merged_colocation_groups()
+
+    def unit(name: str) -> str:
+        for index, group in enumerate(groups):
+            if name in group:
+                return f"group-{index}"
+        return name
+
+    return sum(e.bytes_transferred for e in dag.edges
+               if unit(e.src) != unit(e.dst))
+
+
+def run_corpus() -> list:
+    rows = []
+    for path in sorted(LEGACY_DIR.glob("*.py")):
+        source = path.read_text(encoding="utf-8")
+        result = modularize(source, name=path.stem,
+                            datacenter=build_datacenter(SPEC))
+        again = modularize(source, name=path.stem,
+                           datacenter=build_datacenter(SPEC))
+        assert result.report_json() == again.report_json(), (
+            f"{path.name}: report is not byte-deterministic"
+        )
+        relint = analyze_definition(result.emitted.definition,
+                                    app=result.emitted.dag,
+                                    datacenter=build_datacenter(SPEC))
+        rows.append({
+            "source": path.name,
+            "tasks": len(result.model.tasks),
+            "stores": len(result.model.stores),
+            "modules": len(result.cut.groups),
+            "merges": result.cut.merges,
+            "cross_module_bytes": result.cut.cross_bytes,
+            "internalized_bytes": result.cut.internal_bytes,
+            "raised_stores": list(result.taint.raised),
+            "lint_findings": len(relint),
+        })
+    return rows
+
+
+def run_fig2_comparison() -> dict:
+    source = (LEGACY_DIR / "fig2_monolith.py").read_text(encoding="utf-8")
+    result = modularize(source, name="fig2_monolith",
+                        datacenter=build_datacenter(SPEC))
+
+    hand_dag, hand_definition = build_medical_app()
+    hand_cross = _hand_cross_bytes(hand_dag)
+
+    hand_runtime = UDCRuntime(build_datacenter(SPEC))
+    hand_result = hand_runtime.run(
+        hand_dag, hand_definition, tenant="hospital",
+        inputs={"A1": {"pixels": list(range(256)), "patient": "p-bench"},
+                "A3": {"patient": "p-bench"},
+                "B1": {"consented": True}},
+    )
+
+    namespace = {"__name__": "fig2_monolith_bench"}
+    exec(compile(source, "fig2_monolith.py", "exec"), namespace)
+    auto_dag = attach_functions(result.model, result.cut, result.emitted,
+                                namespace)
+    auto_runtime = UDCRuntime(build_datacenter(SPEC))
+    auto_result = auto_runtime.run(
+        auto_dag, result.emitted.definition, tenant="hospital",
+        inputs=input_payload(
+            result.model, result.emitted,
+            image={"pixels": list(range(256)), "patient": "p-bench"},
+            patient="p-bench", consented=True,
+        ),
+    )
+    verdict = auto_result.outputs["diagnose"]
+
+    return {
+        "hand": {"cross_module_bytes": hand_cross,
+                 "makespan_s": hand_result.makespan_s,
+                 "cost_dollars": hand_result.total_cost,
+                 "failures": hand_result.total_failures},
+        "auto": {"cross_module_bytes": result.cut.cross_bytes,
+                 "modules": len(result.cut.groups),
+                 "makespan_s": auto_result.makespan_s,
+                 "cost_dollars": auto_result.total_cost,
+                 "failures": auto_result.total_failures,
+                 "diagnosis": verdict["diagnosis"]},
+        "gates": {
+            "traffic_ok": result.cut.cross_bytes <= hand_cross,
+            "cost_ratio": auto_result.total_cost / hand_result.total_cost,
+            "cost_ok": (auto_result.total_cost
+                        <= COST_RATIO_CEILING * hand_result.total_cost),
+        },
+    }
+
+
+def run(smoke: bool = False, write: bool = True) -> dict:
+    corpus = run_corpus()
+    fig2 = run_fig2_comparison()
+    payload = {
+        "scale": "smoke" if smoke else "full",
+        "corpus": corpus,
+        "fig2": fig2,
+    }
+    if write and not smoke:
+        RESULT_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {RESULT_PATH}")
+
+    print_table(
+        "Legacy corpus — auto-modularization",
+        ["source", "tasks", "stores", "modules", "cross_B",
+         "internal_B", "lint"],
+        [[r["source"], r["tasks"], r["stores"], r["modules"],
+          r["cross_module_bytes"], r["internalized_bytes"],
+          r["lint_findings"]] for r in corpus],
+    )
+    gates = fig2["gates"]
+    print(f"\nfig2 auto vs hand: traffic {fig2['auto']['cross_module_bytes']}"
+          f" <= {fig2['hand']['cross_module_bytes']} B: "
+          f"{gates['traffic_ok']}; cost ratio "
+          f"{gates['cost_ratio']:.3f} (ceiling {COST_RATIO_CEILING}): "
+          f"{gates['cost_ok']}")
+
+    for row in corpus:
+        assert row["lint_findings"] == 0, (
+            f"{row['source']}: emitted definition has "
+            f"{row['lint_findings']} analyzer finding(s)"
+        )
+    assert gates["traffic_ok"], (
+        f"auto cut moves {fig2['auto']['cross_module_bytes']} cross-module "
+        f"bytes, hand cut {fig2['hand']['cross_module_bytes']}"
+    )
+    assert gates["cost_ok"], (
+        f"auto-cut fulfillment cost ratio {gates['cost_ratio']:.3f} over "
+        f"the {COST_RATIO_CEILING} ceiling"
+    )
+    assert fig2["auto"]["failures"] == 0, "auto-cut run reported failures"
+    return payload
+
+
+# ------------------------------------------------------------ pytest hook
+
+
+def test_modularize_bench_smoke():
+    """Full gates at CI scale (the pipeline is already CI-fast)."""
+    run(smoke=True, write=False)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the gates without rewriting "
+                             "BENCH_MODULARIZE.json")
+    parser.add_argument("--no-write", action="store_true",
+                        help="run without touching BENCH_MODULARIZE.json")
+    args = parser.parse_args()
+    run(smoke=args.smoke, write=not args.no_write)

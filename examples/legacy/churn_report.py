@@ -1,0 +1,74 @@
+"""Legacy churn-report batch job — synthetic corpus app #2.
+
+Exercises the *taint* layer: ``customers`` is PHI, ``summaries`` is an
+unlabeled (public) store that the pipeline writes anonymized data into —
+the analyzer *raises* its label to ``anonymized`` rather than emitting a
+definition the infoflow pass would reject (UDC041).  The sanitizer
+(``scrub``) is the only declassification point, and the cutter's label
+purity rule pins the module boundary exactly there: everything upstream
+of ``scrub`` shares the phi in-label and may merge; ``publish`` (in-label
+anonymized) never joins them.
+"""
+
+import hashlib
+
+customers: "udc: sensitivity=phi size_gb=8 record_bytes=32kb" = {}
+summaries = []
+
+
+def load_profiles(segment):
+    """Pull the segment's customer profiles.
+
+    udc: work=3 read=customers:16mb output_bytes=16mb
+    """
+    rows = []
+    for name in sorted(customers):
+        profile = customers[name]
+        if profile.get("segment") == segment:
+            rows.append({"name": name, "tenure": profile.get("tenure", 0)})
+    return rows or [{"name": "c-0", "tenure": 12}]
+
+
+def score_churn(profiles):
+    """Score churn risk per profile (a toy logistic stand-in).
+
+    udc: work=12 devices=cpu,gpu output_bytes=256kb
+    """
+    scored = []
+    for row in profiles:
+        risk = 1.0 / (1.0 + row["tenure"])
+        scored.append({"name": row["name"], "risk": round(risk, 4)})
+    return scored
+
+
+def scrub(scored):
+    """Strip identity before anything leaves the PHI boundary.
+
+    udc: work=2 output_bytes=128kb sanitizer
+    """
+    out = []
+    for row in scored:
+        out.append({"id": hashlib.sha256(row["name"].encode()).hexdigest()[:8],
+                    "risk": row["risk"]})
+    return out
+
+
+def publish(clean_rows):
+    """Append the anonymized report to the summaries store.
+
+    udc: work=1 write=summaries:128kb
+    """
+    summaries.append(clean_rows)
+    return {"published": len(clean_rows)}
+
+
+def build_report(segment):
+    profiles = load_profiles(segment)
+    scored = score_churn(profiles)
+    clean_rows = scrub(scored)
+    receipt = publish(clean_rows)
+    return receipt
+
+
+if __name__ == "__main__":
+    print(build_report("smb"))

@@ -1,0 +1,134 @@
+"""The paper's Figure-2 medical pipeline as one legacy, un-modularized file.
+
+This is what a hospital's existing codebase looks like *before* UDC: a
+single Python script with global mutable state for the stores and plain
+functions for the pipeline stages.  No ModuleDAG, no aspects — the only
+UDC-facing artifacts are the ``udc:`` directive hints (the paper's §4
+"hints on where application semantics transition") carried in docstrings
+and store annotations.
+
+``udc modularize examples/legacy/fig2_monolith.py`` compiles this file
+into a module DAG + definition equivalent to the hand-cut
+:mod:`repro.workloads.medical` app: same works, same device candidates,
+same byte flows, same sensitivity labels.  The benchmark
+(``benchmarks/bench_modularize.py``) scores the auto-cut against that
+hand-cut reference.
+"""
+
+import hashlib
+
+# -- standing data (Figure 2's S1-S4) ------------------------------------
+
+patient_records: "udc: sensitivity=phi size_gb=50 record_bytes=64kb" = {}
+consent_forms: "udc: sensitivity=phi size_gb=2 record_bytes=4kb" = {}
+image_buffer: "udc: sensitivity=phi size_gb=1 record_bytes=8mb hot" = {}
+research_db: "udc: sensitivity=anonymized size_gb=20 record_bytes=64kb" = []
+
+
+# -- diagnosis path (A1-A4) ----------------------------------------------
+
+def preprocess(image):
+    """Resize + greyscale the incoming medical image (Figure 2's A1).
+
+    udc: work=0.5 devices=cpu,gpu output_bytes=4mb state_bytes=2mb
+    udc: max_parallelism=2 read=image_buffer:8mb
+    """
+    raw = image or image_buffer.get("latest") \
+        or {"pixels": list(range(64)), "patient": "p-0"}
+    return {"pixels": raw["pixels"][::2], "patient": raw["patient"]}
+
+
+def detect_objects(prepared):
+    """CNN object detection over the preprocessed image (A2).
+
+    udc: work=40 devices=gpu output_bytes=64kb state_bytes=32mb
+    """
+    digest = hashlib.sha256(
+        bytes(p % 256 for p in prepared["pixels"])).hexdigest()
+    findings = ["nodule" if int(digest[0], 16) % 2 else "clear",
+                f"confidence-0.{int(digest[1:3], 16) % 90 + 10}"]
+    return {"patient": prepared["patient"], "objects": findings}
+
+
+def retrieve_history(patient):
+    """Record retrieval + NLP summarization over the records store (A3).
+
+    udc: work=30 devices=gpu output_bytes=64kb state_bytes=24mb
+    udc: read=patient_records:4mb
+    """
+    prior = patient_records.get(patient, [])
+    digest = hashlib.sha256(patient.encode()).hexdigest()[:6]
+    return {"patient": patient,
+            "history_summary": f"record({patient}): prior={digest}",
+            "prior_count": len(prior)}
+
+
+def diagnose(detection, history):
+    """Fuse detection + history into the automated diagnosis (A4);
+    the result is appended to the patient's record.
+
+    udc: work=2 devices=cpu output_bytes=16kb state_bytes=1mb
+    udc: max_parallelism=2 write=patient_records:64kb
+    """
+    verdict = {
+        "patient": detection["patient"],
+        "diagnosis": f"{detection['objects'][0]} given "
+                     f"{history['history_summary']}",
+    }
+    patient_records.setdefault(detection["patient"], []).append(verdict)
+    return verdict
+
+
+# -- analytics path (B1-B2) ----------------------------------------------
+
+def anonymize_consented(consented):
+    """Consent-filter and anonymize records for research (B1) — the one
+    legal declassification point from the PHI stores to the research set.
+
+    udc: work=4 devices=cpu output_bytes=128mb state_bytes=4mb sanitizer
+    udc: read=consent_forms:1mb read=patient_records:64mb
+    udc: write=research_db:128mb
+    """
+    if not consented:
+        return {"records": []}
+    released = []
+    for patient in sorted(patient_records):
+        if not consent_forms.get(patient, True):
+            continue
+        released.append({
+            "id": hashlib.sha256(patient.encode()).hexdigest()[:8],
+            "payload": "anonymized",
+        })
+    if not released:
+        released.append({"id": hashlib.sha256(b"p-0").hexdigest()[:8],
+                         "payload": "anonymized"})
+    research_db.extend(released)
+    return {"records": released}
+
+
+def cohort_analytics():
+    """Third-party analytics over the anonymized research set (B2).
+
+    udc: work=20 devices=cpu,gpu output_bytes=1mb state_bytes=8mb
+    udc: read=research_db:128mb
+    """
+    return {"cohort_size": len(research_db)}
+
+
+# -- orchestration --------------------------------------------------------
+
+def run_pipeline(image, patient, consented):
+    """One submission: diagnose a patient, then refresh the research set."""
+    prepared = preprocess(image)
+    detection = detect_objects(prepared)
+    history = retrieve_history(patient)
+    verdict = diagnose(detection, history)
+    anonymize_consented(consented)
+    stats = cohort_analytics()
+    return {"verdict": verdict, "stats": stats}
+
+
+if __name__ == "__main__":
+    out = run_pipeline({"pixels": list(range(256)), "patient": "p-000"},
+                       "p-000", True)
+    print(out)

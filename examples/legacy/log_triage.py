@@ -1,0 +1,38 @@
+"""Legacy log-triage script — synthetic corpus app #3.
+
+Deliberately *directive-free* except the data flow itself: every hint
+channel stays at its default (work derived from loop nesting, cpu-only
+devices, public labels, 1 KB flows).  The whole pipeline is public,
+serial, and cpu-compatible, so the cutter collapses it into a single
+task module — the degenerate-but-correct cut.
+"""
+
+events = []
+
+
+def parse_logs(blob):
+    parsed = []
+    for line in blob.splitlines():
+        if ":" in line:
+            level, _, message = line.partition(":")
+            parsed.append({"level": level.strip().lower(),
+                           "message": message.strip()})
+    return parsed
+
+
+def count_errors(parsed):
+    tally = {}
+    for row in parsed:
+        tally[row["level"]] = tally.get(row["level"], 0) + 1
+    events.append(tally)
+    return tally
+
+
+def triage(blob):
+    parsed = parse_logs(blob)
+    tally = count_errors(parsed)
+    return tally
+
+
+if __name__ == "__main__":
+    print(triage("error: disk full\ninfo: retrying\nerror: disk full"))

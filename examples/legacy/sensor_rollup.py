@@ -1,0 +1,81 @@
+"""Legacy IoT sensor-rollup script — synthetic corpus app #1.
+
+Exercises the analyzer's *helper inlining* (``clean`` calls the private
+``_dedupe``, which folds into ``clean``'s module) and the cutter's
+*parallel-loss* penalty: ``aggregate`` and ``check_alerts`` both consume
+``clean``'s output, so merging either into the pipeline head would
+serialize two independent branches — the cutter keeps them apart even
+though merging would internalize traffic.
+"""
+
+readings = []
+calibration: "udc: size_gb=4 record_bytes=1mb" = {}
+
+
+def ingest(batch):
+    """Pull one batch off the wire and stamp it.
+
+    udc: output_bytes=2mb
+    """
+    rows = []
+    for item in batch:
+        rows.append({"sensor": item.get("sensor", "s-0"),
+                     "value": item.get("value", 0.0)})
+    return rows
+
+
+def _dedupe(items):
+    """Drop duplicate sensor readings (helper: inlined into clean)."""
+    seen = {}
+    for row in items:
+        seen[row["sensor"]] = row
+    return [seen[key] for key in sorted(seen)]
+
+
+def clean(raw):
+    """Deduplicate and clamp the raw batch.
+
+    udc: output_bytes=1mb
+    """
+    rows = _dedupe(raw)
+    for row in rows:
+        row["value"] = max(-1e6, min(1e6, row["value"]))
+    return rows
+
+
+def aggregate(cleaned):
+    """Roll the cleaned batch into the readings store.
+
+    udc: work=6 write=readings:4mb
+    """
+    total = 0.0
+    for row in cleaned:
+        total += row["value"]
+    readings.append({"count": len(cleaned), "sum": total})
+    return {"count": len(cleaned), "sum": total}
+
+
+def check_alerts(cleaned):
+    """Compare each reading against its calibration envelope.
+
+    udc: work=5 read=calibration:1mb
+    """
+    alerts = []
+    for row in cleaned:
+        limit = calibration.get(row["sensor"], 1e5)
+        if abs(row["value"]) > limit:
+            alerts.append(row["sensor"])
+    return {"alerts": alerts}
+
+
+def run_rollup(batch):
+    raw = ingest(batch)
+    cleaned = clean(raw)
+    aggregate(cleaned)
+    alerts = check_alerts(cleaned)
+    return alerts
+
+
+if __name__ == "__main__":
+    print(run_rollup([{"sensor": "s-1", "value": 3.5},
+                      {"sensor": "s-2", "value": 7.25}]))

@@ -52,6 +52,12 @@ TARGETS = [
     SRC / "service",
     SRC / "simulator",
     SRC / "replay",
+    # byte-deterministic outputs promised to users: gateway responses,
+    # autopilot plans, analyzer reports and the modularizer's emitted
+    # definitions (``udc modularize --json`` pins byte-identity)
+    SRC / "gateway",
+    SRC / "economics",
+    SRC / "analysis",
 ]
 
 SUPPRESS_MARK = "# det: ok"

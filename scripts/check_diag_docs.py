@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Keep ``docs/analysis.md``'s code table in lockstep with CODE_CATALOG.
+
+The analyzer's ``UDC0xx`` codes are append-only public API: scripts and
+CI gates match on them, and the docs table is the reference users read.
+The two drift in exactly two ways — a new code lands without a docs row,
+or a docs row is reworded away from the catalog text.  This script fails
+CI on both:
+
+* every code in :data:`repro.analysis.CODE_CATALOG` must appear as a
+  ``| UDCnnn | severity | description |`` row in ``docs/analysis.md``;
+* every ``UDCnnn`` row in the docs table must exist in the catalog;
+* each row's description must match the catalog's one-liner after
+  normalization (``×`` → ``x``, whitespace collapsed) — the docs may
+  typeset, not reword.
+
+Exit status: 0 in lockstep, 1 on any drift.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs" / "analysis.md"
+
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import CODE_CATALOG  # noqa: E402
+
+#: ``| UDC012 | error | deadline below ... |`` (severity may carry a
+#: footnote marker, e.g. ``error*``)
+ROW = re.compile(
+    r"^\|\s*(UDC\d{3})\s*\|\s*\S+\s*\|\s*(.*?)\s*\|\s*$"
+)
+
+
+def _normalize(text: str) -> str:
+    return " ".join(text.replace("×", "x").split())
+
+
+def main() -> int:
+    rows = {}
+    for line in DOCS.read_text(encoding="utf-8").splitlines():
+        match = ROW.match(line)
+        if match:
+            rows[match.group(1)] = match.group(2)
+
+    problems = []
+    for code in sorted(CODE_CATALOG):
+        if code not in rows:
+            problems.append(
+                f"{code}: in CODE_CATALOG but missing from the docs table"
+            )
+        elif _normalize(rows[code]) != _normalize(CODE_CATALOG[code]):
+            problems.append(
+                f"{code}: docs say {rows[code]!r}, "
+                f"catalog says {CODE_CATALOG[code]!r}"
+            )
+    for code in sorted(rows):
+        if code not in CODE_CATALOG:
+            problems.append(
+                f"{code}: documented but absent from CODE_CATALOG"
+            )
+
+    if problems:
+        for problem in problems:
+            print(f"diag-docs drift: {problem}", file=sys.stderr)
+        print(f"{len(problems)} drift problem(s); update docs/analysis.md "
+              f"or repro/analysis/diagnostics.py", file=sys.stderr)
+        return 1
+    print(f"diag docs: {len(rows)} documented code(s) in lockstep "
+          f"with CODE_CATALOG")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ before any placement is attempted — the mistakes the runtime would
 otherwise fail on mid-run:
 
 * :mod:`~repro.analysis.conflicts` — cross-module contradictions
-  (UDC010–UDC014);
+  (UDC010–UDC015);
 * :mod:`~repro.analysis.feasibility` — definition vs. the datacenter
   catalog and tenant quota (UDC020–UDC026);
 * :mod:`~repro.analysis.structure` — DAG shape problems (UDC030–UDC034);
@@ -75,6 +75,7 @@ def analyze_definition(
     quota: Optional[TenantQuota] = None,
     in_flight: int = 0,
     submitted: int = 0,
+    tenant_tier: Optional[str] = None,
 ) -> AnalysisReport:
     """Run every applicable analysis pass and return one sorted report.
 
@@ -87,7 +88,9 @@ def analyze_definition(
     ``app`` unlocks the structural, information-flow, and cost/deadline
     checks; ``datacenter`` (built, or just a :class:`DatacenterSpec`)
     unlocks the feasibility pass; ``quota``/``in_flight``/``submitted``
-    let the serving layer lint against a tenant's admission state.
+    let the serving layer lint against a tenant's admission state, and
+    ``tenant_tier`` (``"firm"`` / ``"spot"``) unlocks the tier-aware
+    contradiction checks (UDC015).
     """
     try:
         parsed = _coerce_definition(definition)
@@ -105,7 +108,8 @@ def analyze_definition(
         datacenter = build_datacenter(datacenter)
     dc_spec = datacenter.spec if datacenter is not None else None
 
-    findings = list(conflict_pass(parsed, app=app, datacenter_spec=dc_spec))
+    findings = list(conflict_pass(parsed, app=app, datacenter_spec=dc_spec,
+                                  tenant_tier=tenant_tier))
     findings += feasibility_pass(
         parsed, app=app, datacenter=datacenter,
         quota=quota, in_flight=in_flight, submitted=submitted,

@@ -1,4 +1,4 @@
-"""Aspect-conflict pass (``UDC010``–``UDC014``).
+"""Aspect-conflict pass (``UDC010``–``UDC015``).
 
 Cross-module contradictions inside one definition — the checks §3.4
 motivates ("users may define conflicting specifications for different
@@ -112,8 +112,14 @@ def conflict_pass(
     definition: UserDefinition,
     app: Optional[ModuleDAG] = None,
     datacenter_spec: Optional[DatacenterSpec] = None,
+    tenant_tier: Optional[str] = None,
 ) -> List[Diagnostic]:
-    """Cross-module contradiction checks over one parsed definition."""
+    """Cross-module contradiction checks over one parsed definition.
+
+    ``tenant_tier`` is the submitting tenant's effective tier
+    (``"firm"`` / ``"spot"``) when the serving layer lints a submission;
+    the CLI leaves it unset.
+    """
     findings: List[Diagnostic] = []
 
     # UDC014 — definition modules the app does not contain.  Everything
@@ -169,10 +175,41 @@ def conflict_pass(
             if isinstance(module, TaskModule):
                 task = module
 
+        # UDC015 — a persistent (never-evicted) deployment under spot
+        # economics.  Spot capacity is preemption-eligible by definition
+        # (a cheapest goal implies the spot tier, and a spot tenant's
+        # submissions all run there), but the preemptor skips persistent
+        # submissions — so the discount the spot placement is priced on
+        # could never be honored.  The definition contradicts itself.
+        resource = bundle.resource
+        if dist.persistent:
+            if resource is not None and resource.goal == ResourceGoal.CHEAPEST:
+                findings.append(Diagnostic(
+                    code="UDC015", severity=Severity.ERROR, module=name,
+                    aspect="distributed",
+                    message=f"module {name!r} is persistent but its "
+                            f"resource goal is cheapest, which places it "
+                            f"on the preemptible spot tier; a persistent "
+                            f"deployment is never evicted, so the spot "
+                            f"discount could never be honored",
+                    hint="drop the persistent flag, or switch the goal "
+                         "to fastest / a pinned device",
+                ))
+            elif tenant_tier == "spot":
+                findings.append(Diagnostic(
+                    code="UDC015", severity=Severity.ERROR, module=name,
+                    aspect="distributed",
+                    message=f"module {name!r} is persistent but the "
+                            f"submitting tenant runs on the spot tier; "
+                            f"spot work is preemption-eligible while "
+                            f"persistent deployments are never evicted",
+                    hint="submit from a firm-tier tenant or drop the "
+                         "persistent flag",
+                ))
+
         # UDC013 — cheapest goal + hedging: every hedge is a deliberate
         # duplicate execution, directly multiplying the cost the goal
         # asked to minimize.
-        resource = bundle.resource
         if (dist.hedge is not None and resource is not None
                 and resource.goal == ResourceGoal.CHEAPEST):
             findings.append(Diagnostic(

@@ -64,6 +64,8 @@ CODE_CATALOG: Dict[str, str] = {
     "UDC012": "deadline below the critical-path lower bound",
     "UDC013": "cheapest-goal module with a hedge policy (duplicates cost)",
     "UDC014": "definition names a module the application does not contain",
+    "UDC015": "persistent module under spot-tier economics "
+              "(preemption-eligible yet never evictable)",
     # -- feasibility pass -----------------------------------------------------
     "UDC020": "no single device of the requested type can hold the demand",
     "UDC021": "requested device/media type has no pool in this datacenter",

@@ -1,0 +1,143 @@
+"""Whole-program analyzer + module-cutter (paper §4, claim C11).
+
+*"Legacy programs can be semi-automatically cut into modules minimizing
+cross-segment dependencies."*  This package is that compiler, end to
+end::
+
+    legacy .py source
+      └─ extract.py   AST → stores, functions, roles, data-flow graph
+      └─ taint.py     fixpoint sensitivity labels (public<anonymized<phi)
+      └─ cutter.py    deterministic min-cut search over the DFG
+      └─ emit.py      ModuleDAG + definition via DefinitionBuilder
+
+:func:`modularize` runs the four layers and **self-checks** the result
+through the PR 5 analyzer: the emitted definition must produce zero
+findings (errors *or* warnings) under
+:func:`repro.analysis.analyze_definition` — the pipeline refuses to
+hand over anything ``udc lint`` would flag.  The whole path is pure and
+deterministic: same source + same seed → byte-identical report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.analysis import analyze_definition
+
+from .cutter import DEFAULT_ALPHA, CutGroup, CutResult, cut_program
+from .emit import EmitResult, attach_functions, emit_definition, input_payload
+from .extract import (
+    ProgramAnalysisError,
+    ProgramModel,
+    extract_program,
+)
+from .taint import TaintResult, infer_labels
+
+__all__ = [
+    "CutGroup",
+    "CutResult",
+    "EmitResult",
+    "ModularizeResult",
+    "ProgramAnalysisError",
+    "ProgramModel",
+    "TaintResult",
+    "attach_functions",
+    "cut_program",
+    "emit_definition",
+    "extract_program",
+    "infer_labels",
+    "input_payload",
+    "modularize",
+]
+
+
+@dataclass(frozen=True)
+class ModularizeResult:
+    """Everything the pipeline produced for one legacy source."""
+
+    model: ProgramModel
+    taint: TaintResult
+    cut: CutResult
+    emitted: EmitResult
+    seed: int
+    moves: int
+    alpha: float
+
+    def report_dict(self) -> Dict[str, Any]:
+        """The JSON-stable report (``udc modularize --json`` body)."""
+        from repro.appmodel.ir import compile_dag
+
+        return {
+            "app": compile_dag(self.emitted.dag).to_dict(),
+            "definition": self.emitted.definition,
+            "report": {
+                "source": self.model.name,
+                "inputs": list(self.model.input_params),
+                "roles": {
+                    "drivers": list(self.model.drivers),
+                    "tasks": list(self.model.tasks),
+                    "helpers": list(self.model.helpers),
+                    "dead": list(self.model.dead),
+                    "stores": sorted(self.model.stores),
+                },
+                "labels": {
+                    "task_in": {t: self.taint.task_in[t]
+                                for t in sorted(self.taint.task_in)},
+                    "task_out": {t: self.taint.task_out[t]
+                                 for t in sorted(self.taint.task_out)},
+                    "stores": {s: self.taint.store_label[s]
+                               for s in sorted(self.taint.store_label)},
+                    "raised": list(self.taint.raised),
+                },
+                "cut": {
+                    "seed": self.seed,
+                    "moves": self.moves,
+                    "alpha": self.alpha,
+                    "modules": [
+                        {"name": g.name, "kind": g.kind,
+                         "members": list(g.members)}
+                        for g in self.cut.groups
+                    ],
+                    "cross_module_bytes": self.cut.cross_bytes,
+                    "internalized_bytes": self.cut.internal_bytes,
+                    "parallel_loss": self.cut.parallel_loss,
+                    "merges": self.cut.merges,
+                    "moves_taken": self.cut.moves_taken,
+                },
+                "lint": {"findings": 0},
+            },
+        }
+
+    def report_json(self) -> str:
+        """Byte-deterministic JSON: sorted keys, no float repr drift."""
+        return json.dumps(self.report_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def modularize(source: str, *, name: str = "legacy-app", seed: int = 0,
+               moves: int = 64, alpha: float = DEFAULT_ALPHA,
+               datacenter: Optional[Any] = None) -> ModularizeResult:
+    """Compile one legacy Python source into a lint-clean UDC definition.
+
+    Raises :class:`ProgramAnalysisError` when the source falls outside
+    the supported subset — or, defensively, if the emitted definition
+    somehow fails the self-check (which would be a bug here, not in the
+    user's program).
+    """
+    model = extract_program(source, name=name)
+    taint = infer_labels(model)
+    cut = cut_program(model, taint, seed=seed, moves=moves, alpha=alpha)
+    emitted = emit_definition(model, taint, cut)
+
+    report = analyze_definition(emitted.definition, app=emitted.dag,
+                                datacenter=datacenter)
+    if len(report) > 0:
+        lines = "; ".join(d.format() for d in report.diagnostics)
+        raise ProgramAnalysisError(
+            f"internal error: emitted definition failed its own lint "
+            f"({lines})")
+    return ModularizeResult(model=model, taint=taint, cut=cut,
+                            emitted=emitted, seed=seed, moves=moves,
+                            alpha=alpha)

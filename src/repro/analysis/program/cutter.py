@@ -1,0 +1,374 @@
+"""Module-cutter: partition the extracted program into UDC modules.
+
+This is the paper's §4 claim made concrete — *"a static analyzer can
+infer dependencies and cut a program into segments"* minimizing
+cross-segment dependencies.  The search is deterministic:
+
+1. **Greedy agglomerative** — every task and store starts in its own
+   group; candidate merges are the inter-group data-flow edges, visited
+   heaviest-bytes first (ties broken lexicographically); a merge is
+   taken when it is *legal* and strictly lowers the objective.
+2. **Local-move refinement** — a bounded number of seeded random moves
+   (one unit to an adjacent group, or back out to a singleton), drawn
+   from the ``RngRegistry`` stream ``"modularize"``; a move is kept only
+   when legal and strictly improving, so refinement can only lower the
+   objective and the result is reproducible from the root seed.
+
+**Legality** (the constraints a group must satisfy to become one module):
+
+* *kind homogeneity* — tasks and stores never share a module (a module
+  is either a TaskModule or a DataModule);
+* *label purity* — all tasks in a group carry the same inferred
+  in-label (no label mixing inside a module: one module gets exactly one
+  isolation level, and the infoflow pass audits per-module clearances);
+  sanitizers may merge *upstream* (same in-label) but never with their
+  declassified consumers;
+* *device intersection* — a merged task group must keep a non-empty
+  device-candidate intersection (it becomes one module on one device);
+* *catalog caps* — a merged store group must still fit a single device
+  of its media class (DRAM for hot, SSD otherwise) at replication 1;
+  same-media, same-label stores only;
+* *DAG-ness* — contracting the groups must leave the task-flow graph
+  acyclic (``ModuleDAG.validate`` rejects direct task-task cycles).
+
+**Objective** = cross-group traffic bytes + ``alpha`` × parallel-loss,
+where a group's parallel-loss is the work it serializes: the sum of
+member work minus the longest internal dependency chain.  Merging a
+pipeline stage into its sole consumer costs nothing; merging two
+independent branches pays for the parallelism it destroys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.simulator.rng import RngRegistry
+
+from .extract import ProgramModel
+from .taint import TaintResult
+
+__all__ = ["CutGroup", "CutResult", "cut_program"]
+
+#: bytes of cross-module traffic one serialized work-unit is "worth";
+#: the penalty that keeps the cutter from collapsing parallel branches.
+DEFAULT_ALPHA = float(1 << 20)
+
+#: single-device capacity (GB) per store media class, from the catalog
+#: (`DEFAULT_SPECS`): a DRAM sled holds 512 GB, an NVMe shelf 8192 GB.
+_MEDIA_CAP_GB = {"dram": 512.0, "ssd": 8192.0}
+
+
+@dataclass(frozen=True)
+class CutGroup:
+    """One module of the cut: a set of same-kind program units."""
+
+    name: str                 # members joined with "+" in dependency order
+    kind: str                 # "task" | "store"
+    members: Tuple[str, ...]  # dependency (topo) order for tasks
+
+
+@dataclass(frozen=True)
+class CutResult:
+    """The final partition plus the numbers the report prints."""
+
+    groups: Tuple[CutGroup, ...]
+    assignment: Dict[str, str]      # unit -> group name
+    cross_bytes: int                # objective term 1 at the final cut
+    internal_bytes: int             # traffic the cut internalized
+    parallel_loss: float            # objective term 2 (work units)
+    merges: int                     # greedy merges taken
+    moves_tried: int                # refinement proposals drawn
+    moves_taken: int                # refinement proposals kept
+
+    def group_of(self, unit: str) -> CutGroup:
+        name = self.assignment[unit]
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(unit)
+
+
+class _State:
+    """Mutable partition state shared by both search phases."""
+
+    def __init__(self, model: ProgramModel, taint: TaintResult,
+                 alpha: float):
+        self.model = model
+        self.taint = taint
+        self.alpha = alpha
+        self.groups: Dict[str, FrozenSet[str]] = {
+            unit: frozenset([unit])
+            for unit in list(model.tasks) + sorted(model.stores)
+        }
+        self.owner: Dict[str, str] = {u: u for u in self.groups}
+        # unit-level undirected weights, and directed task-flow adjacency
+        self.weights: Dict[Tuple[str, str], int] = {}
+        self.flow_succ: Dict[str, set] = {t: set() for t in model.tasks}
+        for edge in model.flows:
+            key = tuple(sorted((edge.src, edge.dst)))
+            self.weights[key] = self.weights.get(key, 0) + edge.bytes
+            if edge.kind == "flow":
+                self.flow_succ[edge.src].add(edge.dst)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def kind_of(self, unit: str) -> str:
+        return "store" if unit in self.model.stores else "task"
+
+    def label_of(self, unit: str) -> str:
+        if unit in self.model.stores:
+            return self.taint.store_label[unit]
+        return self.taint.task_in[unit]
+
+    def cross_bytes(self) -> int:
+        total = 0
+        for (a, b), nbytes in self.weights.items():
+            if self.owner[a] != self.owner[b]:
+                total += nbytes
+        return total
+
+    def internal_bytes(self) -> int:
+        return sum(self.weights.values()) - self.cross_bytes()
+
+    # -- objective ---------------------------------------------------------
+
+    def _group_parallel_loss(self, members: FrozenSet[str]) -> float:
+        tasks = [m for m in members if self.kind_of(m) == "task"]
+        if len(tasks) <= 1:
+            return 0.0
+        work = {t: self.model.functions[t].effective_work for t in tasks}
+        total = sum(work.values())
+        member_set = set(tasks)
+        longest: Dict[str, float] = {}
+
+        def chain(node: str) -> float:
+            if node in longest:
+                return longest[node]
+            best = 0.0
+            for succ in self.flow_succ[node]:
+                if succ in member_set:
+                    best = max(best, chain(succ))
+            longest[node] = work[node] + best
+            return longest[node]
+
+        critical = max(chain(t) for t in tasks)
+        return total - critical
+
+    def parallel_loss(self) -> float:
+        seen = set()
+        total = 0.0
+        for unit in sorted(self.owner):
+            name = self.owner[unit]
+            if name in seen:
+                continue
+            seen.add(name)
+            total += self._group_parallel_loss(self.groups[name])
+        return total
+
+    def score(self) -> float:
+        return self.cross_bytes() + self.alpha * self.parallel_loss()
+
+    # -- legality ----------------------------------------------------------
+
+    def _legal_group(self, members: FrozenSet[str]) -> bool:
+        kinds = {self.kind_of(m) for m in members}
+        if len(kinds) != 1:
+            return False
+        labels = {self.label_of(m) for m in members}
+        if len(labels) != 1:
+            return False
+        if kinds == {"task"}:
+            candidates: Optional[set] = None
+            for member in members:
+                devs = set(self.model.functions[member].devices)
+                candidates = devs if candidates is None else candidates & devs
+            if not candidates:
+                return False
+        else:
+            hot = {self.model.stores[m].hot for m in members}
+            if len(hot) != 1:
+                return False
+            media = "dram" if hot.pop() else "ssd"
+            size = sum(self.model.stores[m].size_gb for m in members)
+            if size > _MEDIA_CAP_GB[media]:
+                return False
+        return True
+
+    def _acyclic_with(self, trial_owner: Dict[str, str]) -> bool:
+        """Would the contracted task-flow graph stay a DAG?"""
+        adjacency: Dict[str, set] = {}
+        for src, succs in self.flow_succ.items():
+            a = trial_owner[src]
+            for dst in succs:
+                b = trial_owner[dst]
+                if a != b:
+                    adjacency.setdefault(a, set()).add(b)
+        state: Dict[str, int] = {}
+
+        def visit(node: str) -> bool:
+            state[node] = 1
+            for nxt in sorted(adjacency.get(node, ())):
+                if state.get(nxt) == 1:
+                    return False
+                if state.get(nxt) is None and not visit(nxt):
+                    return False
+            state[node] = 2
+            return True
+
+        return all(
+            visit(node) for node in sorted(adjacency) if state.get(node) is None
+        )
+
+    # -- mutations ---------------------------------------------------------
+
+    def try_merge(self, ga: str, gb: str) -> bool:
+        """Merge groups ``ga``/``gb`` if legal and strictly improving."""
+        if ga == gb:
+            return False
+        merged = self.groups[ga] | self.groups[gb]
+        if not self._legal_group(merged):
+            return False
+        new_name = min(ga, gb)
+        trial = {
+            u: (new_name if g in (ga, gb) else g)
+            for u, g in self.owner.items()
+        }
+        if not self._acyclic_with(trial):
+            return False
+        before = self.score()
+        old_groups = dict(self.groups)
+        old_owner = dict(self.owner)
+        for stale in (ga, gb):
+            del self.groups[stale]
+        self.groups[new_name] = merged
+        self.owner = trial
+        if self.score() < before:
+            return True
+        self.groups = old_groups
+        self.owner = old_owner
+        return False
+
+    def try_move(self, unit: str, target: str) -> bool:
+        """Move ``unit`` into group ``target`` ("" = break out to a
+        singleton) if legal and strictly improving."""
+        source = self.owner[unit]
+        if target == source or (target == "" and len(self.groups[source]) == 1):
+            return False
+        before = self.score()
+        old_groups = dict(self.groups)
+        old_owner = dict(self.owner)
+
+        remaining = self.groups[source] - {unit}
+        del self.groups[source]
+        if remaining:
+            keep = min(remaining)
+            self.groups[keep] = remaining
+            for member in remaining:
+                self.owner[member] = keep
+        if target == "":
+            self.groups[unit] = frozenset([unit])
+            self.owner[unit] = unit
+        else:
+            if target not in self.groups:  # renamed by the removal above
+                self.groups, self.owner = old_groups, old_owner
+                return False
+            joined = self.groups[target] | {unit}
+            if not self._legal_group(joined):
+                self.groups, self.owner = old_groups, old_owner
+                return False
+            new_name = min(joined)
+            del self.groups[target]
+            self.groups[new_name] = joined
+            for member in joined:
+                self.owner[member] = new_name
+        if not self._acyclic_with(self.owner) or self.score() >= before:
+            self.groups, self.owner = old_groups, old_owner
+            return False
+        return True
+
+
+def _topo_order(state: _State, members: FrozenSet[str]) -> Tuple[str, ...]:
+    """Members in dependency order (stable: name-sorted within ranks)."""
+    tasks = sorted(members)
+    member_set = set(tasks)
+    indegree = {t: 0 for t in tasks}
+    for src in tasks:
+        for dst in state.flow_succ.get(src, ()):
+            if dst in member_set:
+                indegree[dst] += 1
+    order: List[str] = []
+    ready = sorted(t for t in tasks if indegree[t] == 0)
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for dst in sorted(state.flow_succ.get(node, ())):
+            if dst in member_set:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    ready.append(dst)
+        ready.sort()
+    return tuple(order) if len(order) == len(tasks) else tuple(tasks)
+
+
+def cut_program(model: ProgramModel, taint: TaintResult, *,
+                seed: int = 0, moves: int = 64,
+                alpha: float = DEFAULT_ALPHA) -> CutResult:
+    """Run the two-phase deterministic search; see the module docstring."""
+    state = _State(model, taint, alpha)
+
+    # Phase 1: greedy agglomerative along data-flow edges.
+    merges = 0
+    improved = True
+    while improved:
+        improved = False
+        candidates = sorted(
+            ((nbytes, a, b) for (a, b), nbytes in state.weights.items()),
+            key=lambda item: (-item[0], item[1], item[2]),
+        )
+        for _nbytes, a, b in candidates:
+            ga, gb = state.owner[a], state.owner[b]
+            if ga != gb and state.try_merge(ga, gb):
+                merges += 1
+                improved = True
+                break  # re-rank edges against the new partition
+
+    # Phase 2: seeded local-move refinement.
+    rng = RngRegistry(seed).stream("modularize")
+    units = sorted(state.owner)
+    moves_taken = 0
+    for _ in range(max(0, moves)):
+        unit = units[rng.randrange(len(units))]
+        neighbor_groups = sorted({
+            state.owner[other]
+            for (x, y) in state.weights
+            for other in ((y,) if x == unit else (x,) if y == unit else ())
+        } - {state.owner[unit]})
+        targets = neighbor_groups + [""]
+        target = targets[rng.randrange(len(targets))]
+        if state.try_move(unit, target):
+            moves_taken += 1
+
+    groups: List[CutGroup] = []
+    assignment: Dict[str, str] = {}
+    for key in sorted(state.groups):
+        members = state.groups[key]
+        kind = state.kind_of(next(iter(members)))
+        ordered = _topo_order(state, members) if kind == "task" \
+            else tuple(sorted(members))
+        name = "+".join(ordered)
+        groups.append(CutGroup(name=name, kind=kind, members=ordered))
+        for member in members:
+            assignment[member] = name
+    groups.sort(key=lambda g: (g.kind, g.name))
+
+    return CutResult(
+        groups=tuple(groups),
+        assignment=assignment,
+        cross_bytes=state.cross_bytes(),
+        internal_bytes=state.internal_bytes(),
+        parallel_loss=state.parallel_loss(),
+        merges=merges,
+        moves_tried=max(0, moves),
+        moves_taken=moves_taken,
+    )

@@ -1,0 +1,120 @@
+"""Interprocedural sensitivity inference over the extracted program.
+
+Mirrors the lattice and propagation rules of
+:mod:`repro.analysis.infoflow` — ``public < anonymized < phi`` — but
+runs over the *legacy* data-flow graph from :mod:`.extract` instead of
+a declared definition.  The contract: the labels inferred here are the
+labels the emitted definition declares, so the definition-side
+``infoflow_pass`` reaches the same fixpoint and finds nothing to flag.
+
+Propagation rules (matching ``infoflow_pass`` exactly):
+
+* a task's **in-label** is the join of every store it reads and every
+  upstream task's out-label;
+* a task's **out-label** is the join of its in-label and its own
+  ``source=`` directive — unless the task is a **sanitizer**, which
+  declassifies: out-label is capped at ``anonymized``;
+* a store's **inferred label** is the join of its declared
+  ``sensitivity=`` directive and every writer's out-label (labels are
+  only ever *raised* — writing phi into a store declared public means
+  the declaration was wrong, and we correct it rather than emit a
+  definition UDC041 would reject).
+
+The fixpoint is computed over tasks in deterministic (sorted) order
+until stable; the DFG is finite and the lattice has height 3, so this
+terminates in at most ``3 * |edges|`` iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .extract import FlowEdge, ProgramModel
+
+__all__ = ["TaintResult", "infer_labels"]
+
+_RANK = {"public": 0, "anonymized": 1, "phi": 2}
+_BY_RANK = {rank: label for label, rank in _RANK.items()}
+
+
+def _join(a: str, b: str) -> str:
+    return _BY_RANK[max(_RANK[a], _RANK[b])]
+
+
+@dataclass(frozen=True)
+class TaintResult:
+    """Fixpoint labels for every unit of the program.
+
+    ``task_in``/``task_out`` are the per-task labels; ``store_label``
+    is the (possibly raised) label each store must declare.
+    ``raised`` lists stores whose inferred label exceeds their
+    directive — a lint-style heads-up the CLI surfaces.
+    """
+
+    task_in: Dict[str, str]
+    task_out: Dict[str, str]
+    store_label: Dict[str, str]
+    raised: Tuple[str, ...]
+
+
+def infer_labels(model: ProgramModel) -> TaintResult:
+    """Run the label fixpoint over the extracted data-flow graph."""
+    declared = {
+        name: (store.sensitivity or "public")
+        for name, store in model.stores.items()
+    }
+    store_label = dict(declared)
+    task_in = {task: "public" for task in model.tasks}
+    task_out = {task: "public" for task in model.tasks}
+
+    reads: Dict[str, Tuple[FlowEdge, ...]] = {t: () for t in model.tasks}
+    preds: Dict[str, Tuple[str, ...]] = {t: () for t in model.tasks}
+    writers: Dict[str, Tuple[str, ...]] = {s: () for s in model.stores}
+    for edge in model.flows:
+        if edge.kind == "read":
+            reads[edge.dst] = reads[edge.dst] + (edge,)
+        elif edge.kind == "flow":
+            preds[edge.dst] = preds[edge.dst] + (edge.src,)
+        elif edge.kind == "write":
+            writers[edge.dst] = writers[edge.dst] + (edge.src,)
+
+    changed = True
+    while changed:
+        changed = False
+        for task in sorted(model.tasks):
+            summary = model.functions[task]
+            label = "public"
+            for edge in reads[task]:
+                label = _join(label, store_label[edge.src])
+            for pred in preds[task]:
+                label = _join(label, task_out[pred])
+            if label != task_in[task]:
+                task_in[task] = label
+                changed = True
+            out = label
+            if summary.source_label is not None:
+                out = _join(out, summary.source_label)
+            if summary.sanitizer and _RANK[out] > _RANK["anonymized"]:
+                out = "anonymized"
+            if out != task_out[task]:
+                task_out[task] = out
+                changed = True
+        for store in sorted(model.stores):
+            label = declared[store]
+            for writer in sorted(set(writers[store])):
+                label = _join(label, task_out[writer])
+            if label != store_label[store]:
+                store_label[store] = label
+                changed = True
+
+    raised = tuple(sorted(
+        name for name in model.stores
+        if _RANK[store_label[name]] > _RANK[declared[name]]
+    ))
+    return TaintResult(
+        task_in=task_in,
+        task_out=task_out,
+        store_label=store_label,
+        raised=raised,
+    )

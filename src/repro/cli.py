@@ -35,7 +35,13 @@ Subcommands:
 * ``udc lint [APP.json] --spec SPEC.json`` — statically analyze a
   definition (conflicts, feasibility vs the datacenter, DAG structure,
   information flow) without executing anything; ``--json`` emits a
-  byte-deterministic report, exit 2 on error-severity findings;
+  byte-deterministic report, exit 2 on error-severity findings; ``-``
+  reads the app (or a ``modularize --json`` payload) from stdin;
+* ``udc modularize SOURCE.py`` — compile a legacy single-file Python
+  program (AST only, never executed) into a module DAG + definition
+  that passes ``udc lint`` with zero findings (§4's module-cutter,
+  claim C11); ``--json`` emits the byte-deterministic
+  app+definition+report payload for piping into ``udc lint -``;
 * ``udc record --workload NAME --journal J.jsonl`` — execute a named
   deterministic workload, journaling every control-plane event, with
   optional cadenced snapshots and a crash injector (``--crash-at N``
@@ -504,8 +510,13 @@ def cmd_lint(args) -> int:
     ``APP.json`` (optional) is :meth:`IRProgram.to_dict` output and
     unlocks the structural, information-flow, and deadline checks;
     ``--spec`` is the declarative definition JSON.  At least one of the
-    two is required.  Exit codes: 0 clean (warnings allowed unless
-    ``--strict``), 2 on gating findings, 2 on unreadable inputs.
+    two is required.  ``-`` as the app reads a JSON payload from stdin —
+    either a bare IR program, or the combined ``udc modularize --json``
+    output (``{"app": ..., "definition": ...}``), whose definition is
+    used unless ``--spec`` overrides it; this is what makes
+    ``udc modularize app.py --json | udc lint -`` a pipeline.  Exit
+    codes: 0 clean (warnings allowed unless ``--strict``), 2 on gating
+    findings, 2 on unreadable inputs.
     """
     from repro.analysis import analyze_definition
 
@@ -520,10 +531,21 @@ def cmd_lint(args) -> int:
     dag = None
     if args.app:
         from repro.appmodel.dag import DagValidationError
+        from repro.appmodel.loader import load_program
 
         try:
-            dag = load_program_file(args.app)
-        except DagValidationError as exc:
+            if args.app == "-":
+                payload = json.load(sys.stdin)
+                ir_dict = payload.get("app", payload) \
+                    if isinstance(payload, dict) else payload
+                if not args.spec and isinstance(payload, dict) \
+                        and "definition" in payload:
+                    definition = payload["definition"]
+                dag = load_program(ir_dict)
+            else:
+                dag = load_program_file(args.app)
+        except (DagValidationError, json.JSONDecodeError, KeyError,
+                TypeError, ValueError) as exc:
             print(f"lint: {args.app}: {exc}", file=sys.stderr)
             return 2
     report = analyze_definition(definition, app=dag,
@@ -537,6 +559,77 @@ def cmd_lint(args) -> int:
     gating = report.errors if not args.strict \
         else report.errors + report.warnings
     return 2 if gating else 0
+
+
+def cmd_modularize(args) -> int:
+    """Compile a legacy Python source into a lint-clean UDC definition.
+
+    ``SOURCE.py`` is analyzed statically (AST only — the file is never
+    imported or executed).  The pipeline extracts the program's stores,
+    functions, and data-flow graph, infers sensitivity labels, searches
+    for the minimum-cross-dependency module cut, and emits an app +
+    definition that passes ``udc lint`` with zero findings (the pipeline
+    self-checks before printing).
+
+    ``--json`` emits ``{"app": IR, "definition": spec, "report": ...}``
+    byte-deterministically (same source + seed → identical bytes); pipe
+    it into ``udc lint -``.  Exit codes mirror ``udc lint``: 0 on
+    success, 2 when the source falls outside the supported subset.
+    """
+    from repro.analysis.program import ProgramAnalysisError, modularize
+
+    try:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"modularize: {exc}", file=sys.stderr)
+        return 2
+    name = args.name or args.source.rsplit("/", 1)[-1].removesuffix(".py")
+    try:
+        result = modularize(source, name=name, seed=args.seed,
+                            moves=args.moves, alpha=args.alpha,
+                            datacenter=_build_dc(args))
+    except ProgramAnalysisError as exc:
+        print(f"modularize: {args.source}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        sys.stdout.write(result.report_json() + "\n")
+        return 0
+
+    model, cut, taint = result.model, result.cut, result.taint
+    print(f"modularize {name}: {len(model.tasks)} task(s), "
+          f"{len(model.stores)} store(s), {len(model.drivers)} driver(s) "
+          f"-> {len(cut.groups)} module(s)")
+    if model.helpers:
+        print(f"  inlined helpers: {', '.join(model.helpers)}")
+    if model.dead:
+        print(f"  dead code (not emitted): {', '.join(model.dead)}")
+    if taint.raised:
+        print(f"  labels raised to match writers: "
+              f"{', '.join(taint.raised)}")
+    print(f"  cut: cross-module traffic {cut.cross_bytes} B, "
+          f"internalized {cut.internal_bytes} B, "
+          f"parallel loss {cut.parallel_loss:g} work, "
+          f"{cut.merges} merge(s), "
+          f"{cut.moves_taken}/{cut.moves_tried} refinement move(s)")
+    print("  modules:")
+    for group in cut.groups:
+        if group.kind == "task":
+            label = taint.task_in[group.members[0]]
+            task = result.emitted.dag.task(group.name)
+            devices = ",".join(sorted(d.value for d in
+                                      task.device_candidates))
+            extra = " sanitizer" if task.sanitizer else ""
+            print(f"    task  {group.name}  [{devices}]  "
+                  f"label={label}{extra}")
+        else:
+            store = result.emitted.dag.data(group.name)
+            label = taint.store_label[group.members[0]]
+            print(f"    data  {group.name}  {store.size_gb:g}GB"
+                  f"{' hot' if store.hot else ''}  label={label}")
+    print("  lint: clean (0 findings)")
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -982,6 +1075,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the report as deterministic JSON")
     _add_dc_args(lint_p)
     lint_p.set_defaults(handler=cmd_lint)
+
+    modularize_p = sub.add_parser(
+        "modularize",
+        help="compile a legacy Python source into a lint-clean "
+             "UDC definition (exit 2 on unsupported input)",
+    )
+    modularize_p.add_argument("source",
+                              help="legacy single-file Python program "
+                                   "(analyzed via AST, never executed)")
+    modularize_p.add_argument("--name", default=None,
+                              help="application name (default: the "
+                                   "source file's stem)")
+    modularize_p.add_argument("--seed", type=int, default=0,
+                              help="cutter refinement RNG seed "
+                                   "(default 0)")
+    modularize_p.add_argument("--moves", type=int, default=64,
+                              help="local-refinement move proposals "
+                                   "(default 64)")
+    modularize_p.add_argument("--alpha", type=float,
+                              default=float(1 << 20),
+                              help="bytes of cross-module traffic one "
+                                   "serialized work-unit costs in the "
+                                   "cut objective (default 1 MiB)")
+    modularize_p.add_argument("--json", action="store_true",
+                              help="emit the byte-deterministic "
+                                   "app+definition+report JSON payload")
+    _add_dc_args(modularize_p)
+    modularize_p.set_defaults(handler=cmd_modularize)
 
     serve_p = sub.add_parser(
         "serve",

@@ -145,6 +145,10 @@ class DistributedAspect:
     #: declared spending ceiling for this module across retries/hedges;
     #: the analyzer's UDC011 checks the worst case against it
     cost_cap_dollars: Optional[float] = None
+    #: the module's data allocations outlive the submission (a standing
+    #: deployment); persistent modules are never spot-preemption victims,
+    #: so the analyzer's UDC015 rejects pairing this with spot economics
+    persistent: bool = False
 
     def __post_init__(self):
         if self.cost_cap_dollars is not None and self.cost_cap_dollars <= 0:

@@ -135,6 +135,7 @@ class AspectBuilder:
         deadline_s: Optional[float] = None,
         hedge: Union[float, Dict[str, Any], None] = None,
         cost_cap_dollars: Optional[float] = None,
+        persistent: Optional[bool] = None,
     ) -> "AspectBuilder":
         _set_present(
             self._aspect("distributed"),
@@ -146,6 +147,7 @@ class AspectBuilder:
             data_consistency=data_consistency, retry=retry,
             deadline_s=deadline_s, hedge=hedge,
             cost_cap_dollars=cost_cap_dollars,
+            persistent=persistent,
         )
         return self
 

@@ -270,6 +270,7 @@ def _parse_distributed(
             deadline_s=deadline_s,
             hedge=hedge,
             cost_cap_dollars=cost_cap,
+            persistent=bool(raw.get("persistent", False)),
         )
     except (ValueError, KeyError, TypeError) as exc:
         problems.append(f"{module}.distributed: {exc}")

@@ -18,11 +18,19 @@ Two workload families ship:
   :func:`repro.workloads.tenants.generate_tenant_trace`, mirroring
   ``udc serve``: register every profile, submit arrivals in order,
   drain every ``round_every`` submissions.
+* ``fig2-legacy`` — the same hospital pipeline, but *compiled*: the
+  app and definition come from running the whole-program analyzer
+  (:func:`repro.analysis.program.modularize`) over
+  ``examples/legacy/fig2_monolith.py`` instead of being hand-cut.
+  Same submission cadence as ``fig2-medical``; the workload's script —
+  and therefore its journal — exercises the modularizer's determinism
+  end to end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, List
 
 from repro.appmodel.dag import ModuleDAG
@@ -100,6 +108,51 @@ def _fig2_script(params: Dict[str, Any], seed: int) -> RunScript:
     return script
 
 
+def _fig2_legacy_script(params: Dict[str, Any], seed: int) -> RunScript:
+    from repro.analysis.program import (
+        attach_functions,
+        input_payload,
+        modularize,
+    )
+
+    patients = int(params.get("patients", 4))
+    round_every = max(1, int(params.get("round_every", 2)))
+    if patients < 1:
+        raise ValueError("fig2-legacy needs patients >= 1")
+    path = (Path(__file__).resolve().parents[3]
+            / "examples" / "legacy" / "fig2_monolith.py")
+    source = path.read_text(encoding="utf-8")
+    result = modularize(source, name="fig2_monolith", seed=seed)
+    # The analyzer never executes the source; the *workload* does, to
+    # obtain the callables the emitted task modules compose over.  The
+    # __main__ guard in the example keeps its demo run from firing.
+    namespace: Dict[str, Any] = {"__name__": "fig2_monolith_legacy"}
+    exec(compile(source, str(path), "exec"), namespace)
+    dag = attach_functions(result.model, result.cut, result.emitted,
+                           namespace)
+    script = RunScript(apps={"legacy": dag},
+                       definitions={"legacy": result.emitted.definition})
+    script.commands.append(
+        Command("register-tenant", {"tenant": "hospital", "weight": 1.0})
+    )
+    for index in range(patients):
+        patient = f"p-{index:03d}"
+        inputs = input_payload(
+            result.model, result.emitted,
+            image={"pixels": list(range(256)), "patient": patient},
+            patient=patient, consented=True,
+        )
+        script.commands.append(Command("submit", {
+            "tenant": "hospital",
+            "app": "legacy",
+            "inputs": inputs,
+        }))
+        if (index + 1) % round_every == 0:
+            script.commands.append(Command("drain", {}))
+    script.commands.append(Command("drain", {}))
+    return script
+
+
 def _tenant_trace_script(params: Dict[str, Any], seed: int) -> RunScript:
     tenants = int(params.get("tenants", 6))
     minutes = float(params.get("minutes", 20.0))
@@ -154,6 +207,7 @@ def _tenant_trace_script(params: Dict[str, Any], seed: int) -> RunScript:
 #: workload name -> (params, seed) -> RunScript
 REPLAY_WORKLOADS: Dict[str, Callable[[Dict[str, Any], int], RunScript]] = {
     "fig2-medical": _fig2_script,
+    "fig2-legacy": _fig2_legacy_script,
     "tenant-trace": _tenant_trace_script,
 }
 

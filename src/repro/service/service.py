@@ -72,6 +72,31 @@ from repro.service.tenants import (
 __all__ = ["ResultNotReady", "SubmissionHandle", "UDCService"]
 
 
+def _declares_persistent(definition: Any) -> bool:
+    """True when any module of the definition asks for a standing
+    deployment, in whichever form the caller handed it in (parsed,
+    fluent builder, or raw nested dict)."""
+    if definition is None:
+        return False
+    bundles = getattr(definition, "bundles", None)
+    if isinstance(bundles, dict):
+        return any(
+            b.distributed is not None and b.distributed.persistent
+            for b in bundles.values()
+        )
+    to_dict = getattr(definition, "to_dict", None)
+    raw = to_dict() if callable(to_dict) else definition
+    if not isinstance(raw, dict):
+        return False
+    for aspects in raw.values():
+        if not isinstance(aspects, dict):
+            continue
+        dist = aspects.get("distributed")
+        if isinstance(dist, dict) and dist.get("persistent"):
+            return True
+    return False
+
+
 class ResultNotReady(Exception):
     """Raised when :attr:`SubmissionHandle.outputs` is read before the
     submission has finished and been finalized by a drain.
@@ -560,13 +585,15 @@ class UDCService:
         # metrics and verdict without re-running the analyzer.  The
         # report is a pure function of (app, definition, datacenter),
         # so replaying it is byte-identical to re-deriving it.
+        tier = self.tier_of(tenant)
         memo_key = (dag_fingerprint(app, include_identity=True),
-                    definition_fingerprint(definition))
+                    definition_fingerprint(definition), tier)
         report = self._lint_memo.get(memo_key)
         if report is None:
             report = analyze_definition(
                 definition if definition is not None else {},
                 app=app, datacenter=self.runtime.datacenter,
+                tenant_tier=tier,
             )
             self._lint_memo.put(memo_key, report)
         for diag in report:
@@ -589,7 +616,9 @@ class UDCService:
             handle.cell = 0
             submission = self.runtime.submit(
                 work.app, work.definition, tenant=handle.tenant,
-                inputs=work.inputs, queue_if_full=True,
+                inputs=work.inputs,
+                persistent=_declares_persistent(work.definition),
+                queue_if_full=True,
             )
         else:
             submission = self._dispatch_routed(work)
@@ -652,13 +681,15 @@ class UDCService:
         retries it.
         """
         handle = work.handle
+        persistent = _declares_persistent(work.definition)
         demand = estimate_demand(work.app, self.runtime.datacenter)
         order = self.router.order(demand)
         for hops, cell_id in enumerate(order):
             try:
                 submission = self.cell_runtimes[cell_id].submit(
                     work.app, work.definition, tenant=handle.tenant,
-                    inputs=work.inputs, queue_if_full=False,
+                    inputs=work.inputs, persistent=persistent,
+                    queue_if_full=False,
                 )
             except SchedulerError:
                 continue
@@ -669,7 +700,8 @@ class UDCService:
         self.router.record_placement(order[0], len(order))
         return self.cell_runtimes[order[0]].submit(
             work.app, work.definition, tenant=handle.tenant,
-            inputs=work.inputs, queue_if_full=True,
+            inputs=work.inputs, persistent=persistent,
+            queue_if_full=True,
         )
 
     def dispatch_round(self) -> int:

@@ -70,7 +70,7 @@ def test_clean_medical_app_has_zero_findings(medical):
 def test_catalog_covers_every_emitted_code():
     assert sorted(CODE_CATALOG) == [
         "UDC001",
-        "UDC010", "UDC011", "UDC012", "UDC013", "UDC014",
+        "UDC010", "UDC011", "UDC012", "UDC013", "UDC014", "UDC015",
         "UDC020", "UDC021", "UDC022", "UDC023", "UDC024", "UDC025",
         "UDC026",
         "UDC030", "UDC031", "UDC032", "UDC033", "UDC034",
@@ -154,6 +154,57 @@ def test_udc014_stray_definition_module(medical):
     assert diag.severity is Severity.WARNING
     assert "which app 'medical-information-processing' does not contain" \
         in diag.message
+
+
+def test_udc015_persistent_module_under_cheapest_goal(medical):
+    dag, definition = medical
+    definition["B2"]["distributed"]["persistent"] = True
+    report = analyze_definition(definition, app=dag)
+    assert codes_of(report) == ["UDC015"]
+    (diag,) = report
+    assert diag.module == "B2"
+    assert diag.severity is Severity.ERROR
+    assert diag.aspect == "distributed"
+    assert "resource goal is cheapest, which places it on the " \
+           "preemptible spot tier" in diag.message
+    assert "the spot discount could never be honored" in diag.message
+    assert "drop the persistent flag" in diag.hint
+
+
+def test_udc015_persistent_module_from_spot_tenant(medical):
+    dag, definition = medical
+    definition["A4"]["distributed"]["persistent"] = True
+    # A firm tenant (or the CLI, which has no tenant) sees nothing.
+    assert codes_of(analyze_definition(definition, app=dag)) == []
+    assert codes_of(
+        analyze_definition(definition, app=dag, tenant_tier="firm")
+    ) == []
+    report = analyze_definition(definition, app=dag, tenant_tier="spot")
+    assert codes_of(report) == ["UDC015"]
+    (diag,) = report
+    assert diag.module == "A4"
+    assert diag.severity is Severity.ERROR
+    assert "the submitting tenant runs on the spot tier" in diag.message
+    assert "spot work is preemption-eligible while persistent " \
+           "deployments are never evicted" in diag.message
+    assert "submit from a firm-tier tenant" in diag.hint
+
+
+def test_udc015_rejects_at_the_service_front_door(medical):
+    dag, definition = medical
+    definition["A4"]["distributed"]["persistent"] = True
+    service = UDCService(build_datacenter())
+    from repro.service.tenants import TenantSpec
+    service.register_tenant("spotty", TenantSpec(tier="spot"))
+    service.register_tenant("firmy")
+    with pytest.raises(AnalysisError) as err:
+        service.submit("spotty", dag, definition)
+    assert err.value.report.codes() == ["UDC015"]
+    # The same definition sails through for a firm tenant — and the
+    # persistent flag reaches the runtime submission.
+    handle = service.submit("firmy", dag, definition)
+    service.drain()
+    assert handle.submission.persistent
 
 
 # -------------------------------------------------------- feasibility corpus
